@@ -1,0 +1,82 @@
+"""Figure 13: regression RMSE and training time on the Flights data set.
+
+Every numeric column is predicted from all other columns, comparing a
+regression tree (CART), a neural network (numpy MLP) and DeepDB's RSPN
+regressor.  The paper's claims: RSPN RMSEs are competitive with the
+trained models, and DeepDB's *additional* training time is zero -- the
+AQP ensemble already answers any regression task.
+"""
+
+import time
+
+import numpy as np
+
+from repro.baselines.nn import MLPRegressor
+from repro.baselines.regression_tree import RegressionTree
+from repro.core.ml import RspnRegressor
+from repro.datasets.flights import NUMERIC_TARGETS, feature_matrix
+from repro.evaluation.metrics import rmse
+from repro.evaluation.report import Report
+
+TRAIN_ROWS = 30_000
+TEST_ROWS = 200
+
+
+def _feature_table(database, target, n_rows, seed):
+    rows, targets, names = feature_matrix(database, target, n_rows=n_rows, seed=seed)
+    matrix = np.array([[row[name] for name in names] for row in rows])
+    return rows, matrix, targets, names
+
+
+def test_figure13_ml(benchmark, flights_env):
+    env = flights_env
+    rspn = max(env.ensemble.rspns, key=lambda r: len(r.column_names))
+
+    rmse_report = Report(
+        "Figure 13 (top): regression RMSE",
+        ["target", "Regression Tree", "Neural Network", "DeepDB (ours)"],
+    )
+    time_report = Report(
+        "Figure 13 (bottom): additional training time (s)",
+        ["target", "Regression Tree", "Neural Network", "DeepDB (ours)"],
+    )
+
+    wins = {"tree": 0, "nn": 0}
+    ratios = []
+    for target in NUMERIC_TARGETS:
+        train_rows, train_x, train_y, names = _feature_table(
+            env.database, target, TRAIN_ROWS, seed=1
+        )
+        test_rows, test_x, test_y, _names = _feature_table(
+            env.database, target, TEST_ROWS, seed=2
+        )
+
+        start = time.perf_counter()
+        tree = RegressionTree(max_depth=10, min_samples_leaf=25).fit(train_x, train_y)
+        tree_seconds = time.perf_counter() - start
+        tree_rmse = rmse(test_y, tree.predict(test_x))
+
+        start = time.perf_counter()
+        nn = MLPRegressor(hidden=(64, 64), epochs=12, seed=0).fit(train_x, train_y)
+        nn_seconds = time.perf_counter() - start
+        nn_rmse = rmse(test_y, nn.predict(test_x))
+
+        regressor = RspnRegressor(rspn, f"flights.{target}", names)
+        deepdb_rmse = rmse(test_y, regressor.predict(test_rows))
+
+        rmse_report.add(target, tree_rmse, nn_rmse, deepdb_rmse)
+        time_report.add(target, tree_seconds, nn_seconds, 0.0)
+        best_baseline = min(tree_rmse, nn_rmse)
+        ratios.append(deepdb_rmse / max(best_baseline, 1e-9))
+    rmse_report.print()
+    time_report.print()
+
+    # Shape: the RSPN regressor is competitive -- within a small factor of
+    # the best trained baseline on the median target, with zero
+    # additional training time.
+    assert float(np.median(ratios)) < 3.0
+
+    target = NUMERIC_TARGETS[0]
+    test_rows, _x, _y, names = _feature_table(env.database, target, 16, seed=3)
+    regressor = RspnRegressor(rspn, f"flights.{target}", names)
+    benchmark(lambda: regressor.predict_one(test_rows[0]))

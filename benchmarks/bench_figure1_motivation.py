@@ -1,0 +1,63 @@
+"""Figure 1 (the motivating figure): q-error per join size.
+
+MCSN, trained only on queries of up to three tables, degrades sharply on
+4/5/6-table joins; DeepDB, having learned the *data* rather than a
+workload, stays accurate (the paper reports an order of magnitude
+difference).  The same data feeds Figure 7's per-cell breakdown in
+``bench_figure7_generalization.py``; this bench isolates the headline
+two-bar comparison and renders it as the paper's bar chart.
+"""
+
+import numpy as np
+
+from repro.datasets import workloads
+from repro.evaluation.metrics import q_error
+from repro.evaluation.plots import bar_chart
+from repro.evaluation.report import Report
+
+
+def test_figure1_motivation(benchmark, imdb_env):
+    queries = workloads.generalisation_workload(
+        imdb_env.database, n_queries=120, seed=29
+    )
+    mcsn = imdb_env.mcsn
+
+    per_join = {}
+    for named in queries:
+        truth = imdb_env.executor.cardinality(named.query)
+        n_tables = len(named.query.tables)
+        bucket = per_join.setdefault(n_tables, {"DeepDB (ours)": [], "MCSN": []})
+        bucket["DeepDB (ours)"].append(
+            q_error(truth, imdb_env.compiler.cardinality(named.query))
+        )
+        bucket["MCSN"].append(q_error(truth, mcsn.predict(named.query)))
+
+    labels = sorted(per_join)
+    mcsn_medians = [float(np.median(per_join[t]["MCSN"])) for t in labels]
+    deepdb_medians = [
+        float(np.median(per_join[t]["DeepDB (ours)"])) for t in labels
+    ]
+
+    report = Report(
+        "Figure 1: cardinality estimation errors per join size",
+        ["tables", "MCSN", "DeepDB (ours)"],
+    )
+    for label, mcsn_value, deepdb_value in zip(labels, mcsn_medians, deepdb_medians):
+        report.add(label, mcsn_value, deepdb_value)
+    report.print()
+    print()
+    print(bar_chart(
+        "Figure 1 rendered: median q-error per join size",
+        [f"{t} tables" for t in labels],
+        {"MCSN": mcsn_medians, "DeepDB (ours)": deepdb_medians},
+        log=True,
+    ))
+
+    # Shape assertions: DeepDB beats MCSN on every unseen join size and
+    # the overall gap is large.
+    for mcsn_value, deepdb_value in zip(mcsn_medians, deepdb_medians):
+        assert deepdb_value < mcsn_value
+    assert max(mcsn_medians) / max(deepdb_medians) > 3
+
+    query = queries[0].query
+    benchmark(lambda: imdb_env.compiler.cardinality(query))

@@ -1,0 +1,70 @@
+"""Figures 1 and 7: generalisation to unseen join sizes.
+
+MCSN is trained on queries with at most three tables (the paper's
+training regime: more joins make workload labelling too expensive).
+DeepDB never sees a workload.  The figure plots median q-errors per join
+size (4/5/6 tables, Figure 1) and per (join size, predicate count) cell
+(Figure 7): the workload-driven model degrades by orders of magnitude on
+unseen shapes while the data-driven model stays flat.
+"""
+
+import numpy as np
+
+from repro.datasets import workloads
+from repro.evaluation.metrics import q_error
+from repro.evaluation.report import Report
+
+
+def test_figure7_generalization(benchmark, imdb_env):
+    queries = workloads.generalisation_workload(imdb_env.database, n_queries=200)
+    truths = [imdb_env.executor.cardinality(q.query) for q in queries]
+    mcsn = imdb_env.mcsn
+
+    per_join = {}
+    per_cell = {}
+    for named, truth in zip(queries, truths):
+        n_tables = len(named.query.tables)
+        n_predicates = min(len(named.query.predicates), 5)
+        deepdb_error = q_error(truth, imdb_env.compiler.cardinality(named.query))
+        mcsn_error = q_error(truth, mcsn.predict(named.query))
+        per_join.setdefault(n_tables, ([], []))
+        per_join[n_tables][0].append(deepdb_error)
+        per_join[n_tables][1].append(mcsn_error)
+        per_cell.setdefault((n_tables, n_predicates), ([], []))
+        per_cell[(n_tables, n_predicates)][0].append(deepdb_error)
+        per_cell[(n_tables, n_predicates)][1].append(mcsn_error)
+
+    figure1 = Report(
+        "Figure 1: median q-error per join size",
+        ["tables", "MCSN", "DeepDB (ours)"],
+    )
+    for n_tables in sorted(per_join):
+        deepdb_errors, mcsn_errors = per_join[n_tables]
+        figure1.add(
+            n_tables, float(np.median(mcsn_errors)), float(np.median(deepdb_errors))
+        )
+    figure1.print()
+
+    figure7 = Report(
+        "Figure 7: median q-error per (tables, predicates)",
+        ["tables-predicates", "MCSN", "DeepDB (ours)"],
+    )
+    for key in sorted(per_cell):
+        deepdb_errors, mcsn_errors = per_cell[key]
+        figure7.add(
+            f"{key[0]}-{key[1]}",
+            float(np.median(mcsn_errors)),
+            float(np.median(deepdb_errors)),
+        )
+    figure7.print()
+
+    # Shape assertions: DeepDB wins overall and MCSN degrades with joins
+    # it has never seen.
+    deepdb_all = [e for pair in per_join.values() for e in pair[0]]
+    mcsn_all = [e for pair in per_join.values() for e in pair[1]]
+    assert np.median(deepdb_all) < np.median(mcsn_all)
+    largest = max(per_join)
+    assert np.median(per_join[largest][1]) > np.median(per_join[largest][0])
+
+    query = queries[0].query
+    benchmark(lambda: imdb_env.compiler.cardinality(query))

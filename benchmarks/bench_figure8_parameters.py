@@ -1,0 +1,120 @@
+"""Figure 8: q-error and training time for varying budget factors and
+RSPN sample sizes (the parameter exploration of Section 6.1).
+
+Left plot: budget factor 0 -> 3 (larger RSPNs are added; accuracy
+saturates early -- the paper reports saturation at B=0.5).
+Right plot: samples per RSPN (accuracy improves with sample size while
+training time grows).  A final row reports the paper's "cheap strategy"
+(single-table RSPNs only).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.datasets import workloads
+from repro.evaluation.metrics import percentiles, q_error
+from repro.evaluation.plots import series_chart
+from repro.evaluation.report import Report
+
+BUDGETS = (0.0, 0.5, 1.0, 3.0)
+SAMPLE_SIZES = (1_000, 5_000, 25_000, 75_000)
+
+
+def _median_qerror(database, executor, ensemble, queries, truths):
+    compiler = ProbabilisticQueryCompiler(ensemble)
+    errors = [
+        q_error(truth, compiler.cardinality(named.query))
+        for named, truth in zip(queries, truths)
+    ]
+    return percentiles(errors)["median"]
+
+
+def test_figure8_parameters(benchmark, imdb_env):
+    database = imdb_env.database
+    executor = imdb_env.executor
+    queries = workloads.parameter_workload(database, n_queries=100)
+    truths = [executor.cardinality(q.query) for q in queries]
+
+    budget_report = Report(
+        "Figure 8 (left): budget factor sweep",
+        ["budget", "median q-error", "training (s)", "rspns"],
+    )
+    budget_errors = {}
+    for budget in BUDGETS:
+        start = time.perf_counter()
+        ensemble = learn_ensemble(
+            database,
+            EnsembleConfig(
+                sample_size=20_000, budget_factor=budget, max_join_tables=3
+            ),
+        )
+        seconds = time.perf_counter() - start
+        median = _median_qerror(database, executor, ensemble, queries, truths)
+        budget_errors[budget] = median
+        budget_report.add(budget, median, seconds, len(ensemble.rspns))
+    budget_report.print()
+
+    sample_report = Report(
+        "Figure 8 (right): samples per RSPN sweep",
+        ["samples", "median q-error", "training (s)"],
+    )
+    sample_errors = {}
+    for sample_size in SAMPLE_SIZES:
+        start = time.perf_counter()
+        ensemble = learn_ensemble(
+            database, EnsembleConfig(sample_size=sample_size, budget_factor=0.0)
+        )
+        seconds = time.perf_counter() - start
+        median = _median_qerror(database, executor, ensemble, queries, truths)
+        sample_errors[sample_size] = median
+        sample_report.add(sample_size, median, seconds)
+    sample_report.print()
+
+    print()
+    print(series_chart(
+        "Figure 8 rendered: median q-error over the sweeps",
+        list(range(len(BUDGETS))),
+        {
+            "budget sweep (B=0..3)": [budget_errors[b] for b in BUDGETS],
+            "sample sweep (1k..75k)": [
+                sample_errors[s] for s in SAMPLE_SIZES
+            ],
+        },
+        x_label="sweep step",
+        y_label="median q-error",
+    ))
+
+    # Cheap strategy: single-table RSPNs only (five-minute ensemble of
+    # Section 6.1) -- still competitive at the tail.
+    start = time.perf_counter()
+    cheap = learn_ensemble(
+        database, EnsembleConfig(sample_size=20_000, single_tables_only=True)
+    )
+    cheap_seconds = time.perf_counter() - start
+    cheap_median = _median_qerror(database, executor, cheap, queries, truths)
+    cheap_report = Report(
+        "Section 6.1: single-table-only strategy", ["strategy", "median", "training (s)"]
+    )
+    cheap_report.add("single tables only", cheap_median, cheap_seconds)
+    cheap_report.print()
+
+    # Shapes: more budget never makes the median much worse; tiny samples
+    # are worse than large ones.
+    assert budget_errors[3.0] <= budget_errors[0.0] * 1.5
+    assert sample_errors[SAMPLE_SIZES[-1]] <= sample_errors[SAMPLE_SIZES[0]] * 1.2
+    assert cheap_median >= min(budget_errors.values()) * 0.8
+
+    config = EnsembleConfig(sample_size=5_000, budget_factor=0.0)
+    small = database.table("movie_info_idx")
+    from repro.core.ensemble import _single_table_learning_data
+    names, data, flags = _single_table_learning_data(database, "movie_info_idx", config)
+    from repro.core.rspn import RSPN
+
+    benchmark.pedantic(
+        lambda: RSPN.learn(data, names, flags, tables={"movie_info_idx"}),
+        iterations=1,
+        rounds=3,
+    )

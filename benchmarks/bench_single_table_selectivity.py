@@ -1,0 +1,139 @@
+"""Extension experiment: single-table selectivity estimator families.
+
+The paper's related work singles out two alternative families for
+single-table selectivity: probabilistic graphical models (Getoor et
+al. [5], Tzoumas et al. [35] -- represented here by a Chow-Liu tree BN)
+and lightweight workload-driven tree models with log-transformed labels
+(Dutt et al. [2] -- represented by gradient-boosted trees).  This bench
+pits them against DeepDB's RSPN and the Postgres-style estimator on the
+Flights table, twice:
+
+- **in-distribution**: test queries drawn like the GBM's training set,
+- **shifted**: point-heavy conjunctive queries the workload never saw.
+
+Expected shape: on its training distribution the GBM is competitive;
+under shift it degrades while the data-driven models (RSPN, BN) are
+unaffected -- the paper's core argument, reproduced at estimator scale.
+The BN beats Postgres on correlated conjunctions but trails the RSPN,
+which also captures row-cluster structure.
+"""
+
+import numpy as np
+
+from repro.baselines.bayesnet import ChowLiuEstimator
+from repro.baselines.lightweight_trees import LightweightSelectivityModel
+from repro.baselines.postgres_estimator import PostgresEstimator
+from repro.engine.query import Predicate, count_query
+from repro.evaluation.metrics import q_error
+from repro.evaluation.report import Report
+
+_NUMERIC = ("distance", "dep_delay", "taxi_out", "air_time", "arr_delay")
+
+
+def _range_workload(database, n_queries, seed, widths=(0.05, 0.3)):
+    """Conjunctive range queries over 1-3 numeric Flights columns."""
+    rng = np.random.default_rng(seed)
+    table = database.table("flights")
+    queries = []
+    while len(queries) < n_queries:
+        columns = rng.choice(_NUMERIC, size=rng.integers(1, 4), replace=False)
+        predicates = []
+        for column in columns:
+            values = table.columns[column]
+            finite = values[~np.isnan(values)]
+            span = finite.max() - finite.min()
+            width = span * rng.uniform(*widths)
+            low = rng.uniform(finite.min(), finite.max() - width)
+            predicates.append(Predicate("flights", column, ">=", float(low)))
+            predicates.append(
+                Predicate("flights", column, "<=", float(low + width))
+            )
+        queries.append(count_query(["flights"], predicates=predicates))
+    return queries
+
+
+def _shifted_workload(database, n_queries, seed):
+    """Point/equality-heavy queries: a shape absent from GBM training."""
+    rng = np.random.default_rng(seed)
+    table = database.table("flights")
+    queries = []
+    while len(queries) < n_queries:
+        carrier_values = table.distinct_values("unique_carrier", decoded=True)
+        predicates = [
+            Predicate(
+                "flights", "unique_carrier", "=",
+                carrier_values[int(rng.integers(len(carrier_values)))],
+            )
+        ]
+        column = str(rng.choice(_NUMERIC))
+        values = table.columns[column]
+        finite = values[~np.isnan(values)]
+        point = float(rng.choice(finite))
+        predicates.append(Predicate("flights", column, "<=", point))
+        queries.append(count_query(["flights"], predicates=predicates))
+    return queries
+
+
+def test_single_table_selectivity_families(benchmark, flights_env):
+    database = flights_env.database
+    executor = flights_env.executor
+
+    training = _range_workload(database, 500, seed=51)
+    training_labels = [executor.cardinality(q) for q in training]
+    gbm = LightweightSelectivityModel(database, "flights", n_trees=120)
+    gbm.fit(training, training_labels)
+
+    estimators = {
+        "DeepDB RSPN (ours)": flights_env.compiler,
+        "Chow-Liu BN": ChowLiuEstimator(database, seed=0),
+        "GBM (Dutt et al.)": gbm,
+        "Postgres": PostgresEstimator(database),
+    }
+
+    workloads_by_name = {
+        "in-distribution": _range_workload(database, 80, seed=53),
+        "shifted": _shifted_workload(database, 80, seed=55),
+    }
+
+    medians = {}
+    for workload_name, queries in workloads_by_name.items():
+        truths = [executor.cardinality(q) for q in queries]
+        report = Report(
+            f"Single-table selectivity, {workload_name} workload (q-errors)",
+            ["estimator", "median", "90th", "95th", "max"],
+        )
+        for name, estimator in estimators.items():
+            errors = [
+                q_error(truth, estimator.cardinality(query))
+                for query, truth in zip(queries, truths)
+                if truth > 0
+            ]
+            medians[(workload_name, name)] = float(np.median(errors))
+            report.add(
+                name,
+                float(np.median(errors)),
+                float(np.percentile(errors, 90)),
+                float(np.percentile(errors, 95)),
+                float(np.max(errors)),
+            )
+        report.print()
+
+    # Shape 1: data-driven estimates do not move under workload shift;
+    # the workload-driven GBM degrades.
+    gbm_shift = medians[("shifted", "GBM (Dutt et al.)")] / medians[
+        ("in-distribution", "GBM (Dutt et al.)")
+    ]
+    rspn_shift = medians[("shifted", "DeepDB RSPN (ours)")] / medians[
+        ("in-distribution", "DeepDB RSPN (ours)")
+    ]
+    assert gbm_shift > rspn_shift
+    # Shape 2: the RSPN is the best data-driven model on both workloads.
+    for workload_name in workloads_by_name:
+        assert (
+            medians[(workload_name, "DeepDB RSPN (ours)")]
+            <= medians[(workload_name, "Chow-Liu BN")] * 1.1
+        )
+
+    query = workloads_by_name["in-distribution"][0]
+    compiler = flights_env.compiler
+    benchmark(lambda: compiler.cardinality(query))

@@ -1,0 +1,63 @@
+"""Table 1: estimation errors for the JOB-light benchmark.
+
+Reproduces the paper's headline cardinality-estimation comparison:
+median / 90th / 95th / max q-errors of DeepDB against MCSN, Postgres,
+IBJS and random sampling on 70 JOB-light queries, plus the training-time
+comparison of Section 6.1 (DeepDB learns from data; MCSN must first
+execute a labelled workload).
+"""
+
+import numpy as np
+
+from repro.evaluation.metrics import percentiles, q_error
+from repro.evaluation.report import Report
+
+
+def test_table1_job_light(benchmark, imdb_env):
+    queries = imdb_env.job_light
+    truths = imdb_env.job_light_truth
+
+    systems = {"DeepDB (ours)": lambda q: imdb_env.compiler.cardinality(q)}
+    mcsn = imdb_env.mcsn
+    systems["MCSN"] = mcsn.predict
+    for name, estimator in imdb_env.baselines().items():
+        systems[name] = estimator.cardinality
+
+    report = Report(
+        "Table 1: q-errors on JOB-light", ["system", "median", "90th", "95th", "max"]
+    )
+    all_errors = {}
+    for name, estimate in systems.items():
+        errors = [
+            q_error(truth, estimate(named.query))
+            for named, truth in zip(queries, truths)
+        ]
+        all_errors[name] = errors
+        stats = percentiles(errors)
+        report.add(name, stats["median"], stats["90th"], stats["95th"], stats["max"])
+    report.print()
+
+    timing = Report(
+        "Table 1 (context): training cost", ["system", "preparation", "training (s)"]
+    )
+    timing.add("DeepDB (ours)", "data only", imdb_env.ensemble_seconds)
+    timing.add(
+        "MCSN",
+        f"label {imdb_env.mcsn_training_size}-query workload: "
+        f"{imdb_env.mcsn_label_seconds:.1f}s",
+        imdb_env.mcsn_seconds,
+    )
+    timing.print()
+
+    # The paper's headline: DeepDB beats every baseline at the tail.
+    deepdb = percentiles(all_errors["DeepDB (ours)"])
+    for name, errors in all_errors.items():
+        if name == "DeepDB (ours)":
+            continue
+        assert deepdb["95th"] <= percentiles(errors)["95th"] * 1.5, name
+    assert deepdb["median"] < 2.5
+
+    # Latency of a single DeepDB cardinality estimate (paper: micro- to
+    # milliseconds).
+    query = queries[0].query
+    benchmark(lambda: imdb_env.compiler.cardinality(query))

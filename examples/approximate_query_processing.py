@@ -1,0 +1,58 @@
+"""Interactive-speed AQP on the Flights data set (Section 6.2 scenario).
+
+Answers the paper's Flights queries (group-bys, low selectivities, a
+difference of SUM aggregates) with DeepDB and compares against the exact
+answers and a TABLESAMPLE baseline, including confidence intervals.
+
+Run with: ``python examples/approximate_query_processing.py``
+"""
+
+import time
+
+from repro import DeepDB
+from repro.baselines.tablesample import TableSample
+from repro.core.ensemble import EnsembleConfig
+from repro.datasets import flights, workloads
+from repro.engine.executor import Executor
+from repro.evaluation.metrics import average_relative_error
+from repro.evaluation.report import Report
+
+
+def main():
+    database = flights.generate(scale=0.2, seed=0)
+    executor = Executor(database)
+    deepdb = DeepDB.learn(database, EnsembleConfig(sample_size=25_000))
+    tablesample = TableSample(database, sample_rate=0.01)
+
+    report = Report(
+        "Flights AQP (cf. Figure 9)",
+        ["query", "TABLESAMPLE err %", "DeepDB err %", "DeepDB latency (ms)"],
+    )
+    for named in workloads.flights_queries(database):
+        if named.is_difference:
+            continue
+        truth = executor.execute(named.query)
+        ts_answer = tablesample.answer(named.query)
+        start = time.perf_counter()
+        deepdb_answer = deepdb.approximate(named.query)
+        latency = (time.perf_counter() - start) * 1_000
+        report.add(
+            named.name,
+            average_relative_error(truth, ts_answer) * 100,
+            average_relative_error(truth, deepdb_answer) * 100,
+            latency,
+        )
+    report.print()
+
+    sql = (
+        "SELECT AVG(arr_delay) FROM flights "
+        "WHERE flights.unique_carrier = 'CARRIER_02'"
+    )
+    value, (low, high) = deepdb.approximate_with_confidence(sql)
+    truth = executor.execute(deepdb.parse(sql))
+    print(f"\n{sql}")
+    print(f"  true {truth:.2f}; estimate {value:.2f}, 95% CI [{low:.2f}, {high:.2f}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Cardinality estimation for a query optimizer (Section 6.1 scenario).
+
+Compares DeepDB against the Postgres-style estimator and naive random
+sampling on a JOB-light style workload, printing per-query q-errors and
+the percentile summary of Table 1.
+
+Run with: ``python examples/cardinality_estimation.py``
+"""
+
+from repro import DeepDB
+from repro.baselines.postgres_estimator import PostgresEstimator
+from repro.baselines.sampling import RandomSamplingEstimator
+from repro.core.ensemble import EnsembleConfig
+from repro.datasets import imdb, workloads
+from repro.engine.executor import Executor
+from repro.evaluation.metrics import percentiles, q_error
+from repro.evaluation.report import Report
+
+
+def main():
+    database = imdb.generate(scale=0.05, seed=0)
+    executor = Executor(database)
+    queries = workloads.job_light(database)[:30]
+    truths = [executor.cardinality(q.query) for q in queries]
+
+    deepdb = DeepDB.learn(database, EnsembleConfig(sample_size=20_000))
+    postgres = PostgresEstimator(database)
+    sampling = RandomSamplingEstimator(database, sample_rows=1_000)
+
+    systems = {
+        "DeepDB (ours)": lambda q: deepdb.cardinality(q),
+        "Postgres": postgres.cardinality,
+        "Random Sampling": sampling.cardinality,
+    }
+
+    detail = Report(
+        "Per-query q-errors (first 10 queries)",
+        ["query", "true", *systems],
+    )
+    for named, truth in list(zip(queries, truths))[:10]:
+        row = [named.name, truth]
+        for estimate in systems.values():
+            row.append(q_error(truth, estimate(named.query)))
+        detail.add(*row)
+    detail.print()
+
+    summary = Report(
+        "Workload summary (cf. Table 1)", ["system", "median", "95th", "max"]
+    )
+    for name, estimate in systems.items():
+        errors = [
+            q_error(truth, estimate(named.query))
+            for named, truth in zip(queries, truths)
+        ]
+        stats = percentiles(errors)
+        summary.add(name, stats["median"], stats["95th"], stats["max"])
+    summary.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: learn a DeepDB model and run every task on it.
+
+Builds the synthetic IMDb database, learns an RSPN ensemble (the offline
+phase of Figure 2 of the paper), then uses the same model for:
+
+- cardinality estimation of a join query,
+- an approximate aggregate query with a confidence interval,
+- a direct update (insert) absorbed without retraining.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from repro import DeepDB
+from repro.core.ensemble import EnsembleConfig
+from repro.datasets import imdb
+from repro.engine.executor import Executor
+
+
+def main():
+    print("Generating synthetic IMDb (this is the paper's JOB-light schema)...")
+    database = imdb.generate(scale=0.05, seed=0)
+    print(f"  {database}")
+
+    print("\nLearning the RSPN ensemble (offline phase)...")
+    deepdb = DeepDB.learn(database, EnsembleConfig(sample_size=20_000))
+    print(deepdb.describe())
+
+    executor = Executor(database)
+
+    sql = (
+        "SELECT COUNT(*) FROM title t, cast_info ci "
+        "WHERE t.id = ci.movie_id AND t.production_year > 2005 "
+        "AND ci.role_id = 4"
+    )
+    query = deepdb.parse(sql)
+    estimate = deepdb.cardinality(query)
+    truth = executor.cardinality(query)
+    print("\nCardinality estimation")
+    print(f"  query     : {sql}")
+    print(f"  true      : {truth:,.0f}")
+    print(f"  estimated : {estimate:,.0f}  "
+          f"(q-error {max(truth, 1) / estimate if estimate < truth else estimate / max(truth, 1):.2f})")
+
+    sql = (
+        "SELECT AVG(t.production_year) FROM title t "
+        "WHERE t.kind_id = 0"
+    )
+    query = deepdb.parse(sql)
+    value, (low, high) = deepdb.approximate_with_confidence(query, confidence=0.95)
+    truth = executor.execute(query)
+    print("\nApproximate query processing")
+    print(f"  query     : {sql}")
+    print(f"  true      : {truth:.2f}")
+    print(f"  estimated : {value:.2f}  (95% CI [{low:.2f}, {high:.2f}])")
+
+    count_sql = "SELECT COUNT(*) FROM title WHERE title.production_year > 2015"
+    before = deepdb.cardinality(count_sql)
+    print("\nDirect updates (no retraining)")
+    print(f"  recent titles before inserts: {before:,.0f}")
+    for i in range(500):
+        deepdb.insert(
+            "title",
+            {"id": -1 - i, "kind_id": 0.0, "production_year": 2019, "season_nr": None},
+        )
+    after = deepdb.cardinality(count_sql)
+    print(f"  after inserting 500 new 2019 titles: {after:,.0f} (delta "
+          f"{after - before:+.0f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro -- reproduction of "DeepDB: Learn from Data, not from Queries!"
+(Hilprecht et al., VLDB 2020).
+
+The package implements the paper's full system: Relational Sum-Product
+Networks (RSPNs), ensemble learning over relational schemas,
+probabilistic query compilation for cardinality estimation, approximate
+query processing and ML tasks -- plus the relational substrate, every
+baseline of the evaluation, and synthetic dataset generators mirroring
+the paper's workloads.
+
+Quickstart::
+
+    from repro import DeepDB
+    from repro.datasets import imdb
+
+    database = imdb.generate(scale=0.2, seed=0)
+    deepdb = DeepDB.learn(database)
+    query = deepdb.parse("SELECT COUNT(*) FROM title WHERE "
+                         "title.production_year > 2005")
+    print(deepdb.cardinality(query))
+"""
+
+from repro.deepdb import DeepDB
+
+__version__ = "1.0.0"
+
+__all__ = ["DeepDB", "__version__"]

@@ -1,0 +1,47 @@
+"""Every comparator of the paper's evaluation, implemented from scratch.
+
+Cardinality estimation (Table 1, Figures 1/7):
+
+- :mod:`repro.baselines.mcsn` -- the learned multi-set convolutional
+  network of Kipf et al. (numpy deep-sets with manual backprop),
+- :mod:`repro.baselines.postgres_estimator` -- MCV + equi-depth
+  histograms with attribute independence and System-R join formulas,
+- :mod:`repro.baselines.ibjs` -- index-based join sampling,
+- :mod:`repro.baselines.sampling` -- naive per-table random sampling.
+
+AQP (Figures 9/10/12):
+
+- :mod:`repro.baselines.verdictdb` -- offline uniform scramble middleware,
+- :mod:`repro.baselines.wander_join` -- online aggregation via random
+  walks over join indexes,
+- :mod:`repro.baselines.tablesample` -- per-query Bernoulli sampling,
+- :mod:`repro.baselines.dbest` -- per-query-template density+regression
+  models (training-time comparison).
+
+ML tasks (Figure 13):
+
+- :mod:`repro.baselines.regression_tree` -- CART,
+- :mod:`repro.baselines.nn` -- a small MLP regressor (shared with MCSN).
+"""
+
+from repro.baselines.ibjs import IndexBasedJoinSampling
+from repro.baselines.mcsn import MCSN
+from repro.baselines.nn import MLPRegressor
+from repro.baselines.postgres_estimator import PostgresEstimator
+from repro.baselines.regression_tree import RegressionTree
+from repro.baselines.sampling import RandomSamplingEstimator
+from repro.baselines.tablesample import TableSample
+from repro.baselines.verdictdb import VerdictDBStyle
+from repro.baselines.wander_join import WanderJoin
+
+__all__ = [
+    "IndexBasedJoinSampling",
+    "MCSN",
+    "MLPRegressor",
+    "PostgresEstimator",
+    "RandomSamplingEstimator",
+    "RegressionTree",
+    "TableSample",
+    "VerdictDBStyle",
+    "WanderJoin",
+]

@@ -1,0 +1,254 @@
+"""Chow-Liu tree Bayesian network selectivity estimator.
+
+The probabilistic-graphical-model family of selectivity estimators the
+paper cites as related work (Getoor et al. [5], Tzoumas et al. [35]):
+per table, a tree-shaped Bayesian network is learned by
+
+1. discretising every non-key column (NULL is its own category, numeric
+   columns get equi-depth bins),
+2. measuring pairwise mutual information on a sample,
+3. taking the maximum spanning tree (Chow-Liu, 1968) and fitting
+   Laplace-smoothed conditional probability tables along it.
+
+Selectivities of conjunctive predicates are computed *exactly* on the
+tree by upward message passing, so correlations between attributes of
+the same table are captured -- unlike the Postgres baseline -- while
+joins still fall back to the System-R uniformity formulas, the
+limitation the paper's cross-table correlations expose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ranges import Range
+
+_SMOOTHING = 0.1
+
+
+class _DiscretisedColumn:
+    """A column mapped to category codes 0..k-1 (NULL = code k-1)."""
+
+    def __init__(self, values, is_categorical, n_bins):
+        finite = values[~np.isnan(values)]
+        if is_categorical or np.unique(finite).shape[0] <= n_bins:
+            self.kind = "exact"
+            self.levels = np.unique(finite)
+            self.edges = None
+            base = np.searchsorted(self.levels, values)
+            base = np.clip(base, 0, max(self.levels.shape[0] - 1, 0))
+        else:
+            self.kind = "binned"
+            quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+            self.edges = np.unique(np.quantile(finite, quantiles))
+            self.levels = None
+            base = np.clip(
+                np.searchsorted(self.edges, values, side="right") - 1,
+                0,
+                self.edges.shape[0] - 2,
+            )
+        self.null_code = (
+            self.levels.shape[0] if self.kind == "exact" else self.edges.shape[0] - 1
+        )
+        self.n_codes = self.null_code + 1
+        self.codes = np.where(np.isnan(values), self.null_code, base).astype(int)
+
+    def codes_for_range(self, rng: Range):
+        """(codes, weights): categories overlapping the range with the
+        covered fraction of each (1.0 except partially-covered bins)."""
+        codes, weights = [], []
+        if self.kind == "exact":
+            for i, level in enumerate(self.levels):
+                if any(interval.contains(level) for interval in rng.intervals):
+                    codes.append(i)
+                    weights.append(1.0)
+        else:
+            low, high = self.edges[:-1], self.edges[1:]
+            for interval in rng.intervals:
+                for b in range(low.shape[0]):
+                    width = high[b] - low[b]
+                    if interval.is_point():
+                        if low[b] <= interval.low <= high[b]:
+                            codes.append(b)
+                            weights.append(0.05 if width > 0 else 1.0)
+                        continue
+                    left = max(interval.low, low[b])
+                    right = min(interval.high, high[b])
+                    if right < left:
+                        continue
+                    fraction = (right - left) / width if width > 0 else 1.0
+                    if fraction > 0:
+                        codes.append(b)
+                        weights.append(min(float(fraction), 1.0))
+        if rng.include_null:
+            codes.append(self.null_code)
+            weights.append(1.0)
+        merged = {}
+        for code, weight in zip(codes, weights):
+            merged[code] = max(merged.get(code, 0.0), weight)
+        return merged
+
+
+def _mutual_information(codes_a, codes_b, n_a, n_b):
+    joint = np.zeros((n_a, n_b))
+    np.add.at(joint, (codes_a, codes_b), 1.0)
+    joint /= max(codes_a.shape[0], 1)
+    pa = joint.sum(axis=1, keepdims=True)
+    pb = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(joint > 0, joint / (pa * pb), 1.0)
+        terms = np.where(joint > 0, joint * np.log(ratio), 0.0)
+    return float(terms.sum())
+
+
+class _TableNetwork:
+    """Chow-Liu tree over one table's non-key attributes."""
+
+    def __init__(self, table, n_bins, sample, rng):
+        self.table = table
+        names = [a.name for a in table.schema.non_key_attributes
+                 if not a.name.startswith("F__")]
+        self.columns = {}
+        rows = np.arange(table.n_rows)
+        if table.n_rows > sample:
+            rows = rng.choice(table.n_rows, size=sample, replace=False)
+        for name in names:
+            attr = table.schema.attribute(name)
+            self.columns[name] = _DiscretisedColumn(
+                table.columns[name][rows], attr.kind == "categorical", n_bins
+            )
+        self.parent = {}
+        self.cpt = {}
+        self.prior = {}
+        self._fit(names)
+
+    def _fit(self, names):
+        import networkx as nx
+
+        if not names:
+            return
+        graph = nx.Graph()
+        graph.add_nodes_from(names)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                mi = _mutual_information(
+                    self.columns[a].codes,
+                    self.columns[b].codes,
+                    self.columns[a].n_codes,
+                    self.columns[b].n_codes,
+                )
+                graph.add_edge(a, b, weight=-mi)
+        tree = nx.minimum_spanning_tree(graph)
+        root = names[0]
+        self.prior[root] = self._marginal(root)
+        for near, far in nx.bfs_edges(tree, root):
+            self.parent[far] = near
+            self.cpt[far] = self._conditional(far, near)
+        self.root = root
+        self.children = {}
+        for child, parent in self.parent.items():
+            self.children.setdefault(parent, []).append(child)
+
+    def _marginal(self, name):
+        column = self.columns[name]
+        counts = np.bincount(column.codes, minlength=column.n_codes).astype(float)
+        counts += _SMOOTHING
+        return counts / counts.sum()
+
+    def _conditional(self, child, parent):
+        c, p = self.columns[child], self.columns[parent]
+        joint = np.full((p.n_codes, c.n_codes), _SMOOTHING)
+        np.add.at(joint, (p.codes, c.codes), 1.0)
+        return joint / joint.sum(axis=1, keepdims=True)
+
+    def selectivity(self, ranges: dict):
+        """P(all attributes fall in their ranges), exact on the tree.
+
+        ``ranges`` maps column names to :class:`Range`; unconstrained
+        columns are marginalised out by the message passing.
+        """
+        if not self.prior:
+            return 1.0
+        indicators = {}
+        for name, rng in ranges.items():
+            merged = self.columns[name].codes_for_range(rng)
+            indicator = np.zeros(self.columns[name].n_codes)
+            for code, weight in merged.items():
+                indicator[code] = weight
+            indicators[name] = indicator
+
+        def message(node):
+            """Vector over the node's codes: P(evidence below | node)."""
+            vector = indicators.get(
+                node, np.ones(self.columns[node].n_codes)
+            ).copy()
+            for child in self.children.get(node, []):
+                vector *= self.cpt[child] @ message(child)
+            return vector
+
+        return float(np.dot(self.prior[self.root], message(self.root)))
+
+
+class ChowLiuEstimator:
+    """Per-table Chow-Liu BNs + System-R join formulas.
+
+    Exposes the estimator interface shared by every cardinality
+    baseline: ``cardinality(query) -> float``.
+    """
+
+    def __init__(self, database, n_bins=32, sample=20_000, seed=0):
+        self.database = database
+        rng = np.random.default_rng(seed)
+        self.networks = {
+            name: _TableNetwork(table, n_bins, sample, rng)
+            for name, table in database.tables.items()
+        }
+
+    def selectivity(self, table_name, predicates):
+        """Joint selectivity of conjunctive predicates on one table."""
+        table = self.database.table(table_name)
+        ranges = {}
+        for predicate in predicates:
+            rng = self._predicate_range(table, predicate)
+            existing = ranges.get(predicate.column)
+            ranges[predicate.column] = (
+                rng if existing is None else existing.intersect(rng)
+            )
+        return self.networks[table_name].selectivity(ranges)
+
+    @staticmethod
+    def _predicate_range(table, predicate):
+        op, value = predicate.op, predicate.value
+        if op in ("IS NULL", "IS NOT NULL"):
+            return Range.from_operator(op, None)
+        if op == "IN":
+            encoded = [table.encode_value(predicate.column, v) for v in value]
+            return Range.from_operator(op, encoded)
+        if op == "BETWEEN":
+            low = table.encode_value(predicate.column, value[0])
+            high = table.encode_value(predicate.column, value[1])
+            return Range.from_operator(op, (low, high))
+        return Range.from_operator(op, table.encode_value(predicate.column, value))
+
+    def _column_distinct(self, table_name, column):
+        table = self.database.table(table_name)
+        values = table.columns[column]
+        return max(np.unique(values[~np.isnan(values)]).shape[0], 1)
+
+    def cardinality(self, query):
+        """Estimated inner-join cardinality (clamped to >= 1)."""
+        if query.has_disjunctions:
+            from repro.core.disjunction import cardinality_via_expansion
+
+            return cardinality_via_expansion(self, query)
+        estimate = 1.0
+        for name in query.tables:
+            table = self.database.table(name)
+            estimate *= max(table.n_rows, 1) * self.selectivity(
+                name, query.predicates_on(name)
+            )
+        for fk in self.database.schema.edges_between(query.tables):
+            nd_parent = self._column_distinct(fk.parent, fk.pk_column)
+            nd_child = self._column_distinct(fk.child, fk.fk_column)
+            estimate /= max(nd_parent, nd_child, 1)
+        return max(estimate, 1.0)

@@ -1,0 +1,194 @@
+"""MCSN: the multi-set convolutional network of Kipf et al. (CIDR 2019).
+
+The paper's main *workload-driven* competitor for cardinality
+estimation.  A query is featurised as three sets -- tables, joins and
+predicates -- each processed by a per-element MLP, mean-pooled,
+concatenated and passed through an output MLP predicting the normalised
+log-cardinality.  Training requires executing a workload to label the
+queries with true cardinalities, which is exactly the cost (and the
+generalisation trap: training covers at most three-table joins) that
+DeepDB avoids.
+
+Implemented with the numpy layers of :mod:`repro.baselines.nn` and
+manual backprop through the mean pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.nn import MLP, Adam
+
+_OPS = ("=", "<>", "<", "<=", ">", ">=", "IN")
+
+
+class _QueryFeaturizer:
+    """Fixed-width one-hot featurisation of queries over one schema."""
+
+    def __init__(self, database):
+        self.database = database
+        schema = database.schema
+        self.table_index = {name: i for i, name in enumerate(schema.tables)}
+        self.join_index = {fk.name: i for i, fk in enumerate(schema.foreign_keys)}
+        self.column_index = {}
+        self.column_bounds = {}
+        for name, table in database.tables.items():
+            for attr in table.schema.non_key_attributes:
+                if attr.name.startswith("F__"):
+                    continue
+                qualified = f"{name}.{attr.name}"
+                self.column_index[qualified] = len(self.column_index)
+                values = table.columns[attr.name]
+                finite = values[~np.isnan(values)]
+                low = float(finite.min()) if finite.size else 0.0
+                high = float(finite.max()) if finite.size else 1.0
+                self.column_bounds[qualified] = (low, max(high, low + 1.0))
+        self.op_index = {op: i for i, op in enumerate(_OPS)}
+        self.table_width = len(self.table_index)
+        self.join_width = max(len(self.join_index), 1)
+        self.predicate_width = len(self.column_index) + len(_OPS) + 1
+
+    def _normalise(self, qualified, encoded):
+        low, high = self.column_bounds[qualified]
+        return (float(encoded) - low) / (high - low)
+
+    def featurise(self, query):
+        """(table set, join set, predicate set) as 2-D arrays."""
+        tables = np.zeros((len(query.tables), self.table_width))
+        for i, name in enumerate(query.tables):
+            tables[i, self.table_index[name]] = 1.0
+        edges = self.database.schema.edges_between(query.tables)
+        joins = np.zeros((max(len(edges), 1), self.join_width))
+        for i, fk in enumerate(edges):
+            joins[i, self.join_index[fk.name]] = 1.0
+        rows = []
+        for predicate in query.predicates:
+            rows.extend(self._predicate_rows(predicate))
+        if not rows:
+            rows = [np.zeros(self.predicate_width)]
+        return tables, joins, np.vstack(rows)
+
+    def _predicate_rows(self, predicate):
+        qualified = predicate.qualified_column
+        table = self.database.table(predicate.table)
+        if predicate.op == "BETWEEN":
+            low = type(predicate)(predicate.table, predicate.column, ">=", predicate.value[0])
+            high = type(predicate)(predicate.table, predicate.column, "<=", predicate.value[1])
+            return self._predicate_rows(low) + self._predicate_rows(high)
+        if predicate.op in ("IS NULL", "IS NOT NULL"):
+            return []
+        row = np.zeros(self.predicate_width)
+        row[self.column_index[qualified]] = 1.0
+        row[len(self.column_index) + self.op_index[predicate.op]] = 1.0
+        if predicate.op == "IN":
+            encoded = [
+                table.encode_value(predicate.column, v)
+                for v in predicate.value
+            ]
+            encoded = [e for e in encoded if e is not None]
+            value = float(np.mean(encoded)) if encoded else 0.0
+        else:
+            encoded = table.encode_value(predicate.column, predicate.value)
+            value = float(encoded) if encoded is not None else 0.0
+        row[-1] = self._normalise(qualified, value)
+        return [row]
+
+
+class _SetModule:
+    """Per-element MLP + mean pooling, with backprop through the pool."""
+
+    def __init__(self, n_in, hidden, rng):
+        self.mlp = MLP([n_in, hidden, hidden], rng, final_relu=True)
+        self._n_elements = None
+
+    def forward(self, elements):
+        self._n_elements = elements.shape[0]
+        hidden = self.mlp.forward(elements)
+        return hidden.mean(axis=0, keepdims=True)
+
+    def backward(self, grad_pooled):
+        grad = np.repeat(grad_pooled, self._n_elements, axis=0) / self._n_elements
+        self.mlp.backward(grad)
+
+    @property
+    def layers(self):
+        return self.mlp.layers
+
+
+class MCSN:
+    """Multi-set convolutional network cardinality estimator."""
+
+    def __init__(self, database, hidden=64, epochs=40, lr=1e-3, seed=0):
+        self.featurizer = _QueryFeaturizer(database)
+        rng = np.random.default_rng(seed)
+        self.table_module = _SetModule(self.featurizer.table_width, hidden, rng)
+        self.join_module = _SetModule(self.featurizer.join_width, hidden, rng)
+        self.predicate_module = _SetModule(self.featurizer.predicate_width, hidden, rng)
+        self.output = MLP([3 * hidden, hidden, 1], rng)
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self._log_min = 0.0
+        self._log_max = 1.0
+        self.hidden = hidden
+
+    # -- forward/backward over one query ---------------------------------
+    def _forward(self, featurised):
+        tables, joins, predicates = featurised
+        pooled = np.concatenate(
+            [
+                self.table_module.forward(tables),
+                self.join_module.forward(joins),
+                self.predicate_module.forward(predicates),
+            ],
+            axis=1,
+        )
+        return float(self.output.forward(pooled)[0, 0])
+
+    def _backward(self, grad_scalar):
+        grad = self.output.backward(np.array([[grad_scalar]]))
+        h = self.hidden
+        self.table_module.backward(grad[:, :h])
+        self.join_module.backward(grad[:, h : 2 * h])
+        self.predicate_module.backward(grad[:, 2 * h :])
+
+    # -- training ----------------------------------------------------------
+    def fit(self, queries, cardinalities):
+        """Train on (query, true cardinality) pairs.
+
+        Targets are min-max normalised log cardinalities, the scheme of
+        the original MCSN; predictions outside the trained range simply
+        saturate -- the generalisation failure the paper's Figure 1 shows.
+        """
+        featurised = [self.featurizer.featurise(q) for q in queries]
+        logs = np.log(np.maximum(np.asarray(cardinalities, dtype=float), 1.0))
+        self._log_min = float(logs.min())
+        self._log_max = float(max(logs.max(), self._log_min + 1e-6))
+        targets = (logs - self._log_min) / (self._log_max - self._log_min)
+        layers = (
+            self.table_module.layers
+            + self.join_module.layers
+            + self.predicate_module.layers
+            + self.output.layers
+        )
+        optimizer = Adam(layers, lr=self.lr)
+        rng = np.random.default_rng(self.seed)
+        n = len(featurised)
+        for _epoch in range(self.epochs):
+            for i in rng.permutation(n):
+                prediction = self._forward(featurised[i])
+                grad = 2.0 * (prediction - targets[i])
+                self._backward(grad)
+                optimizer.step()
+        return self
+
+    def predict(self, query):
+        """Estimated cardinality (clamped to >= 1)."""
+        if query.has_disjunctions:
+            raise ValueError(
+                "MCSN's featurisation cannot represent OR predicates; "
+                "expand the query first (repro.core.disjunction)"
+            )
+        normalised = self._forward(self.featurizer.featurise(query))
+        log_card = normalised * (self._log_max - self._log_min) + self._log_min
+        return float(max(np.exp(log_card), 1.0))

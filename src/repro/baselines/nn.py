@@ -1,0 +1,149 @@
+"""A small feed-forward neural network in numpy (manual backprop, Adam).
+
+Serves two roles in the reproduction: the generic MLP regressor baseline
+of the ML experiment (Figure 13) and the building block of the MCSN
+cardinality model (the paper's main learned competitor).  No GPU and no
+autograd are available offline, so forward and backward passes are
+written out explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Dense:
+    """Fully connected layer with optional ReLU."""
+
+    def __init__(self, n_in, n_out, rng, relu=True):
+        limit = np.sqrt(6.0 / (n_in + n_out))
+        self.weight = rng.uniform(-limit, limit, size=(n_in, n_out))
+        self.bias = np.zeros(n_out)
+        self.relu = relu
+        self._x = None
+        self._pre = None
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    def forward(self, x):
+        self._x = x
+        pre = x @ self.weight + self.bias
+        self._pre = pre
+        return np.maximum(pre, 0.0) if self.relu else pre
+
+    def backward(self, grad_out):
+        if self.relu:
+            grad_out = grad_out * (self._pre > 0)
+        self.grad_weight = self._x.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def parameters(self):
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class Adam:
+    """Adam optimizer over (parameter, gradient) pairs."""
+
+    def __init__(self, layers, lr=1e-3, beta1=0.9, beta2=0.999, eps=1e-8):
+        self.layers = layers
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self._m = None
+        self._v = None
+
+    def step(self):
+        params = [p for layer in self.layers for p in layer.parameters()]
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p, _g in params]
+            self._v = [np.zeros_like(p) for p, _g in params]
+        self.t += 1
+        for i, (param, grad) in enumerate(params):
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[i] / (1 - self.beta1**self.t)
+            v_hat = self._v[i] / (1 - self.beta2**self.t)
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class MLP:
+    """Plain multilayer perceptron core (no normalisation)."""
+
+    def __init__(self, layer_sizes, rng, final_relu=False):
+        self.layers = []
+        for i in range(len(layer_sizes) - 1):
+            last = i == len(layer_sizes) - 2
+            self.layers.append(
+                Dense(
+                    layer_sizes[i],
+                    layer_sizes[i + 1],
+                    rng,
+                    relu=(not last) or final_relu,
+                )
+            )
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad):
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+
+class MLPRegressor:
+    """MLP regression with z-scored inputs/targets and Adam + MSE.
+
+    The Figure-13 baseline: a straightforward neural network trained on
+    the same feature matrix the other regressors see.
+    """
+
+    def __init__(self, hidden=(64, 64), epochs=30, batch_size=256, lr=1e-3, seed=0):
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self._net = None
+        self._x_mean = self._x_scale = None
+        self._y_mean = self._y_scale = None
+
+    def fit(self, features, targets):
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).reshape(-1, 1)
+        with np.errstate(all="ignore"):
+            impute = np.nanmean(features, axis=0)
+        self._impute = np.where(np.isnan(impute), 0.0, impute)
+        features = np.where(np.isnan(features), self._impute, features)
+        self._x_mean = features.mean(axis=0)
+        self._x_scale = features.std(axis=0)
+        self._x_scale[self._x_scale == 0] = 1.0
+        self._y_mean = targets.mean()
+        self._y_scale = targets.std() or 1.0
+        x = (features - self._x_mean) / self._x_scale
+        y = (targets - self._y_mean) / self._y_scale
+        rng = np.random.default_rng(self.seed)
+        self._net = MLP([x.shape[1], *self.hidden, 1], rng)
+        optimizer = Adam(self._net.layers, lr=self.lr)
+        n = x.shape[0]
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                prediction = self._net.forward(x[batch])
+                grad = 2.0 * (prediction - y[batch]) / batch.shape[0]
+                self._net.backward(grad)
+                optimizer.step()
+        return self
+
+    def predict(self, features):
+        features = np.asarray(features, dtype=float)
+        features = np.where(np.isnan(features), self._impute, features)
+        x = (features - self._x_mean) / self._x_scale
+        prediction = self._net.forward(x)
+        return (prediction * self._y_scale + self._y_mean).ravel()

@@ -1,0 +1,152 @@
+"""Postgres-style cardinality estimation (the non-learned baseline).
+
+Reimplements the documented behaviour of the PostgreSQL planner's
+selectivity machinery at the level the paper compares against:
+
+- per-column statistics: NULL fraction, number of distinct values, the
+  most-common-value (MCV) list with frequencies, and an equi-depth
+  histogram over the remaining values;
+- predicate selectivities from MCVs/histograms, conjunctions multiplied
+  under the *attribute independence assumption*;
+- FK equi-join selectivity ``1 / max(nd(lhs), nd(rhs))`` (System-R),
+  multiplied across the join tree under join-predicate independence.
+
+The independence assumptions are precisely what the paper's correlated
+data breaks, producing the large tail errors of Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_EQ_SELECTIVITY = 0.005
+_DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+class _ColumnStats:
+    def __init__(self, values, n_mcv=100, n_histogram=100):
+        not_null = values[~np.isnan(values)]
+        total = values.shape[0]
+        self.null_frac = 1.0 - not_null.shape[0] / total if total else 0.0
+        uniques, counts = np.unique(not_null, return_counts=True)
+        self.n_distinct = max(uniques.shape[0], 1)
+        order = np.argsort(counts)[::-1][:n_mcv]
+        self.mcv_values = uniques[order]
+        self.mcv_freqs = counts[order] / max(total, 1)
+        self.mcv_frac = float(self.mcv_freqs.sum())
+        mcv_set = set(self.mcv_values.tolist())
+        rest = not_null[~np.isin(not_null, self.mcv_values)]
+        if rest.size >= 2:
+            quantiles = np.linspace(0.0, 1.0, n_histogram + 1)
+            self.histogram = np.quantile(rest, quantiles)
+        else:
+            self.histogram = None
+        self.rest_frac = max(1.0 - self.mcv_frac - self.null_frac, 0.0)
+        self.n_rest_distinct = max(self.n_distinct - len(mcv_set), 1)
+
+    # -- selectivities --------------------------------------------------
+    def equals(self, value):
+        if value is None:
+            return 0.0
+        hit = np.flatnonzero(self.mcv_values == value)
+        if hit.size:
+            return float(self.mcv_freqs[hit[0]])
+        return self.rest_frac / self.n_rest_distinct
+
+    def in_list(self, values):
+        return float(min(sum(self.equals(v) for v in values), 1.0))
+
+    def range(self, low, high, low_inclusive=True, high_inclusive=True):
+        mcv_mass = 0.0
+        for value, freq in zip(self.mcv_values, self.mcv_freqs):
+            above = value > low or (low_inclusive and value == low)
+            below = value < high or (high_inclusive and value == high)
+            if above and below:
+                mcv_mass += freq
+        if self.histogram is None:
+            return float(min(mcv_mass + self.rest_frac * _DEFAULT_RANGE_SELECTIVITY, 1.0))
+        bounds = self.histogram
+        position_low = np.searchsorted(bounds, low, side="left")
+        position_high = np.searchsorted(bounds, high, side="right")
+        fraction = (position_high - position_low) / max(bounds.shape[0] - 1, 1)
+        fraction = float(np.clip(fraction, 0.0, 1.0))
+        return float(min(mcv_mass + self.rest_frac * fraction, 1.0))
+
+
+class PostgresEstimator:
+    """Cardinality estimator with per-column stats and independence."""
+
+    def __init__(self, database, n_mcv=100, n_histogram=100, seed=0):
+        self.database = database
+        self.stats = {}
+        for name, table in database.tables.items():
+            for attr in table.schema.non_key_attributes:
+                self.stats[(name, attr.name)] = _ColumnStats(
+                    table.columns[attr.name], n_mcv, n_histogram
+                )
+            if table.schema.primary_key:
+                pk = table.schema.primary_key
+                self.stats[(name, pk)] = None  # keys: nd == n_rows
+
+    def _column_distinct(self, table_name, column):
+        table = self.database.table(table_name)
+        if column == table.schema.primary_key:
+            return max(table.n_rows, 1)
+        stats = self.stats.get((table_name, column))
+        if stats is None:
+            values = table.columns[column]
+            return max(np.unique(values[~np.isnan(values)]).shape[0], 1)
+        return stats.n_distinct
+
+    def _predicate_selectivity(self, predicate):
+        table = self.database.table(predicate.table)
+        stats = self.stats.get((predicate.table, predicate.column))
+        if stats is None:
+            stats = _ColumnStats(table.columns[predicate.column])
+        op = predicate.op
+        if op == "IS NULL":
+            return stats.null_frac
+        if op == "IS NOT NULL":
+            return 1.0 - stats.null_frac
+        if op == "IN":
+            encoded = [
+                table.encode_value(predicate.column, v) for v in predicate.value
+            ]
+            return stats.in_list([e for e in encoded if e is not None])
+        if op == "BETWEEN":
+            low = table.encode_value(predicate.column, predicate.value[0])
+            high = table.encode_value(predicate.column, predicate.value[1])
+            if low is None or high is None:
+                return 0.0
+            return stats.range(low, high)
+        encoded = table.encode_value(predicate.column, predicate.value)
+        if op == "=":
+            return stats.equals(encoded)
+        if op == "<>":
+            return max(1.0 - stats.null_frac - stats.equals(encoded), 0.0)
+        if encoded is None:
+            return _DEFAULT_EQ_SELECTIVITY
+        if op in ("<", "<="):
+            return stats.range(-np.inf, encoded, high_inclusive=op == "<=")
+        if op in (">", ">="):
+            return stats.range(encoded, np.inf, low_inclusive=op == ">=")
+        raise ValueError(f"unsupported operator {op!r}")
+
+    def cardinality(self, query):
+        """Estimated inner-join cardinality (clamped to >= 1)."""
+        if query.has_disjunctions:
+            from repro.core.disjunction import cardinality_via_expansion
+
+            return cardinality_via_expansion(self, query)
+        estimate = 1.0
+        for name in query.tables:
+            table = self.database.table(name)
+            selectivity = 1.0
+            for predicate in query.predicates_on(name):
+                selectivity *= self._predicate_selectivity(predicate)
+            estimate *= max(table.n_rows, 1) * selectivity
+        for fk in self.database.schema.edges_between(query.tables):
+            nd_parent = self._column_distinct(fk.parent, fk.pk_column)
+            nd_child = self._column_distinct(fk.child, fk.fk_column)
+            estimate /= max(nd_parent, nd_child, 1)
+        return max(estimate, 1.0)

@@ -1,0 +1,122 @@
+"""CART regression tree (variance-reduction splits) in numpy.
+
+The "Regression Tree" baseline of the ML experiment (Figure 13).
+Standard binary tree: at each node the (feature, threshold) pair
+maximising the reduction in squared error is chosen via a cumulative
+sum scan over sorted feature values; leaves predict their mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.value = value
+
+
+class RegressionTree:
+    """CART with mean-squared-error criterion."""
+
+    def __init__(self, max_depth=10, min_samples_leaf=20, max_thresholds=64):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self._root = None
+
+    def fit(self, features, targets):
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        features = np.where(np.isnan(features), 0.0, features)
+        self._root = self._build(features, targets, depth=0)
+        return self
+
+    def _build(self, features, targets, depth):
+        node = _Node(float(targets.mean()) if targets.size else 0.0)
+        if (
+            depth >= self.max_depth
+            or targets.shape[0] < 2 * self.min_samples_leaf
+            or np.all(targets == targets[0])
+        ):
+            return node
+        best = self._best_split(features, targets)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = features[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(features[mask], targets[mask], depth + 1)
+        node.right = self._build(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _best_split(self, features, targets):
+        n, d = features.shape
+        base_error = float(((targets - targets.mean()) ** 2).sum())
+        best_gain = 1e-12
+        best = None
+        for feature in range(d):
+            column = features[:, feature]
+            order = np.argsort(column, kind="mergesort")
+            sorted_values = column[order]
+            sorted_targets = targets[order]
+            prefix_sum = np.cumsum(sorted_targets)
+            prefix_sq = np.cumsum(sorted_targets**2)
+            total_sum = prefix_sum[-1]
+            total_sq = prefix_sq[-1]
+            # candidate split positions: value boundaries respecting leaf size
+            boundaries = np.flatnonzero(sorted_values[1:] != sorted_values[:-1]) + 1
+            boundaries = boundaries[
+                (boundaries >= self.min_samples_leaf)
+                & (boundaries <= n - self.min_samples_leaf)
+            ]
+            if boundaries.size == 0:
+                continue
+            if boundaries.size > self.max_thresholds:
+                picks = np.linspace(0, boundaries.size - 1, self.max_thresholds)
+                boundaries = boundaries[picks.astype(int)]
+            left_n = boundaries.astype(float)
+            left_sum = prefix_sum[boundaries - 1]
+            left_sq = prefix_sq[boundaries - 1]
+            right_n = n - left_n
+            right_sum = total_sum - left_sum
+            right_sq = total_sq - left_sq
+            left_error = left_sq - left_sum**2 / left_n
+            right_error = right_sq - right_sum**2 / right_n
+            gains = base_error - (left_error + right_error)
+            index = int(np.argmax(gains))
+            if gains[index] > best_gain:
+                best_gain = float(gains[index])
+                split_position = boundaries[index]
+                best = (feature, float(sorted_values[split_position - 1]))
+        return best
+
+    def predict(self, features):
+        features = np.asarray(features, dtype=float)
+        features = np.where(np.isnan(features), 0.0, features)
+        out = np.empty(features.shape[0])
+        for i in range(features.shape[0]):
+            node = self._root
+            while node.feature is not None:
+                node = (
+                    node.left
+                    if features[i, node.feature] <= node.threshold
+                    else node.right
+                )
+            out[i] = node.value
+        return out
+
+    def depth(self):
+        def _depth(node):
+            if node is None or node.feature is None:
+                return 1
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)

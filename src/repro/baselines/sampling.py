@@ -1,0 +1,43 @@
+"""Naive random-sampling cardinality estimation.
+
+Draws an independent Bernoulli sample from every base table of the
+query, executes the query exactly on the samples and scales the count by
+the inverse sampling rates.  Unbiased, but the variance explodes for
+selective predicates and multi-way joins (most samples find no join
+partner), which is exactly the failure mode behind the 49187 maximum
+q-error the paper reports for random sampling in Table 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.executor import Executor
+from repro.engine.query import Query
+from repro.engine.table import Database
+
+
+class RandomSamplingEstimator:
+    """Per-query independent table samples of ``sample_rows`` rows each."""
+
+    def __init__(self, database, sample_rows=1_000, seed=0):
+        self.database = database
+        self.sample_rows = sample_rows
+        self.seed = seed
+        self._query_counter = 0
+
+    def cardinality(self, query: Query):
+        self._query_counter += 1
+        rng = np.random.default_rng(self.seed + self._query_counter)
+        sampled = Database(self.database.schema)
+        scale = 1.0
+        for name in query.tables:
+            table = self.database.table(name)
+            if table.n_rows > self.sample_rows:
+                rows = rng.choice(table.n_rows, size=self.sample_rows, replace=False)
+                sampled.add_table(table.select(np.sort(rows)))
+                scale *= table.n_rows / self.sample_rows
+            else:
+                sampled.add_table(table)
+        count = Executor(sampled).cardinality(query)
+        return max(count * scale, 1.0)

@@ -1,0 +1,129 @@
+"""Wander Join (Li et al., SIGMOD 2016): online aggregation via random
+walks over join indexes.
+
+For AQP over joins, each walk samples one join path with known inclusion
+probability; Horvitz-Thompson weighting (the product of the partner
+counts along the walk) gives unbiased estimates of COUNT and SUM, and
+their ratio estimates AVG.  GROUP BY accumulates walk contributions per
+group.  The baseline is time-bounded in the paper (two seconds); here
+the budget is a fixed number of walks, converted to latency by the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.filters import conjunction_mask
+from repro.engine.indexes import JoinIndex
+from repro.engine.join import JoinPlan
+
+
+class WanderJoin:
+    """Random-walk AQP over FK join indexes."""
+
+    def __init__(self, database, n_walks=10_000, seed=0):
+        self.database = database
+        self.index = JoinIndex(database)
+        self.n_walks = n_walks
+        self.seed = seed
+        self._query_counter = 0
+
+    def answer(self, query):
+        """Approximate answer (scalar or ``{group: value}``).
+
+        Returns ``None`` (or omits a group) when no successful walk
+        satisfies the predicates -- the "no result" outcome the paper
+        reports for the most selective SSB queries.
+        """
+        self._query_counter += 1
+        rng = np.random.default_rng(self.seed + self._query_counter)
+        plan = JoinPlan(self.database.schema, list(query.tables))
+        masks = {
+            name: conjunction_mask(
+                self.database.table(name), query.predicates_on(name)
+            )
+            for name in query.tables
+        }
+        children_of = {}
+        for near, far, fk, far_is_fk_child in plan.steps:
+            children_of.setdefault(near, []).append((far, fk, far_is_fk_child))
+        root_table = self.database.table(plan.root)
+        if root_table.n_rows == 0:
+            return None if not query.group_by else {}
+
+        aggregate = query.aggregate
+        value_column = None
+        if aggregate.function in ("SUM", "AVG"):
+            value_column = (aggregate.table, aggregate.column)
+        group_columns = list(query.group_by)
+
+        weight_sums = {}
+        value_sums = {}
+        value_weights = {}
+        successes = 0
+        starts = rng.integers(0, root_table.n_rows, size=self.n_walks)
+        for start in starts:
+            walk = self._walk(plan.root, int(start), masks, children_of, rng)
+            if walk is None:
+                continue
+            weight, rows = walk
+            successes += 1
+            key = self._group_key(rows, group_columns)
+            weight_sums[key] = weight_sums.get(key, 0.0) + weight
+            if value_column is not None:
+                table, column = value_column
+                value = self.database.table(table).columns[column][rows[table]]
+                if not np.isnan(value):
+                    value_sums[key] = value_sums.get(key, 0.0) + weight * value
+                    value_weights[key] = value_weights.get(key, 0.0) + weight
+        if successes == 0:
+            return None if not group_columns else {}
+
+        scale = root_table.n_rows / self.n_walks
+        results = {}
+        for key, weight in weight_sums.items():
+            if aggregate.function == "COUNT":
+                results[key] = weight * scale
+            elif aggregate.function == "SUM":
+                results[key] = value_sums.get(key, 0.0) * scale
+            else:  # AVG
+                denominator = value_weights.get(key, 0.0)
+                results[key] = (
+                    value_sums.get(key, 0.0) / denominator if denominator else None
+                )
+        if not group_columns:
+            return results.get((), None)
+        return {k: v for k, v in results.items() if v is not None}
+
+    def _group_key(self, rows, group_columns):
+        key = []
+        for table, column in group_columns:
+            t = self.database.table(table)
+            key.append(t.decode_value(column, t.columns[column][rows[table]]))
+        return tuple(key)
+
+    def _walk(self, root, start_row, masks, children_of, rng):
+        """One random walk; returns (HT weight, rows per table) or None."""
+        if not masks[root][start_row]:
+            return None
+        rows = {root: start_row}
+        weight = 1.0
+        frontier = [root]
+        while frontier:
+            table = frontier.pop()
+            for far, fk, far_is_fk_child in children_of.get(table, []):
+                if far_is_fk_child:
+                    adjacency = self.index.adjacency(fk.parent, fk.child)
+                else:
+                    adjacency = self.index.adjacency(fk.child, fk.parent)
+                partners = adjacency.partners(rows[table])
+                if partners.size == 0:
+                    return None
+                partner = int(partners[rng.integers(0, partners.size)])
+                if not masks[far][partner]:
+                    return None
+                rows[far] = partner
+                weight *= partners.size
+                frontier.append(far)
+        return weight, rows

@@ -1,0 +1,246 @@
+"""Command-line interface: train, persist, query and inspect ensembles.
+
+The datasets are deterministic synthetic generators, so a persisted
+ensemble plus the ``(dataset, scale, seed)`` triple fully reproduces a
+session.  Typical flow::
+
+    python -m repro.cli train   --dataset imdb --scale 0.05 --out model.json
+    python -m repro.cli estimate --dataset imdb --scale 0.05 --model model.json \
+        --sql "SELECT COUNT(*) FROM title WHERE title.production_year > 2005"
+    python -m repro.cli query   --dataset imdb --scale 0.05 --model model.json \
+        --sql "SELECT AVG(title.production_year) FROM title" --confidence 0.95
+    python -m repro.cli plan    --dataset imdb --scale 0.05 --model model.json \
+        --sql "SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id"
+    python -m repro.cli inspect --model model.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def _add_dataset_arguments(parser):
+    parser.add_argument(
+        "--dataset", required=True, choices=("imdb", "ssb", "flights"),
+        help="synthetic dataset generator to use",
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale factor (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="generator seed (default 0)")
+
+
+def _build_database(args):
+    from repro.datasets import flights, imdb, ssb
+
+    generator = {"imdb": imdb, "ssb": ssb, "flights": flights}[args.dataset]
+    return generator.generate(scale=args.scale, seed=args.seed)
+
+
+def _load_model(args, database):
+    from repro.deepdb import DeepDB
+
+    return DeepDB.load(args.model, database)
+
+
+def _cmd_train(args, out):
+    from repro.core.ensemble import EnsembleConfig
+    from repro.deepdb import DeepDB
+
+    database = _build_database(args)
+    print(f"dataset: {database}", file=out)
+    config = EnsembleConfig(
+        sample_size=args.sample_size,
+        budget_factor=args.budget_factor,
+        single_tables_only=args.single_tables,
+    )
+    start = time.perf_counter()
+    deepdb = DeepDB.learn(database, config)
+    seconds = time.perf_counter() - start
+    print(deepdb.describe(), file=out)
+    print(f"training took {seconds:.1f}s", file=out)
+    deepdb.save(args.out)
+    print(f"saved ensemble to {args.out}", file=out)
+    return 0
+
+
+def _cmd_estimate(args, out):
+    from repro.engine.executor import Executor
+    from repro.evaluation.metrics import q_error
+
+    database = _build_database(args)
+    deepdb = _load_model(args, database)
+    query = deepdb.parse(args.sql)
+    start = time.perf_counter()
+    estimate = deepdb.cardinality(query)
+    latency = time.perf_counter() - start
+    print(f"estimated cardinality: {estimate:,.0f}  ({latency * 1e3:.2f} ms)",
+          file=out)
+    if args.truth:
+        truth = Executor(database).cardinality(query)
+        print(f"true cardinality     : {truth:,.0f}", file=out)
+        print(f"q-error              : {q_error(truth, estimate):.3f}", file=out)
+    if args.explain:
+        print(deepdb.compiler.explain(query), file=out)
+    return 0
+
+
+def _cmd_query(args, out):
+    database = _build_database(args)
+    deepdb = _load_model(args, database)
+    query = deepdb.parse(args.sql)
+    start = time.perf_counter()
+    answer = deepdb.approximate_with_confidence(query, confidence=args.confidence)
+    latency = time.perf_counter() - start
+    if isinstance(answer, dict):
+        for group, (value, (low, high)) in sorted(answer.items()):
+            key = ", ".join(str(k) for k in group)
+            print(f"{key}: {value:,.2f}  "
+                  f"[{low:,.2f}, {high:,.2f}]", file=out)
+    else:
+        value, (low, high) = answer
+        print(f"answer: {value:,.2f}  "
+              f"{args.confidence:.0%} CI [{low:,.2f}, {high:,.2f}]", file=out)
+    print(f"latency: {latency * 1e3:.2f} ms", file=out)
+    return 0
+
+
+def _cmd_plan(args, out):
+    from repro.optimizer import SubqueryCardinalities, optimal_plan
+    from repro.optimizer.cost import intermediate_sizes
+
+    database = _build_database(args)
+    deepdb = _load_model(args, database)
+    query = deepdb.parse(args.sql)
+    oracle = SubqueryCardinalities(deepdb.compiler, query)
+    plan, cost = optimal_plan(query, database.schema, oracle,
+                              linear=args.left_deep)
+    print(f"plan : {plan.describe()}", file=out)
+    print(f"C_out: {cost:,.0f} (estimated)", file=out)
+    print("estimated intermediates:", file=out)
+    for tables, size in intermediate_sizes(plan, oracle):
+        print(f"  {' ⨝ '.join(tables):<50s} {size:>14,.0f}", file=out)
+    return 0
+
+
+def _cmd_inspect(args, out):
+    with open(args.model) as handle:
+        document = json.load(handle)
+    rspns = document.get("rspns", [])
+    print(f"ensemble with {len(rspns)} RSPNs "
+          f"(trained in {document.get('training_seconds', 0.0):.1f}s)", file=out)
+    for rspn in rspns:
+        nodes = _count_nodes(rspn["root"])
+        print(
+            f"  - {'/'.join(rspn['tables'])}: {rspn['full_size']:,.0f} rows, "
+            f"{len(rspn['column_names'])} columns, "
+            f"{nodes['sum']} sum / {nodes['product']} product / "
+            f"{nodes['leaf']} leaf nodes",
+            file=out,
+        )
+    if args.tree:
+        from repro.core.describe import render_tree
+        from repro.core.serialization import rspn_from_dict
+
+        for rspn_doc in rspns:
+            print(file=out)
+            print(
+                render_tree(rspn_from_dict(rspn_doc), max_depth=args.tree_depth),
+                file=out,
+            )
+    return 0
+
+
+def _count_nodes(node):
+    counts = {"sum": 0, "product": 0, "leaf": 0}
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        kind = current["type"]
+        if kind in ("sum", "product"):
+            counts[kind] += 1
+            stack.extend(current["children"])
+        else:
+            counts["leaf"] += 1
+    return counts
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepDB reproduction: RSPN ensembles from the command line.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    train = commands.add_parser("train", help="learn and persist an ensemble")
+    _add_dataset_arguments(train)
+    train.add_argument("--out", required=True, help="output JSON path")
+    train.add_argument("--sample-size", type=int, default=25_000)
+    train.add_argument("--budget-factor", type=float, default=0.0)
+    train.add_argument("--single-tables", action="store_true",
+                       help="the paper's cheap single-table-only strategy")
+    train.set_defaults(handler=_cmd_train)
+
+    estimate = commands.add_parser(
+        "estimate", help="cardinality estimate for a SQL query"
+    )
+    _add_dataset_arguments(estimate)
+    estimate.add_argument("--model", required=True)
+    estimate.add_argument("--sql", required=True)
+    estimate.add_argument("--truth", action="store_true",
+                          help="also run the exact executor")
+    estimate.add_argument("--explain", action="store_true",
+                          help="print the probabilistic query compilation")
+    estimate.set_defaults(handler=_cmd_estimate)
+
+    query = commands.add_parser(
+        "query", help="approximate answer with confidence interval"
+    )
+    _add_dataset_arguments(query)
+    query.add_argument("--model", required=True)
+    query.add_argument("--sql", required=True)
+    query.add_argument("--confidence", type=float, default=0.95)
+    query.set_defaults(handler=_cmd_query)
+
+    plan = commands.add_parser(
+        "plan", help="join order chosen with DeepDB cardinalities"
+    )
+    _add_dataset_arguments(plan)
+    plan.add_argument("--model", required=True)
+    plan.add_argument("--sql", required=True)
+    plan.add_argument("--left-deep", action="store_true",
+                      help="restrict the enumeration to left-deep plans")
+    plan.set_defaults(handler=_cmd_plan)
+
+    inspect = commands.add_parser(
+        "inspect", help="summarise a persisted ensemble file"
+    )
+    inspect.add_argument("--model", required=True)
+    inspect.add_argument("--tree", action="store_true",
+                         help="render each RSPN's structure as a tree")
+    inspect.add_argument("--tree-depth", type=int, default=3,
+                         help="tree rendering depth (default 3)")
+    inspect.set_defaults(handler=_cmd_inspect)
+    return parser
+
+
+def main(argv=None, out=None):
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (SyntaxError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,789 @@
+"""Probabilistic query compilation (Section 4 of the paper).
+
+Incoming COUNT/SUM/AVG queries are translated into products of
+expectations and probabilities over the RSPN ensemble:
+
+- **Case 1 / Case 2** -- a single RSPN covers all query tables.  The
+  COUNT is ``|J| * E[ 1/F'(Q, J) * 1_C * prod N_T ]`` (Theorem 1): the
+  filter conditions ``C`` become leaf ranges, the NULL indicators
+  ``N_T`` restrict to real (inner-join) tuples, and the inverse tuple
+  factors ``1/F'`` undo the duplication caused by join partners of
+  tables outside the query.
+- **Case 3** -- the query spans several RSPNs.  The estimate starts from
+  an anchor RSPN and is expanded one FK edge at a time (Theorem 2): the
+  expansion multiplier is a ratio of two expectations over the RSPN
+  covering the new table, and fan-out tuple factors are folded into the
+  expectation anchoring the parent table when the expanding RSPN does
+  not contain it.
+- **Execution strategy** -- when several RSPNs apply, the one handling
+  the filter predicates with the highest sum of pairwise RDC values
+  (measured during ensemble creation) is chosen greedily.
+
+AVG queries become ratios of conditional expectations normalised by
+tuple factors (Section 4.2); SUM = COUNT x AVG; GROUP BY expands into
+one query per group; outer joins relax the NULL indicators and treat
+zero factors as one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core import confidence as ci
+from repro.core import disjunction
+from repro.core.leaves import (
+    FACTOR_OUTER,
+    FACTOR_OUTER_SQUARE,
+    IDENTITY,
+    INVERSE_FACTOR,
+    INVERSE_FACTOR_SQUARE,
+    SQUARE,
+)
+from repro.core.ranges import Range
+from repro.engine.join import factor_qualified_name, indicator_qualified_name
+from repro.engine.query import INNER, Predicate, Query
+
+_FACTOR_TRANSFORMS = {
+    "identity": (IDENTITY, SQUARE),
+    "inverse": (INVERSE_FACTOR, INVERSE_FACTOR_SQUARE),
+    "outer": (FACTOR_OUTER, FACTOR_OUTER_SQUARE),
+    "value": (IDENTITY, SQUARE),
+}
+
+_MAX_GROUPS = 100_000
+
+
+class CompilationError(RuntimeError):
+    """Raised when the ensemble cannot answer a query."""
+
+
+def _normalisation_edges(rspn, subset):
+    """FK edges whose tuple factors duplicate subset-query tuples in the
+    RSPN's full outer join (the ``F'(Q, J)`` of Theorem 1).
+
+    Orient the RSPN's join tree outward from the queried ``subset`` by
+    BFS.  An edge traversed towards its FK *child* multiplies every
+    subset tuple by the child fan-out and needs ``1/F'`` normalisation;
+    an edge traversed towards its FK *parent* adds exactly one partner
+    (or a NULL extension) and needs none -- a tuple of a leaf table
+    appears exactly once in the join.
+    """
+    adjacency = {}
+    for fk in rspn.internal_edges:
+        adjacency.setdefault(fk.parent, []).append((fk, fk.child, True))
+        adjacency.setdefault(fk.child, []).append((fk, fk.parent, False))
+    visited = set(subset)
+    frontier = list(subset)
+    edges = []
+    while frontier:
+        table = frontier.pop()
+        for fk, other, other_is_child in adjacency.get(table, []):
+            if other in visited:
+                continue
+            visited.add(other)
+            frontier.append(other)
+            if other_is_child:
+                edges.append(fk)
+    return edges
+
+
+@dataclass
+class _Expectation:
+    """One expectation over one RSPN: conditions plus factor transforms."""
+
+    rspn: object
+    conditions: dict = field(default_factory=dict)
+    factors: list = field(default_factory=list)  # [(column, kind)]
+
+    def evaluate(self, squared=False, square_kinds=None):
+        """E[T * 1_C]; ``squared`` squares the whole transform product,
+        ``square_kinds`` squares only the named factor kinds (used for
+        conditional second moments, where the tuple-factor weights define
+        the measure and must stay un-squared)."""
+        transforms = {}
+        for column, kind in self.factors:
+            square = squared or (square_kinds is not None and kind in square_kinds)
+            transform = _FACTOR_TRANSFORMS[kind][1 if square else 0]
+            transforms.setdefault(column, []).append(transform)
+        return self.rspn.expectation(conditions=self.conditions, transforms=transforms)
+
+    @property
+    def has_factors(self):
+        return bool(self.factors)
+
+
+@dataclass
+class _Term:
+    """An absolute count term, an expansion ratio, or a conditional
+    expectation (AVG), distinguished for the confidence-interval math."""
+
+    nominator: _Expectation
+    denominator: _Expectation | None = None
+    scale: float = 1.0
+    conditional: bool = False
+
+    def value(self):
+        nominator = self.nominator.evaluate()
+        if self.denominator is None:
+            return self.scale * nominator
+        denominator = self.denominator.evaluate()
+        if denominator <= 0:
+            return 0.0
+        return self.scale * nominator / denominator
+
+    def moments(self):
+        if self.conditional:
+            return self._conditional_moments()
+        nom = ci.expectation_moments(self.nominator)
+        if self.denominator is None:
+            return self.scale * nom[0], self.scale**2 * nom[1]
+        den = ci.expectation_moments(self.denominator)
+        mean, variance = ci.ratio_moments(nom, den)
+        return self.scale * mean, self.scale**2 * variance
+
+    def _conditional_moments(self):
+        """Moments of E[T | C]: the shared selectivity cancels in the
+        ratio, so the variance is the Koenig-Huygens conditional variance
+        scaled by the conditioned sample count (Section 5.1)."""
+        p = self.denominator.evaluate()
+        if p <= 0:
+            return 0.0, 0.0
+        t1 = self.nominator.evaluate() / p
+        t2 = self.nominator.evaluate(square_kinds={"value"}) / p
+        n = max(self.nominator.rspn.sample_size, 1.0)
+        variance = max(t2 - t1 * t1, 0.0) / max(n * p, 1.0)
+        return self.scale * t1, self.scale**2 * variance
+
+
+@dataclass
+class Estimate:
+    """A compiled estimate: point value plus variance for CIs."""
+
+    value: float
+    terms: list = field(default_factory=list)
+
+    def moments(self):
+        if not self.terms:
+            return self.value, 0.0
+        moments = [term.moments() for term in self.terms]
+        return ci.product_moments(moments)
+
+    def confidence_interval(self, confidence=0.95):
+        mean, variance = self.moments()
+        return ci.interval(mean, variance, confidence)
+
+
+@dataclass
+class SumEstimate:
+    """A signed sum of estimates (inclusion-exclusion expansions).
+
+    Treating the conjunctive terms as independent, the variance of the
+    signed sum is the sum of the term variances.
+    """
+
+    components: list  # [(sign, estimate)]
+
+    @property
+    def value(self):
+        return sum(sign * estimate.value for sign, estimate in self.components)
+
+    def moments(self):
+        mean, variance = 0.0, 0.0
+        for sign, estimate in self.components:
+            m, v = estimate.moments()
+            mean += sign * m
+            variance += v
+        return mean, variance
+
+    def confidence_interval(self, confidence=0.95):
+        mean, variance = self.moments()
+        return ci.interval(mean, variance, confidence)
+
+
+@dataclass
+class RatioEstimate:
+    """A ratio of two estimates (AVG over a disjunctive predicate)."""
+
+    nominator: object
+    denominator: object
+
+    @property
+    def value(self):
+        denominator = self.denominator.value
+        if denominator <= 0:
+            return 0.0
+        return self.nominator.value / denominator
+
+    def moments(self):
+        return ci.ratio_moments(self.nominator.moments(), self.denominator.moments())
+
+    def confidence_interval(self, confidence=0.95):
+        mean, variance = self.moments()
+        return ci.interval(mean, variance, confidence)
+
+
+def _format_constant(value):
+    """Decoded predicate constant for EXPLAIN output."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, (int, float)):
+        return str(value)
+    return repr(str(value))
+
+
+class ProbabilisticQueryCompiler:
+    """Compiles queries against an :class:`~repro.core.ensemble.SPNEnsemble`.
+
+    ``strategy`` selects how the compiler picks among several applicable
+    RSPNs for a COUNT (Section 4.1's execution-strategy discussion):
+
+    - ``"rdc"`` (default, the paper's choice) -- greedily use the RSPN
+      handling the filter predicates with the highest sum of pairwise
+      RDC values;
+    - ``"median"`` -- enumerate every covering RSPN's compilation and
+      return the median estimate (the alternative the paper
+      "experimented with" and found not superior);
+    - ``"first"`` -- an arbitrary applicable RSPN (the no-strategy
+      ablation baseline).
+    """
+
+    def __init__(self, ensemble, min_group_count=0.5, strategy="rdc"):
+        if strategy not in ("rdc", "median", "first"):
+            raise ValueError(f"unknown execution strategy {strategy!r}")
+        self.ensemble = ensemble
+        self.database = ensemble.database
+        self.min_group_count = min_group_count
+        self.strategy = strategy
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def cardinality(self, query: Query) -> float:
+        """Cardinality estimate for the optimizer (clamped to >= 1)."""
+        return max(self.estimate_count(query).value, 1.0)
+
+    def estimate_count(self, query: Query):
+        query = query.without_group_by()
+        if query.has_disjunctions:
+            return self._expand_signed(query, self._compile_count)
+        return self._compile_count(query)
+
+    def estimate_avg(self, query: Query):
+        query = query.without_group_by()
+        if query.has_disjunctions:
+            # AVG over a union is not linear; compute it as SUM / COUNT
+            # of the expansions (both are linear in the row indicator).
+            not_null = self._aggregate_not_null(query)
+            nominator = self.estimate_sum(query)
+            denominator = self.estimate_count(
+                query.with_extra_predicates((not_null,))
+            )
+            return RatioEstimate(nominator, denominator)
+        return self._compile_avg(query)
+
+    def estimate_sum(self, query: Query):
+        query = query.without_group_by()
+        if query.has_disjunctions:
+            return self._expand_signed(query, self._conjunctive_sum)
+        return self._conjunctive_sum(query)
+
+    def _conjunctive_sum(self, query: Query) -> Estimate:
+        count = self._compile_count(
+            query.with_extra_predicates((self._aggregate_not_null(query),))
+        )
+        avg = self._compile_avg(query)
+        return Estimate(count.value * avg.value, terms=count.terms + avg.terms)
+
+    @staticmethod
+    def _aggregate_not_null(query):
+        return Predicate(
+            query.aggregate.table, query.aggregate.column, "IS NOT NULL"
+        )
+
+    def _expand_signed(self, query, compile_one) -> SumEstimate:
+        """Inclusion-exclusion expansion (Section 4.1's suggestion)."""
+        components = [
+            (sign, compile_one(conjunctive))
+            for sign, conjunctive in disjunction.expand(query)
+        ]
+        return SumEstimate(components)
+
+    def answer(self, query: Query):
+        """Approximate answer: scalar, or ``{group: value}`` for GROUP BY."""
+        if query.group_by:
+            return self._answer_groups(query)
+        return self._answer_scalar(query)
+
+    def answer_with_confidence(self, query: Query, confidence=0.95):
+        """(value, (low, high)) for scalar queries, dicts for GROUP BY."""
+        if query.group_by:
+            values = {}
+            for combo, estimate in self._group_estimates(query):
+                values[combo] = (
+                    estimate.value,
+                    estimate.confidence_interval(confidence),
+                )
+            return values
+        estimate = self._estimate(query)
+        return estimate.value, estimate.confidence_interval(confidence)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+    def explain(self, query: Query) -> str:
+        """Human-readable rendering of the probabilistic compilation.
+
+        Shows, per term, which RSPN answers it, the leaf conditions, the
+        tuple-factor corrections, and -- for multi-RSPN plans -- the
+        Theorem-2 expansion ratios, mirroring the formulas of Section 4.
+        """
+        lines = [f"query    : {query.describe()}"]
+        lines.append(f"strategy : {self.strategy}")
+        if query.group_by:
+            scalar = query.without_group_by()
+            domains = [
+                self._group_domain(table, column, query)
+                for table, column in query.group_by
+            ]
+            n_groups = 1
+            for domain in domains:
+                n_groups *= max(len(domain), 1)
+            lines.append(
+                f"group-by : {n_groups} candidate groups, one compilation each "
+                "(Section 4.2); template below"
+            )
+            query = scalar
+        estimate = self._estimate(query)
+        lines.extend(self._explain_estimate(estimate))
+        lines.append(f"estimate : {estimate.value:,.4f}")
+        return "\n".join(lines)
+
+    def _explain_estimate(self, estimate, indent="  "):
+        if isinstance(estimate, SumEstimate):
+            lines = [
+                f"{indent}inclusion-exclusion over "
+                f"{len(estimate.components)} conjunctive terms:"
+            ]
+            for sign, component in estimate.components:
+                lines.append(f"{indent}  sign {'+' if sign > 0 else '-'}:")
+                lines.extend(self._explain_estimate(component, indent + "    "))
+            return lines
+        if isinstance(estimate, RatioEstimate):
+            lines = [f"{indent}ratio (SUM / COUNT):"]
+            lines.extend(self._explain_estimate(estimate.nominator, indent + "  "))
+            lines.append(f"{indent}over:")
+            lines.extend(self._explain_estimate(estimate.denominator, indent + "  "))
+            return lines
+        if not estimate.terms:
+            return [f"{indent}(empty selection -> {estimate.value:,.4f})"]
+        lines = []
+        for i, term in enumerate(estimate.terms, start=1):
+            header = f"{indent}term {i}: "
+            if term.scale != 1.0:
+                header += f"{term.scale:,.0f} * "
+            header += self._describe_expectation(term.nominator)
+            if term.denominator is not None:
+                header += " / " + self._describe_expectation(term.denominator)
+            lines.append(header)
+        return lines
+
+    def _describe_expectation(self, expectation):
+        parts = []
+        for column, kind in expectation.factors:
+            symbol = {
+                "identity": column,
+                "value": column,
+                "inverse": f"1/max({column},1)",
+                "outer": f"max({column},1)",
+            }[kind]
+            parts.append(symbol)
+        for attr, rng in expectation.conditions.items():
+            parts.append(f"1_{{{attr} in {self._describe_range(attr, rng)}}}")
+        body = " * ".join(parts) if parts else "1"
+        tables = "/".join(sorted(expectation.rspn.tables))
+        return f"E[ {body} ] on RSPN({tables})"
+
+    def _describe_range(self, qualified, rng):
+        """Range description with categorical point codes decoded."""
+        table_name, column = qualified.split(".", 1)
+        table = self.database.tables.get(table_name)
+        points = rng.point_values()
+        if (
+            table is None
+            or points is None
+            or not points
+            or not table.is_categorical(column)
+        ):
+            return rng.describe()
+        decoded = [_format_constant(table.decode_value(column, p)) for p in points]
+        if rng.include_null:
+            decoded.append("NULL")
+        return "{" + ", ".join(decoded) + "}"
+
+    # ------------------------------------------------------------------
+    # Scalar dispatch
+    # ------------------------------------------------------------------
+    def _estimate(self, query) -> Estimate:
+        function = query.aggregate.function
+        if function == "COUNT":
+            return self.estimate_count(query)
+        if function == "AVG":
+            return self.estimate_avg(query)
+        if function == "SUM":
+            return self.estimate_sum(query)
+        raise CompilationError(f"unsupported aggregate {function!r}")
+
+    def _answer_scalar(self, query):
+        return self._estimate(query).value
+
+    def _answer_groups(self, query):
+        return {combo: est.value for combo, est in self._group_estimates(query)}
+
+    def _group_estimates(self, query):
+        """One estimate per group: the n-queries-per-group-by of Section 4.2.
+
+        Group domains are the distinct column values observed in the data,
+        restricted by the query's predicates on the same table (cheap mask
+        on the base table) so that e.g. a brand group-by under a category
+        filter only enumerates that category's brands.  HAVING conditions
+        are applied on per-group aggregate *estimates*; ORDER/LIMIT sort
+        and truncate by the estimated value.
+        """
+        per_column = [
+            self._group_domain(table, column, query) for table, column in query.group_by
+        ]
+        total = 1
+        for values in per_column:
+            total *= max(len(values), 1)
+        if total > _MAX_GROUPS:
+            raise CompilationError(
+                f"group-by would enumerate {total} groups (> {_MAX_GROUPS})"
+            )
+        scalar = query.without_group_by()
+        results = []
+        for combo in itertools.product(*per_column):
+            extra = tuple(
+                Predicate(t, c, "=", v)
+                for (t, c), v in zip(query.group_by, combo)
+            )
+            grouped = scalar.with_extra_predicates(extra)
+            count = self.estimate_count(
+                grouped.with_aggregate(grouped.aggregate.count())
+            )
+            if count.value < self.min_group_count:
+                continue
+            if not self._having_accepts(query, grouped, count):
+                continue
+            if query.aggregate.function == "COUNT":
+                results.append((combo, count))
+            else:
+                results.append((combo, self._estimate(grouped)))
+        return self._order_and_limit(results, query)
+
+    def _having_accepts(self, query, grouped, count_estimate):
+        """Evaluate HAVING clauses on per-group estimates."""
+        for clause in query.having:
+            if clause.aggregate.function == "COUNT":
+                estimated = count_estimate.value
+            else:
+                estimated = self._estimate(
+                    grouped.with_aggregate(clause.aggregate)
+                ).value
+            if not clause.accepts(estimated):
+                return False
+        return True
+
+    @staticmethod
+    def _order_and_limit(results, query):
+        if query.order is None and query.limit is None:
+            return results
+        reverse = query.order == "desc"
+        ordered = sorted(
+            results, key=lambda pair: pair[1].value, reverse=reverse
+        )
+        if query.limit is not None:
+            ordered = ordered[: query.limit]
+        return ordered
+
+    def _group_domain(self, table_name, column, query):
+        from repro.engine.filters import conjunction_mask
+
+        table = self.database.table(table_name)
+        predicates = query.predicates_on(table_name)
+        if not predicates:
+            return table.distinct_values(column, decoded=True)
+        filtered = table.select(conjunction_mask(table, predicates))
+        return filtered.distinct_values(column, decoded=True)
+
+    # ------------------------------------------------------------------
+    # Conditions and scoring
+    # ------------------------------------------------------------------
+    def _conditions(self, query):
+        """Merged per-attribute ranges from the query's predicates."""
+        merged = {}
+        for predicate in query.predicates:
+            table = self.database.table(predicate.table)
+            rng = self._predicate_range(table, predicate)
+            key = predicate.qualified_column
+            existing = merged.get(key)
+            merged[key] = rng if existing is None else existing.intersect(rng)
+        return merged
+
+    @staticmethod
+    def _predicate_range(table, predicate):
+        op, value = predicate.op, predicate.value
+        if op in ("IS NULL", "IS NOT NULL"):
+            return Range.from_operator(op, None)
+        if op == "IN":
+            encoded = [table.encode_value(predicate.column, v) for v in value]
+            return Range.from_operator(op, encoded)
+        if op == "BETWEEN":
+            low = table.encode_value(predicate.column, value[0])
+            high = table.encode_value(predicate.column, value[1])
+            return Range.from_operator(op, (low, high))
+        return Range.from_operator(op, table.encode_value(predicate.column, value))
+
+    def _score(self, rspn, conditions, target_tables, extra_attrs=()):
+        """Greedy execution-strategy score: RDC mass of handled predicates."""
+        covered = [
+            attr
+            for attr in list(conditions) + list(extra_attrs)
+            if attr.split(".", 1)[0] in rspn.tables
+        ]
+        score = 0.0
+        for i in range(len(covered)):
+            for j in range(i + 1, len(covered)):
+                score += self.ensemble.rdc_value(covered[i], covered[j])
+        score += 0.01 * len(covered)
+        score += 0.005 * len(rspn.tables & set(target_tables))
+        score -= 1e-6 * len(rspn.column_names)
+        return score
+
+    # ------------------------------------------------------------------
+    # Expectation assembly
+    # ------------------------------------------------------------------
+    def _count_expectation(self, rspn, subset, conditions, query, with_conditions=True):
+        """Theorem-1 expectation for counting ``subset``-join rows in ``rspn``.
+
+        ``conditions`` holds the query's per-attribute ranges; only those
+        on ``subset`` tables apply.  Inverse tuple factors are added for
+        every FK edge internal to the RSPN whose child lies outside
+        ``subset``; NULL indicators restrict to real tuples of ``subset``
+        tables (relaxed for outer joins).
+        """
+        expectation = _Expectation(rspn)
+        subset = set(subset)
+        if with_conditions:
+            for attr, rng in conditions.items():
+                if attr.split(".", 1)[0] in subset:
+                    expectation.conditions[attr] = rng
+        if rspn.is_join_model:
+            for table in self._indicator_tables(query, subset):
+                expectation.conditions[indicator_qualified_name(table)] = Range.point(1.0)
+            for fk in _normalisation_edges(rspn, subset):
+                expectation.factors.append((factor_qualified_name(fk), "inverse"))
+        return expectation
+
+    @staticmethod
+    def _indicator_tables(query, subset):
+        if query.join_kind == INNER:
+            return subset
+        if query.join_kind == "left_outer":
+            root = query.tables[0]
+            return {root} & subset
+        return set()
+
+    def _fold_kind(self, query):
+        return "identity" if query.join_kind == INNER else "outer"
+
+    # ------------------------------------------------------------------
+    # COUNT compilation (Cases 1-3)
+    # ------------------------------------------------------------------
+    def _compile_count(self, query) -> Estimate:
+        conditions = self._conditions(query)
+        if any(rng.is_empty() for rng in conditions.values()):
+            return Estimate(0.0)
+        query_tables = set(query.tables)
+        full_cover = self.ensemble.covering(query_tables)
+        if full_cover:
+            if self.strategy == "median" and len(full_cover) > 1:
+                return self._median_count(full_cover, query_tables, conditions, query)
+            if self.strategy == "first":
+                rspn = full_cover[0]
+            else:
+                rspn = max(
+                    full_cover,
+                    key=lambda r: self._score(r, conditions, query_tables),
+                )
+            expectation = self._count_expectation(rspn, query_tables, conditions, query)
+            term = _Term(expectation, scale=rspn.full_size)
+            return Estimate(term.value(), [term])
+        return self._compile_count_multi(query, conditions, query_tables)
+
+    def _median_count(self, full_cover, query_tables, conditions, query) -> Estimate:
+        """Median over every covering RSPN's compilation ("median of
+        several probabilistic query compilations", Section 4.1)."""
+        candidates = []
+        for rspn in full_cover:
+            expectation = self._count_expectation(
+                rspn, query_tables, conditions, query
+            )
+            candidates.append(_Term(expectation, scale=rspn.full_size))
+        values = sorted(term.value() for term in candidates)
+        median = values[len(values) // 2]
+        if len(values) % 2 == 0:
+            median = (median + values[len(values) // 2 - 1]) / 2.0
+        # The CI follows the term whose estimate is closest to the median.
+        closest = min(candidates, key=lambda t: abs(t.value() - median))
+        return Estimate(median, [closest])
+
+    def _compile_count_multi(self, query, conditions, query_tables) -> Estimate:
+        """Case 3: combine several RSPNs along the query's join tree."""
+        anchor_rspn = self._choose_anchor(conditions, query_tables)
+        covered = self._covered_component(anchor_rspn, query_tables)
+        anchor_exp = self._count_expectation(anchor_rspn, covered, conditions, query)
+        terms = [_Term(anchor_exp, scale=anchor_rspn.full_size)]
+        anchors = {table: anchor_exp for table in covered}
+        fold_kind = self._fold_kind(query)
+
+        remaining_edges = list(self.database.schema.edges_between(query_tables))
+        while covered != query_tables:
+            step = self._next_edge(remaining_edges, covered)
+            if step is None:
+                raise CompilationError(
+                    f"cannot cover tables {sorted(query_tables - covered)} "
+                    "with the available ensemble"
+                )
+            fk, a, b, b_is_child = step
+            term, nominator = self._expansion_term(
+                fk, a, b, b_is_child, conditions, query, covered, anchors, fold_kind
+            )
+            terms.append(term)
+            anchors[b] = nominator
+            covered.add(b)
+
+        value = 1.0
+        for term in terms:
+            value *= term.value()
+        return Estimate(value, terms)
+
+    def _choose_anchor(self, conditions, query_tables):
+        candidates = [
+            r for r in self.ensemble.rspns if r.tables & query_tables
+        ]
+        if not candidates:
+            raise CompilationError(f"no RSPN touches tables {sorted(query_tables)}")
+        return max(
+            candidates, key=lambda r: self._score(r, conditions, query_tables)
+        )
+
+    def _covered_component(self, rspn, query_tables):
+        """Largest connected component of the covered query tables."""
+        overlap = rspn.tables & query_tables
+        components = self._components(overlap)
+        return max(components, key=len)
+
+    def _components(self, tables):
+        import networkx as nx
+
+        graph = self.database.schema.as_networkx().subgraph(tables)
+        return [set(c) for c in nx.connected_components(graph)] or [set()]
+
+    @staticmethod
+    def _next_edge(edges, covered):
+        for fk in edges:
+            if fk.parent in covered and fk.child not in covered:
+                return fk, fk.parent, fk.child, True
+            if fk.child in covered and fk.parent not in covered:
+                return fk, fk.child, fk.parent, False
+        return None
+
+    def _expansion_term(
+        self, fk, a, b, b_is_child, conditions, query, covered, anchors, fold_kind
+    ):
+        """Theorem-2 multiplier adding table ``b`` through anchor table ``a``."""
+        candidates = self.ensemble.touching(b)
+        if not candidates:
+            raise CompilationError(f"no RSPN covers table {b!r}")
+        with_a = [r for r in candidates if a in r.tables]
+        if with_a:
+            rspn = max(
+                with_a, key=lambda r: self._score(r, conditions, {a, b})
+            )
+            overlap = self._overlap_component(rspn, covered, a)
+            nominator = self._count_expectation(
+                rspn, overlap | {b}, conditions, query
+            )
+            denominator = self._count_expectation(rspn, overlap, conditions, query)
+            return _Term(nominator, denominator), nominator
+        rspn = max(candidates, key=lambda r: self._score(r, conditions, {b}))
+        subset = self._covered_component(rspn, {b} | covered) | {b}
+        subset &= rspn.tables
+        if b_is_child:
+            # Fold the fan-out factor F_{a<-b} into a's anchoring
+            # expectation; the new term only contributes b's selectivity.
+            anchors[a].factors.append((factor_qualified_name(fk), fold_kind))
+            nominator = self._count_expectation(rspn, {b}, conditions, query)
+            denominator = self._count_expectation(
+                rspn, {b}, conditions, query, with_conditions=False
+            )
+            return _Term(nominator, denominator), nominator
+        # Parent direction without a shared RSPN: weight the parent-side
+        # RSPN by the tuple factor F_{b<-a} (the paper's alternative
+        # formulation of Theorem 2).
+        factor = factor_qualified_name(fk)
+        nominator = self._count_expectation(rspn, {b}, conditions, query)
+        nominator.factors.append((factor, "value"))
+        denominator = self._count_expectation(
+            rspn, {b}, conditions, query, with_conditions=False
+        )
+        denominator.factors.append((factor, "value"))
+        return _Term(nominator, denominator), nominator
+
+    def _overlap_component(self, rspn, covered, anchor_table):
+        overlap = rspn.tables & covered
+        for component in self._components(overlap):
+            if anchor_table in component:
+                return component
+        return {anchor_table}
+
+    # ------------------------------------------------------------------
+    # AVG compilation (Section 4.2)
+    # ------------------------------------------------------------------
+    def _compile_avg(self, query) -> Estimate:
+        aggregate = query.aggregate
+        agg_attr = aggregate.qualified_column
+        conditions = self._conditions(query)
+        if any(rng.is_empty() for rng in conditions.values()):
+            return Estimate(0.0)
+        candidates = [
+            r
+            for r in self.ensemble.touching(aggregate.table)
+            if r.has_column(agg_attr)
+        ]
+        if not candidates:
+            raise CompilationError(f"no RSPN models column {agg_attr!r}")
+        query_tables = set(query.tables)
+        rspn = max(
+            candidates,
+            key=lambda r: self._score(
+                r, conditions, query_tables, extra_attrs=(agg_attr,)
+            ),
+        )
+        subset = set()
+        for component in self._components(rspn.tables & query_tables):
+            if aggregate.table in component:
+                subset = component
+        nominator = self._count_expectation(rspn, subset, conditions, query)
+        nominator.factors.append((agg_attr, "value"))
+        denominator = self._count_expectation(rspn, subset, conditions, query)
+        not_null = Range.from_operator("IS NOT NULL", None)
+        existing = denominator.conditions.get(agg_attr)
+        denominator.conditions[agg_attr] = (
+            not_null if existing is None else existing.intersect(not_null)
+        )
+        term = _Term(nominator, denominator, conditional=True)
+        return Estimate(term.value(), [term])

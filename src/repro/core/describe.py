@@ -1,0 +1,98 @@
+"""Textual rendering of learned RSPN trees (Figure 3c as text).
+
+Model interpretability is part of the data-exploration story: sum nodes
+*are* the "correlated clusters" the paper's conclusion points at, and
+reading the tree shows which attribute groups the learner considered
+independent where.  ``render_tree`` draws the structure with box glyphs;
+leaves summarise their histogram (and can decode categorical modes when
+given the database).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.leaves import BinnedLeaf, DiscreteLeaf
+from repro.core.nodes import ProductNode, SumNode
+
+
+def _leaf_summary(rspn, leaf, database):
+    name = rspn.column_names[leaf.scope_index]
+    total = leaf.total
+    null_share = leaf.null_count / total if total else 0.0
+    if isinstance(leaf, DiscreteLeaf):
+        description = f"exact, {leaf.values.shape[0]} values"
+        if leaf.counts.size:
+            mode_code = float(leaf.values[int(np.argmax(leaf.counts))])
+            mode = _decode(database, name, mode_code)
+            share = float(leaf.counts.max() / total) if total else 0.0
+            description += f", mode {mode} ({share:.0%})"
+    elif isinstance(leaf, BinnedLeaf):
+        description = (
+            f"binned, {leaf.counts.shape[0]} bins over "
+            f"[{leaf.edges[0]:g}, {leaf.edges[-1]:g}], mean {leaf.mean():g}"
+        )
+    else:  # pragma: no cover - no other leaf kinds exist
+        description = type(leaf).__name__
+    if null_share > 0:
+        description += f", {null_share:.0%} NULL"
+    return f"{name}: {description}"
+
+
+def _decode(database, qualified, code):
+    if database is None:
+        return f"{code:g}"
+    table_name, column = qualified.split(".", 1)
+    table = database.tables.get(table_name)
+    if table is None or not table.is_categorical(column):
+        return f"{code:g}"
+    return repr(str(table.decode_value(column, code)))
+
+
+def _node_label(rspn, node, database):
+    if isinstance(node, SumNode):
+        weights = ", ".join(f"{w:.2f}" for w in node.weights)
+        return f"+ sum of {len(node.children)} clusters (weights {weights})"
+    if isinstance(node, ProductNode):
+        groups = " | ".join(
+            ",".join(rspn.column_names[i] for i in child.scope)
+            for child in node.children
+        )
+        return f"x independent groups: {groups}"
+    return _leaf_summary(rspn, node, database)
+
+
+def render_tree(rspn, database=None, max_depth=None):
+    """ASCII tree of an RSPN's structure.
+
+    ``database`` enables decoding of categorical leaf modes;
+    ``max_depth`` truncates deep trees (truncation is marked).
+    """
+    header = (
+        f"RSPN({'/'.join(sorted(rspn.tables))}) "
+        f"rows={rspn.full_size:,.0f} cols={len(rspn.column_names)}"
+    )
+    lines = [header]
+
+    def walk(node, prefix, is_last, depth):
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector + _node_label(rspn, node, database))
+        if not isinstance(node, (SumNode, ProductNode)):
+            return
+        extension = "   " if is_last else "│  "
+        if max_depth is not None and depth >= max_depth:
+            lines.append(prefix + extension + f"└─ ... ({len(node.children)} children)")
+            return
+        for i, child in enumerate(node.children):
+            walk(child, prefix + extension, i == len(node.children) - 1, depth + 1)
+
+    walk(rspn.root, "", True, 1)
+    return "\n".join(lines)
+
+
+def ensemble_summary(ensemble, database=None, max_depth=2):
+    """Concatenated tree renderings for every RSPN of an ensemble."""
+    return "\n\n".join(
+        render_tree(rspn, database=database, max_depth=max_depth)
+        for rspn in ensemble.rspns
+    )

@@ -1,0 +1,240 @@
+"""Sampling and most-probable-explanation inference on RSPNs.
+
+SPNs are generative models: beyond the probability/expectation queries
+the paper's query compiler issues, the same tree supports
+
+- **ancestral sampling** -- draw synthetic tuples from the learned joint
+  distribution (top-down: sum nodes pick a child by weight, product
+  nodes sample every child, leaves sample their histogram),
+- **conditional sampling** -- draw tuples consistent with predicate
+  evidence; sum-node weights are re-weighted by each child's likelihood
+  of the evidence (exact, not rejection sampling),
+- **MPE** -- the most probable completion of partial evidence, computed
+  with a max-product bottom-up pass followed by a top-down readout.
+
+These primitives power the data-exploration use the paper sketches in
+its conclusion ("SPNs naturally provide a notion of correlated clusters
+... for suggesting interesting patterns in data exploration") and the
+generative-model AQP family it cites as related work [34].
+
+All values are *encoded* (dictionary codes / numeric), matching the
+learning matrix; ``NaN`` represents NULL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import inference
+from repro.core.inference import EvaluationSpec
+from repro.core.leaves import BinnedLeaf, DiscreteLeaf
+from repro.core.nodes import LeafNode, ProductNode, SumNode
+from repro.core.ranges import Range
+
+
+class ZeroEvidenceError(ValueError):
+    """Raised when conditioning evidence has zero probability."""
+
+
+# ----------------------------------------------------------------------
+# Leaf-level sampling
+# ----------------------------------------------------------------------
+def _leaf_masses(leaf, rng_range):
+    """(labels, masses) of the leaf's atoms restricted to ``rng_range``.
+
+    For discrete leaves atoms are the stored values (plus the NULL
+    bucket); for binned leaves atoms are (bin, interval) fragments with
+    uniform in-bin mass.  Labels are ``("value", v)``, ``("null",)`` or
+    ``("bin", index, low, high)``.
+    """
+    if rng_range is None:
+        rng_range = Range.everything(include_null=True)
+    labels = []
+    masses = []
+    if isinstance(leaf, DiscreteLeaf):
+        mask = leaf._in_range_mask(rng_range)
+        for value, count in zip(leaf.values[mask], leaf.counts[mask]):
+            labels.append(("value", float(value)))
+            masses.append(float(count))
+        if rng_range.include_null and leaf.null_count > 0:
+            labels.append(("null",))
+            masses.append(leaf.null_count)
+        return labels, np.asarray(masses, dtype=float)
+    if isinstance(leaf, BinnedLeaf):
+        low, high = leaf.edges[:-1], leaf.edges[1:]
+        for interval in rng_range.intervals:
+            coverage = leaf._coverage(interval)
+            for b in np.nonzero(coverage > 0)[0]:
+                mass = float(leaf.counts[b] * coverage[b])
+                if mass <= 0:
+                    continue
+                left = max(interval.low, low[b])
+                right = min(interval.high, high[b])
+                labels.append(("bin", int(b), float(left), float(right)))
+                masses.append(mass)
+        if rng_range.include_null and leaf.null_count > 0:
+            labels.append(("null",))
+            masses.append(leaf.null_count)
+        return labels, np.asarray(masses, dtype=float)
+    raise TypeError(f"unknown leaf type {type(leaf)!r}")
+
+
+def _sample_leaf(leaf, rng_range, rng):
+    labels, masses = _leaf_masses(leaf, rng_range)
+    total = masses.sum()
+    if total <= 0:
+        raise ZeroEvidenceError(
+            f"evidence on attribute {leaf.attribute!r} has zero mass"
+        )
+    label = labels[rng.choice(len(labels), p=masses / total)]
+    if label[0] == "null":
+        return np.nan
+    if label[0] == "value":
+        return label[1]
+    _, _b, left, right = label
+    if right <= left:
+        return left
+    return float(rng.uniform(left, right))
+
+
+def _mpe_leaf(leaf, rng_range):
+    """(value, per-tuple probability share) of the leaf's modal atom."""
+    labels, masses = _leaf_masses(leaf, rng_range)
+    total = leaf.total
+    if masses.size == 0 or masses.sum() <= 0 or total <= 0:
+        return None, 0.0
+    if isinstance(leaf, BinnedLeaf):
+        # Compare atoms by estimated per-value mass so a wide bin does
+        # not beat a genuinely frequent single value.
+        adjusted = np.array(
+            [
+                m / leaf.distinct[label[1]] if label[0] == "bin" else m
+                for label, m in zip(labels, masses)
+            ]
+        )
+    else:
+        adjusted = masses
+    best = int(np.argmax(adjusted))
+    label = labels[best]
+    if label[0] == "null":
+        return np.nan, float(adjusted[best] / total)
+    if label[0] == "value":
+        return label[1], float(adjusted[best] / total)
+    b = label[1]
+    means = leaf._bin_means()
+    value = float(np.clip(means[b], label[2], label[3]))
+    return value, float(adjusted[best] / total)
+
+
+# ----------------------------------------------------------------------
+# Tree-level sampling
+# ----------------------------------------------------------------------
+def _sample_into(node, spec, touched, rng, out_row):
+    if isinstance(node, LeafNode):
+        rng_range, _ = spec.leaf_arguments(node.scope_index)
+        out_row[node.scope_index] = _sample_leaf(node, rng_range, rng)
+        return
+    if isinstance(node, ProductNode):
+        for child in node.children:
+            _sample_into(child, spec, touched, rng, out_row)
+        return
+    if isinstance(node, SumNode):
+        weights = node.weights.copy()
+        if touched & set(node.scope):
+            likelihoods = np.array(
+                [inference._evaluate(child, spec, touched) for child in node.children]
+            )
+            weights = weights * likelihoods
+            total = weights.sum()
+            if total <= 0:
+                raise ZeroEvidenceError("evidence has zero probability")
+            weights = weights / total
+        child = node.children[rng.choice(len(node.children), p=weights)]
+        _sample_into(child, spec, touched, rng, out_row)
+        return
+    raise TypeError(f"unknown node type {type(node)!r}")
+
+
+def sample_tree(root, n_columns, n, rng, spec=None):
+    """Draw ``n`` rows (encoded, NaN = NULL) from an SPN tree."""
+    spec = spec or EvaluationSpec()
+    touched = spec.touched
+    rows = np.full((n, n_columns), np.nan)
+    for i in range(n):
+        _sample_into(root, spec, touched, rng, rows[i])
+    return rows
+
+
+def draw(rspn, n, conditions=None, seed=0):
+    """Draw ``n`` tuples from an RSPN, optionally conditioned.
+
+    ``conditions`` maps qualified column names to
+    :class:`~repro.core.ranges.Range` evidence (as produced by
+    ``Range.from_operator``); drawn tuples always satisfy it.  Returns an
+    ``(n, n_columns)`` array aligned with ``rspn.column_names``.
+    """
+    spec = rspn._build_spec(conditions or {})
+    if spec.is_empty_selection():
+        raise ZeroEvidenceError("conditions select the empty range")
+    rng = np.random.default_rng(seed)
+    return sample_tree(rspn.root, len(rspn.column_names), n, rng, spec)
+
+
+def draw_dicts(rspn, n, conditions=None, seed=0):
+    """Like :func:`draw` but as dicts keyed by qualified column name."""
+    rows = draw(rspn, n, conditions=conditions, seed=seed)
+    return [dict(zip(rspn.column_names, row)) for row in rows]
+
+
+# ----------------------------------------------------------------------
+# Most probable explanation
+# ----------------------------------------------------------------------
+def _mpe_node(node, spec, touched):
+    """Max-product pass returning ``(score, assignment_dict)``."""
+    if isinstance(node, LeafNode):
+        rng_range, _ = spec.leaf_arguments(node.scope_index)
+        value, score = _mpe_leaf(node, rng_range)
+        if value is None and score == 0.0:
+            return 0.0, {}
+        return score, {node.scope_index: value}
+    if isinstance(node, ProductNode):
+        score = 1.0
+        assignment = {}
+        for child in node.children:
+            child_score, child_assignment = _mpe_node(child, spec, touched)
+            score *= child_score
+            assignment.update(child_assignment)
+            if score == 0.0:
+                return 0.0, {}
+        return score, assignment
+    if isinstance(node, SumNode):
+        best_score, best_assignment = 0.0, {}
+        for weight, child in zip(node.weights, node.children):
+            child_score, child_assignment = _mpe_node(child, spec, touched)
+            if weight * child_score > best_score:
+                best_score = weight * child_score
+                best_assignment = child_assignment
+        return best_score, best_assignment
+    raise TypeError(f"unknown node type {type(node)!r}")
+
+
+def most_probable_explanation(rspn, evidence=None):
+    """Most probable completion of ``evidence`` (MPE, Section 4.3).
+
+    ``evidence`` maps qualified column names to Ranges; the returned
+    assignment maps *every* modelled column to its most probable value
+    under the max-product approximation (exact on tree SPNs for the
+    joint mode of the induced mixture component).  Returns
+    ``(assignment, score)``; ``score`` is the unnormalised max-product
+    probability of the assignment.
+    """
+    spec = rspn._build_spec(evidence or {})
+    if spec.is_empty_selection():
+        raise ZeroEvidenceError("evidence selects the empty range")
+    score, by_index = _mpe_node(rspn.root, spec, spec.touched)
+    if score <= 0.0:
+        raise ZeroEvidenceError("evidence has zero probability")
+    assignment = {
+        rspn.column_names[index]: value for index, value in by_index.items()
+    }
+    return assignment, score

@@ -1,0 +1,41 @@
+"""Algorithm 1 of the paper: incremental RSPN updates.
+
+Inserted (deleted) tuples traverse the tree top-down.  Sum nodes route
+the tuple to the nearest KMeans cluster and adjust that child's weight;
+product nodes split the tuple by scope and recurse into every child;
+leaves adjust their value distribution.  The tree *structure* never
+changes -- exactly the behaviour (and limitation) the paper describes
+and evaluates in Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.nodes import LeafNode, ProductNode, SumNode
+
+
+def update_tuple(node, row, sign=1):
+    """Insert (``sign=+1``) or delete (``sign=-1``) one tuple.
+
+    ``row`` is the full attribute vector indexed by scope index (NaN for
+    NULL); only the slice covered by each node's scope is inspected.
+    """
+    row = np.asarray(row, dtype=float)
+    _update(node, row, float(sign))
+
+
+def _update(node, row, sign):
+    if isinstance(node, LeafNode):
+        node.update(row[node.scope_index], sign)
+        return
+    if isinstance(node, SumNode):
+        nearest = node.route(row[np.asarray(node.scope)])
+        node.counts[nearest] = max(0.0, node.counts[nearest] + sign)
+        _update(node.children[nearest], row, sign)
+        return
+    if isinstance(node, ProductNode):
+        for child in node.children:
+            _update(child, row, sign)
+        return
+    raise TypeError(f"unknown node type {type(node)!r}")

@@ -1,0 +1,24 @@
+"""Synthetic datasets mirroring the paper's evaluation workloads.
+
+The paper evaluates on IMDb/JOB-light, the Star Schema Benchmark and the
+Kaggle Flights dataset.  None are redistributable or downloadable
+offline, so this package generates synthetic databases with the same
+schemas and -- crucially -- the same *structural* properties that drive
+the paper's results:
+
+- cross-table attribute correlations (what breaks the independence
+  assumptions of Postgres-style estimators),
+- skewed fan-outs including zero-partner rows (what makes tuple factors
+  and full-outer-join NULL handling matter),
+- a selectivity ladder down to one-in-a-million predicates (what starves
+  sample-based AQP baselines),
+- numeric columns with realistic dependencies (what the ML tasks need).
+
+Each module exposes ``generate(scale, seed)`` returning a
+:class:`repro.engine.table.Database` and the workload builders used by
+the benchmarks.
+"""
+
+from repro.datasets import flights, imdb, ssb, workloads
+
+__all__ = ["flights", "imdb", "ssb", "workloads"]

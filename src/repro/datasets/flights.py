@@ -1,0 +1,169 @@
+"""Synthetic Flights dataset (single table, Kaggle flight-delays style).
+
+One table with the columns the paper's AQP and ML experiments use::
+
+    flights(f_id, year_date, unique_carrier, origin, dest,
+            distance, dep_delay, taxi_out, taxi_in, air_time,
+            arr_delay, month, day_of_week)
+
+Planted structure (mirroring the real dataset's dependencies):
+
+- ``distance`` is determined by the (origin, dest) pair,
+- ``air_time`` is essentially distance / speed plus congestion noise,
+- ``arr_delay = dep_delay + taxi_out + taxi_in`` drift plus noise,
+- carriers differ systematically in delays and taxi times,
+- about 1.5% of flights are cancelled: their delay/time columns are
+  NULL (exercising NULL-aware aggregation),
+- carrier and airport popularity are Zipf-skewed, producing the
+  selectivity ladder (5% down to 0.01%) of the AQP queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.table import Database, Table
+from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+
+ROWS_AT_SCALE_1 = 300_000
+N_CARRIERS = 14
+N_AIRPORTS = 50
+
+NUMERIC_TARGETS = (
+    "arr_delay",
+    "dep_delay",
+    "taxi_out",
+    "taxi_in",
+    "air_time",
+    "distance",
+)
+
+
+def build_schema():
+    schema = SchemaGraph()
+    schema.add_table(
+        TableSchema(
+            "flights",
+            [
+                Attribute("f_id", "key"),
+                Attribute("year_date", "numeric"),
+                Attribute("unique_carrier", "categorical"),
+                Attribute("origin", "categorical"),
+                Attribute("dest", "categorical"),
+                Attribute("distance", "numeric"),
+                Attribute("dep_delay", "numeric"),
+                Attribute("taxi_out", "numeric"),
+                Attribute("taxi_in", "numeric"),
+                Attribute("air_time", "numeric"),
+                Attribute("arr_delay", "numeric"),
+                Attribute("month", "numeric"),
+                Attribute("day_of_week", "categorical"),
+            ],
+            primary_key="f_id",
+        )
+    )
+    return schema
+
+
+def _zipf_weights(n, a):
+    weights = np.arange(1, n + 1, dtype=float) ** -a
+    return weights / weights.sum()
+
+
+def generate(scale=1.0, seed=0):
+    """Generate the synthetic Flights database (scale=1 -> 300k rows)."""
+    rng = np.random.default_rng(seed)
+    schema = build_schema()
+    database = Database(schema)
+
+    n = max(int(ROWS_AT_SCALE_1 * scale), 2_000)
+    year = rng.choice(np.arange(2005, 2020, dtype=float), size=n)
+    carrier = rng.choice(N_CARRIERS, size=n, p=_zipf_weights(N_CARRIERS, 1.1))
+    origin = rng.choice(N_AIRPORTS, size=n, p=_zipf_weights(N_AIRPORTS, 1.0))
+    shift = rng.integers(1, N_AIRPORTS, size=n)
+    dest = (origin + shift) % N_AIRPORTS
+
+    # Distance determined by the airport pair (symmetric, stable per pair).
+    pair_rng = np.random.default_rng(seed + 1)
+    pair_distance = pair_rng.uniform(150, 2_800, size=(N_AIRPORTS, N_AIRPORTS))
+    pair_distance = (pair_distance + pair_distance.T) / 2.0
+    distance = pair_distance[origin, dest].round()
+
+    month = rng.integers(1, 13, size=n).astype(float)
+    day_of_week = rng.integers(0, 7, size=n)
+
+    carrier_rng = np.random.default_rng(seed + 2)
+    carrier_delay = carrier_rng.uniform(4.0, 30.0, size=N_CARRIERS)
+    carrier_taxi = carrier_rng.uniform(12.0, 24.0, size=N_CARRIERS)
+    winter = np.isin(month, (12.0, 1.0, 2.0))
+
+    dep_delay = (
+        rng.exponential(carrier_delay[carrier])
+        - 2.0
+        + 7.0 * winter
+        + rng.normal(0.0, 3.0, n)
+    ).round()
+    taxi_out = np.maximum(
+        (carrier_taxi[carrier] + 0.002 * distance + rng.normal(0, 4, n)).round(), 1.0
+    )
+    taxi_in = np.maximum((6.0 + rng.normal(0, 2.5, n)).round(), 1.0)
+    air_time = np.maximum((distance / 7.8 + 18 + rng.normal(0, 8, n)).round(), 20.0)
+    # Arrival delay drifts above departure delay with congestion (positive
+    # mean difference, as in the real data), keeping F5.2's difference of
+    # SUM aggregates well away from zero.
+    arr_delay = (dep_delay + 0.8 * (taxi_out - 12.0) + rng.normal(0, 5, n)).round()
+
+    # Cancelled flights: delay and time columns are NULL.
+    cancelled = rng.random(n) < 0.015
+    for column in (dep_delay, taxi_out, taxi_in, air_time, arr_delay):
+        column[cancelled] = np.nan
+
+    database.add_table(
+        Table.from_columns(
+            schema.table("flights"),
+            {
+                "f_id": np.arange(n, dtype=float),
+                "year_date": year,
+                "unique_carrier": [f"CARRIER_{c:02d}" for c in carrier],
+                "origin": [f"AP{o:02d}" for o in origin],
+                "dest": [f"AP{d:02d}" for d in dest],
+                "distance": distance,
+                "dep_delay": dep_delay,
+                "taxi_out": taxi_out,
+                "taxi_in": taxi_in,
+                "air_time": air_time,
+                "arr_delay": arr_delay,
+                "month": month,
+                "day_of_week": [f"DAY_{d}" for d in day_of_week],
+            },
+        )
+    )
+    return database
+
+
+def feature_matrix(database, target, n_rows=None, seed=0):
+    """(features dicts, target values) for the ML experiment (Exp. 3).
+
+    Returns encoded feature dictionaries (qualified column names, as the
+    RSPN regressor expects) plus the raw target vector, for all non-key
+    columns except the target.
+    """
+    table = database.table("flights")
+    feature_names = [
+        a.name
+        for a in table.schema.non_key_attributes
+        if a.name != target
+    ]
+    rows = np.arange(table.n_rows)
+    target_values = table.columns[target]
+    keep = ~np.isnan(target_values)
+    rows = rows[keep]
+    if n_rows is not None and rows.shape[0] > n_rows:
+        rng = np.random.default_rng(seed)
+        rows = rng.choice(rows, size=n_rows, replace=False)
+    dicts = []
+    for r in rows:
+        dicts.append(
+            {f"flights.{name}": float(table.columns[name][r]) for name in feature_names}
+        )
+    return dicts, target_values[rows], [f"flights.{n}" for n in feature_names]

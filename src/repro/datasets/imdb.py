@@ -1,0 +1,329 @@
+"""Synthetic IMDb: the JOB-light schema with controlled correlations.
+
+JOB-light (Kipf et al.) joins the ``title`` fact table with up to five
+dimension tables, all referencing ``title.id``::
+
+    title(id, kind_id, production_year, season_nr)
+    movie_companies(movie_id, company_id, company_type_id)
+    cast_info(movie_id, role_id, nr_order)
+    movie_info(movie_id, info_type_id)
+    movie_info_idx(movie_id, info_type_id)
+    movie_keyword(movie_id, keyword_id)
+
+The generator plants the effects the paper's experiments rely on:
+
+- ``production_year`` is skewed towards recent years and correlates with
+  *everything*: newer titles have more cast entries, more info rows,
+  different company types and different role distributions.  Estimators
+  assuming attribute independence (Postgres) systematically err here.
+- fan-outs are Poisson with year/kind-dependent rates and include zero
+  (movies without companies/keywords), exercising the full-outer-join
+  NULL machinery and tuple factors.
+- ``season_nr`` is NULL for non-series titles (SQL NULL handling).
+- ``kind_id`` functionally influences ``company_type_id`` and
+  ``info_type_id`` distributions (cross-table correlation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.join import compute_tuple_factors
+from repro.engine.table import Database, Table
+from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+
+TITLE_ROWS_AT_SCALE_1 = 100_000
+
+DIMENSIONS = (
+    "movie_companies",
+    "cast_info",
+    "movie_info",
+    "movie_info_idx",
+    "movie_keyword",
+)
+
+
+def build_schema():
+    schema = SchemaGraph()
+    schema.add_table(
+        TableSchema(
+            "title",
+            [
+                Attribute("id", "key"),
+                Attribute("kind_id", "categorical"),
+                Attribute("production_year", "numeric"),
+                Attribute("season_nr", "numeric"),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "movie_companies",
+            [
+                Attribute("id", "key"),
+                Attribute("movie_id", "key"),
+                Attribute("company_id", "categorical"),
+                Attribute("company_type_id", "categorical"),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "cast_info",
+            [
+                Attribute("id", "key"),
+                Attribute("movie_id", "key"),
+                Attribute("role_id", "categorical"),
+                Attribute("nr_order", "numeric"),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "movie_info",
+            [
+                Attribute("id", "key"),
+                Attribute("movie_id", "key"),
+                Attribute("info_type_id", "categorical"),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "movie_info_idx",
+            [
+                Attribute("id", "key"),
+                Attribute("movie_id", "key"),
+                Attribute("info_type_id", "categorical"),
+            ],
+            primary_key="id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "movie_keyword",
+            [
+                Attribute("id", "key"),
+                Attribute("movie_id", "key"),
+                Attribute("keyword_id", "categorical"),
+            ],
+            primary_key="id",
+        )
+    )
+    for dimension in DIMENSIONS:
+        schema.add_foreign_key("title", dimension, "movie_id")
+    return schema
+
+
+def _zipf_choice(rng, n_values, size, a=1.5):
+    """Zipf-distributed categorical codes in ``[0, n_values)``."""
+    ranks = np.arange(1, n_values + 1, dtype=float)
+    weights = ranks**-a
+    weights /= weights.sum()
+    return rng.choice(n_values, size=size, p=weights)
+
+
+def generate(scale=1.0, seed=0, with_tuple_factors=True):
+    """Generate the synthetic IMDb database.
+
+    ``scale=1.0`` yields 100k titles and roughly 900k total rows; the
+    benchmarks use smaller scales to keep CI-friendly runtimes.
+    """
+    rng = np.random.default_rng(seed)
+    schema = build_schema()
+    database = Database(schema)
+
+    n_titles = max(int(TITLE_ROWS_AT_SCALE_1 * scale), 1_000)
+    title_ids = np.arange(n_titles, dtype=float)
+
+    # kind: 0 movie, 1 tv series, 2 episode, 3 video, 4 tv movie, 5 short, 6 game
+    kind = rng.choice(7, size=n_titles, p=[0.42, 0.08, 0.22, 0.08, 0.06, 0.12, 0.02])
+    # production year: recency-skewed, episodes newer than movies
+    base_year = rng.beta(3.0, 1.2, size=n_titles)
+    year = (1930 + base_year * 89).round()
+    year = np.where(kind == 2, np.minimum(year + rng.integers(0, 15, n_titles), 2019), year)
+    recency = (year - 1930) / 89.0
+    # season_nr: only series/episodes have one (NULL elsewhere)
+    season = np.where(
+        np.isin(kind, (1, 2)), rng.integers(1, 25, n_titles).astype(float), np.nan
+    )
+    title = Table.from_columns(
+        schema.table("title"),
+        {
+            "id": title_ids,
+            "kind_id": kind.astype(float),
+            "production_year": year,
+            "season_nr": season,
+        },
+    )
+    database.add_table(title)
+
+    # --- movie_companies ------------------------------------------------
+    lam = 0.4 + 2.2 * recency + 0.8 * (kind == 0)
+    count = rng.poisson(lam)
+    owner = np.repeat(np.arange(n_titles), count)
+    n = owner.shape[0]
+    company_id = _zipf_choice(rng, 2_000, n, a=1.4)
+    # company type: 0 production, 1 distribution; sharply correlated with
+    # title age and kind (old non-movie titles are distribution-dominated).
+    p_distribution = np.where(
+        recency[owner] < 0.45, 0.85, np.where(kind[owner] == 0, 0.12, 0.5)
+    )
+    company_type = (rng.random(n) < p_distribution).astype(float)
+    database.add_table(
+        Table.from_columns(
+            schema.table("movie_companies"),
+            {
+                "id": np.arange(n, dtype=float),
+                "movie_id": owner.astype(float),
+                "company_id": company_id.astype(float),
+                "company_type_id": company_type,
+            },
+        )
+    )
+
+    # --- cast_info --------------------------------------------------------
+    lam = 0.8 + 3.5 * recency + 1.0 * (kind == 2)
+    count = rng.poisson(lam)
+    owner = np.repeat(np.arange(n_titles), count)
+    n = owner.shape[0]
+    # 11 roles; the dominant roles shift sharply with the title's era
+    # (old: actor/actress credits; mid: directors/composers; new:
+    # writer/producer credits) -- a strong cross-table correlation.
+    era = np.digitize(recency[owner], [0.45, 0.75])  # 0 old, 1 mid, 2 new
+    era_distributions = np.array(
+        [
+            [0.55, 0.35, 0.03, 0.02, 0.01, 0.01, 0.01, 0.005, 0.005, 0.005, 0.005],
+            [0.04, 0.04, 0.42, 0.35, 0.06, 0.03, 0.02, 0.01, 0.01, 0.01, 0.01],
+            [0.02, 0.02, 0.04, 0.04, 0.32, 0.26, 0.12, 0.08, 0.05, 0.03, 0.02],
+        ]
+    )
+    u = rng.random(n)
+    cdf = np.cumsum(era_distributions, axis=1)[era]
+    role = (u[:, None] > cdf).sum(axis=1).astype(float)
+    nr_order = np.where(
+        rng.random(n) < 0.25, np.nan, rng.integers(1, 50, n).astype(float)
+    )
+    database.add_table(
+        Table.from_columns(
+            schema.table("cast_info"),
+            {
+                "id": np.arange(n, dtype=float),
+                "movie_id": owner.astype(float),
+                "role_id": role,
+                "nr_order": nr_order,
+            },
+        )
+    )
+
+    # --- movie_info -------------------------------------------------------
+    lam = 0.7 + 2.8 * recency
+    count = rng.poisson(lam)
+    owner = np.repeat(np.arange(n_titles), count)
+    n = owner.shape[0]
+    # 110 info types in per-kind blocks of 15 (plus a shared tail), so the
+    # info type distribution is strongly determined by the title's kind.
+    block = _zipf_choice(rng, 15, n, a=1.3)
+    shared_tail = rng.random(n) < 0.15
+    info = np.where(
+        shared_tail, 105 + _zipf_choice(rng, 5, n, a=1.3), kind[owner] * 15 + block
+    )
+    database.add_table(
+        Table.from_columns(
+            schema.table("movie_info"),
+            {
+                "id": np.arange(n, dtype=float),
+                "movie_id": owner.astype(float),
+                "info_type_id": info.astype(float),
+            },
+        )
+    )
+
+    # --- movie_info_idx ----------------------------------------------------
+    lam = 0.3 + 1.2 * recency
+    count = rng.poisson(lam)
+    owner = np.repeat(np.arange(n_titles), count)
+    n = owner.shape[0]
+    # 5 index info types (ratings / votes ...); sharply era-dependent
+    recent = recency[owner] > 0.6
+    info = np.where(
+        recent & (rng.random(n) < 0.9),
+        rng.choice(5, size=n, p=[0.55, 0.35, 0.05, 0.03, 0.02]),
+        rng.choice(5, size=n, p=[0.04, 0.06, 0.30, 0.30, 0.30]),
+    )
+    database.add_table(
+        Table.from_columns(
+            schema.table("movie_info_idx"),
+            {
+                "id": np.arange(n, dtype=float),
+                "movie_id": owner.astype(float),
+                "info_type_id": info.astype(float),
+            },
+        )
+    )
+
+    # --- movie_keyword -------------------------------------------------------
+    lam = 0.5 + 2.0 * recency + 0.8 * (kind == 0)
+    count = rng.poisson(lam)
+    owner = np.repeat(np.arange(n_titles), count)
+    n = owner.shape[0]
+    # keyword vocabulary in per-kind blocks of 700 with a shared popular head
+    shared_head = rng.random(n) < 0.25
+    keyword = np.where(
+        shared_head,
+        _zipf_choice(rng, 100, n, a=1.2),
+        100 + kind[owner] * 700 + _zipf_choice(rng, 700, n, a=1.25),
+    )
+    database.add_table(
+        Table.from_columns(
+            schema.table("movie_keyword"),
+            {
+                "id": np.arange(n, dtype=float),
+                "movie_id": owner.astype(float),
+                "keyword_id": keyword.astype(float),
+            },
+        )
+    )
+
+    if with_tuple_factors:
+        compute_tuple_factors(database)
+    return database
+
+
+def split_database(database, fraction, mode="random", seed=0):
+    """Split IMDb into (initial, holdout) databases for the update experiments.
+
+    ``mode='random'`` removes a random ``fraction`` of *titles* (with all
+    their dimension rows); ``mode='temporal'`` removes the most recent
+    titles.  Returns ``(initial_db, holdout_row_sets)`` where the holdout
+    is a dict table name -> boolean "held out" mask over the original rows.
+    """
+    title = database.table("title")
+    n = title.n_rows
+    if mode == "random":
+        rng = np.random.default_rng(seed)
+        held_out_titles = rng.random(n) < fraction
+    elif mode == "temporal":
+        years = title.columns["production_year"]
+        cutoff = np.quantile(years, 1.0 - fraction) if fraction > 0 else np.inf
+        held_out_titles = years >= cutoff
+    else:
+        raise ValueError(f"unknown split mode {mode!r}")
+
+    held_out = {"title": held_out_titles}
+    held_title_ids = set(title.columns["id"][held_out_titles].tolist())
+    for dimension in DIMENSIONS:
+        table = database.table(dimension)
+        movie_ids = table.columns["movie_id"]
+        held_out[dimension] = np.isin(movie_ids, list(held_title_ids))
+
+    schema = build_schema()
+    initial = Database(schema)
+    for name in database.table_names():
+        initial.add_table(database.table(name).select(~held_out[name]))
+    compute_tuple_factors(initial)
+    return initial, held_out

@@ -1,0 +1,463 @@
+"""Workloads: JOB-light style queries, the synthetic generalisation set,
+the 13 SSB standard queries and the 12 Flights AQP queries.
+
+The original JOB-light file ships with the real IMDb snapshot; its 70
+queries join ``title`` with 1-4 dimension tables under 1-4 predicates.
+The builder below emits 70 queries with the same shape distribution
+against the synthetic IMDb, seeded deterministically and filtered to
+non-empty results (as all JOB-light queries are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.executor import Executor
+from repro.engine.query import Aggregate, Predicate, Query
+
+
+@dataclass(frozen=True)
+class NamedQuery:
+    """A benchmark query; ``difference`` queries (SSB profit, Flights
+    F5.2) are the difference of the aggregates of ``query`` and
+    ``query2`` -- the paper's arithmetic-expression special case."""
+
+    name: str
+    query: Query
+    query2: Query | None = None
+
+    @property
+    def is_difference(self):
+        return self.query2 is not None
+
+
+# ----------------------------------------------------------------------
+# IMDb / JOB-light
+# ----------------------------------------------------------------------
+_IMDB_DIMENSIONS = (
+    "movie_companies",
+    "cast_info",
+    "movie_info",
+    "movie_info_idx",
+    "movie_keyword",
+)
+
+_IMDB_PREDICATE_POOLS = {
+    "title": ["production_year", "kind_id"],
+    "movie_companies": ["company_type_id", "company_id"],
+    "cast_info": ["role_id"],
+    "movie_info": ["info_type_id"],
+    "movie_info_idx": ["info_type_id"],
+    "movie_keyword": ["keyword_id"],
+}
+
+
+def _imdb_predicate(rng, database, table, column):
+    values = database.table(table).distinct_values(column, decoded=True)
+    if column == "production_year":
+        op = rng.choice(["<", ">", "<=", ">=", "BETWEEN", "="])
+        year = int(rng.choice(values))
+        if op == "BETWEEN":
+            low = int(rng.choice(values))
+            return Predicate(table, column, "BETWEEN", tuple(sorted((low, year))))
+        return Predicate(table, column, str(op), year)
+    if len(values) > 20 and rng.random() < 0.3:
+        chosen = [values[i] for i in rng.choice(len(values), size=3, replace=False)]
+        return Predicate(table, column, "IN", tuple(chosen))
+    value = values[int(rng.integers(0, min(len(values), 30)))]
+    return Predicate(table, column, "=", value)
+
+
+def _imdb_query(rng, database, n_tables, n_predicates):
+    dims = list(
+        rng.choice(_IMDB_DIMENSIONS, size=n_tables - 1, replace=False)
+    )
+    tables = ["title"] + dims
+    slots = []
+    for table in tables:
+        for column in _IMDB_PREDICATE_POOLS[table]:
+            slots.append((table, column))
+    rng.shuffle(slots)
+    predicates = []
+    for table, column in slots[:n_predicates]:
+        predicates.append(_imdb_predicate(rng, database, table, column))
+    return Query(tuple(tables), predicates=tuple(predicates))
+
+
+def imdb_workload(
+    database,
+    n_queries,
+    table_range=(2, 5),
+    predicate_range=(1, 4),
+    seed=0,
+    min_cardinality=1.0,
+):
+    """Random IMDb workload with guaranteed non-empty results."""
+    rng = np.random.default_rng(seed)
+    executor = Executor(database)
+    queries = []
+    attempt = 0
+    while len(queries) < n_queries and attempt < n_queries * 30:
+        attempt += 1
+        n_tables = int(rng.integers(table_range[0], table_range[1] + 1))
+        n_predicates = int(rng.integers(predicate_range[0], predicate_range[1] + 1))
+        query = _imdb_query(rng, database, n_tables, n_predicates)
+        if executor.cardinality(query) >= min_cardinality:
+            queries.append(
+                NamedQuery(f"q{len(queries) + 1:03d}", query)
+            )
+    return queries
+
+
+def job_light(database, seed=7):
+    """70 JOB-light style queries (joins of 2-5 tables, 1-4 predicates)."""
+    return imdb_workload(
+        database, 70, table_range=(2, 5), predicate_range=(1, 4), seed=seed
+    )
+
+
+def generalisation_workload(database, n_queries=200, seed=11):
+    """The paper's synthetic query set: 4-6 tables, 1-5 predicates
+    (Figures 1 and 7)."""
+    return imdb_workload(
+        database, n_queries, table_range=(4, 6), predicate_range=(1, 5), seed=seed
+    )
+
+
+def parameter_workload(database, n_queries=200, seed=13):
+    """Queries with 3-6 tables, 1-5 predicates (Figure 8)."""
+    return imdb_workload(
+        database, n_queries, table_range=(3, 6), predicate_range=(1, 5), seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# SSB standard queries (S1.1 - S4.3)
+# ----------------------------------------------------------------------
+def ssb_queries(database):
+    """The 13 SSB queries, adapted to the supported query class.
+
+    ``SUM(lo_extendedprice * lo_discount)`` becomes ``SUM(lo_revenue)``
+    and the Q4 "profit" queries become difference queries
+    ``SUM(lo_revenue) - SUM(lo_supplycost)`` (see DESIGN.md).  String
+    BETWEEN on brands becomes an IN list over the same brand interval.
+    """
+    lo = "lineorder"
+    revenue = Aggregate.sum(lo, "lo_revenue")
+    supplycost = Aggregate.sum(lo, "lo_supplycost")
+
+    def q(tables, preds, group_by=(), aggregate=revenue):
+        return Query(
+            tuple(tables),
+            aggregate=aggregate,
+            predicates=tuple(preds),
+            group_by=tuple(group_by),
+        )
+
+    brands_22 = [f"MFGR#22{b:02d}" for b in range(3, 7)]
+    queries = [
+        NamedQuery(
+            "S1.1",
+            q(
+                (lo, "date"),
+                [
+                    Predicate("date", "d_year", "=", 1993),
+                    Predicate(lo, "lo_discount", "BETWEEN", (1, 3)),
+                    Predicate(lo, "lo_quantity", "<", 25),
+                ],
+            ),
+        ),
+        NamedQuery(
+            "S1.2",
+            q(
+                (lo, "date"),
+                [
+                    Predicate("date", "d_yearmonthnum", "=", 199401),
+                    Predicate(lo, "lo_discount", "BETWEEN", (4, 6)),
+                    Predicate(lo, "lo_quantity", "BETWEEN", (26, 35)),
+                ],
+            ),
+        ),
+        NamedQuery(
+            "S1.3",
+            q(
+                (lo, "date"),
+                [
+                    Predicate("date", "d_weeknuminyear", "=", 6),
+                    Predicate("date", "d_year", "=", 1994),
+                    Predicate(lo, "lo_discount", "BETWEEN", (5, 7)),
+                    Predicate(lo, "lo_quantity", "BETWEEN", (26, 35)),
+                ],
+            ),
+        ),
+        NamedQuery(
+            "S2.1",
+            q(
+                (lo, "date", "part", "supplier"),
+                [
+                    Predicate("part", "p_category", "=", "MFGR#12"),
+                    Predicate("supplier", "s_region", "=", "AMERICA"),
+                ],
+                group_by=[("date", "d_year"), ("part", "p_brand1")],
+            ),
+        ),
+        NamedQuery(
+            "S2.2",
+            q(
+                (lo, "date", "part", "supplier"),
+                [
+                    Predicate("part", "p_brand1", "IN", tuple(brands_22)),
+                    Predicate("supplier", "s_region", "=", "ASIA"),
+                ],
+                group_by=[("date", "d_year"), ("part", "p_brand1")],
+            ),
+        ),
+        NamedQuery(
+            "S2.3",
+            q(
+                (lo, "date", "part", "supplier"),
+                [
+                    Predicate("part", "p_brand1", "=", "MFGR#2205"),
+                    Predicate("supplier", "s_region", "=", "EUROPE"),
+                ],
+                group_by=[("date", "d_year"), ("part", "p_brand1")],
+            ),
+        ),
+        NamedQuery(
+            "S3.1",
+            q(
+                (lo, "customer", "supplier", "date"),
+                [
+                    Predicate("customer", "c_region", "=", "ASIA"),
+                    Predicate("supplier", "s_region", "=", "ASIA"),
+                    Predicate("date", "d_year", "BETWEEN", (1992, 1997)),
+                ],
+                group_by=[("customer", "c_nation"), ("date", "d_year")],
+            ),
+        ),
+        NamedQuery(
+            "S3.2",
+            q(
+                (lo, "customer", "supplier", "date"),
+                [
+                    Predicate("customer", "c_nation", "=", "AME_NATION1"),
+                    Predicate("supplier", "s_nation", "=", "AME_NATION1"),
+                    Predicate("date", "d_year", "BETWEEN", (1992, 1997)),
+                ],
+                group_by=[("customer", "c_city"), ("date", "d_year")],
+            ),
+        ),
+        NamedQuery(
+            "S3.3",
+            q(
+                (lo, "customer", "supplier", "date"),
+                [
+                    Predicate(
+                        "customer", "c_city", "IN", ("EUR_N1_CITY1", "EUR_N1_CITY5")
+                    ),
+                    Predicate(
+                        "supplier", "s_city", "IN", ("EUR_N1_CITY1", "EUR_N1_CITY5")
+                    ),
+                    Predicate("date", "d_year", "BETWEEN", (1992, 1997)),
+                ],
+                group_by=[("customer", "c_city"), ("date", "d_year")],
+            ),
+        ),
+        NamedQuery(
+            "S3.4",
+            q(
+                (lo, "customer", "supplier", "date"),
+                [
+                    Predicate(
+                        "customer", "c_city", "IN", ("EUR_N1_CITY1", "EUR_N1_CITY5")
+                    ),
+                    Predicate(
+                        "supplier", "s_city", "IN", ("EUR_N1_CITY1", "EUR_N1_CITY5")
+                    ),
+                    Predicate("date", "d_yearmonthnum", "=", 199712),
+                ],
+                group_by=[("customer", "c_city"), ("date", "d_year")],
+            ),
+        ),
+        NamedQuery(
+            "S4.1",
+            q(
+                (lo, "customer", "supplier", "part", "date"),
+                [
+                    Predicate("customer", "c_region", "=", "AMERICA"),
+                    Predicate("supplier", "s_region", "=", "AMERICA"),
+                    Predicate("part", "p_mfgr", "IN", ("MFGR#1", "MFGR#2")),
+                ],
+                group_by=[("date", "d_year"), ("customer", "c_nation")],
+            ),
+            query2=q(
+                (lo, "customer", "supplier", "part", "date"),
+                [
+                    Predicate("customer", "c_region", "=", "AMERICA"),
+                    Predicate("supplier", "s_region", "=", "AMERICA"),
+                    Predicate("part", "p_mfgr", "IN", ("MFGR#1", "MFGR#2")),
+                ],
+                group_by=[("date", "d_year"), ("customer", "c_nation")],
+                aggregate=supplycost,
+            ),
+        ),
+        NamedQuery(
+            "S4.2",
+            q(
+                (lo, "customer", "supplier", "part", "date"),
+                [
+                    Predicate("customer", "c_region", "=", "AMERICA"),
+                    Predicate("supplier", "s_region", "=", "AMERICA"),
+                    Predicate("date", "d_year", "IN", (1997, 1998)),
+                    Predicate("part", "p_mfgr", "IN", ("MFGR#1", "MFGR#2")),
+                ],
+                group_by=[("date", "d_year"), ("supplier", "s_nation")],
+            ),
+            query2=q(
+                (lo, "customer", "supplier", "part", "date"),
+                [
+                    Predicate("customer", "c_region", "=", "AMERICA"),
+                    Predicate("supplier", "s_region", "=", "AMERICA"),
+                    Predicate("date", "d_year", "IN", (1997, 1998)),
+                    Predicate("part", "p_mfgr", "IN", ("MFGR#1", "MFGR#2")),
+                ],
+                group_by=[("date", "d_year"), ("supplier", "s_nation")],
+                aggregate=supplycost,
+            ),
+        ),
+        NamedQuery(
+            "S4.3",
+            q(
+                (lo, "customer", "supplier", "part", "date"),
+                [
+                    Predicate("supplier", "s_nation", "=", "AME_NATION2"),
+                    Predicate("part", "p_category", "=", "MFGR#14"),
+                    Predicate("date", "d_year", "IN", (1997, 1998)),
+                ],
+                group_by=[("date", "d_year"), ("supplier", "s_city")],
+            ),
+        ),
+    ]
+    return queries
+
+
+# ----------------------------------------------------------------------
+# Flights AQP queries (F1.1 - F5.2)
+# ----------------------------------------------------------------------
+def flights_queries(database):
+    """12 Flights queries, selectivities from ~100% down to ~0.01%."""
+    f = "flights"
+
+    def q(aggregate, preds=(), group_by=()):
+        return Query(
+            (f,),
+            aggregate=aggregate,
+            predicates=tuple(preds),
+            group_by=tuple(group_by),
+        )
+
+    count = Aggregate.count()
+    return [
+        NamedQuery("F1.1", q(count, group_by=[(f, "unique_carrier")])),
+        NamedQuery(
+            "F1.2",
+            q(Aggregate.avg(f, "dep_delay"), group_by=[(f, "unique_carrier")]),
+        ),
+        NamedQuery(
+            "F2.1",
+            q(
+                Aggregate.avg(f, "arr_delay"),
+                [Predicate(f, "year_date", ">=", 2015)],
+                group_by=[(f, "unique_carrier")],
+            ),
+        ),
+        NamedQuery(
+            "F2.2",
+            q(
+                count,
+                [Predicate(f, "dest", "=", "AP05")],
+                group_by=[(f, "unique_carrier")],
+            ),
+        ),
+        NamedQuery(
+            "F2.3",
+            q(
+                Aggregate.sum(f, "distance"),
+                [Predicate(f, "year_date", "=", 2018)],
+                group_by=[(f, "month")],
+            ),
+        ),
+        NamedQuery(
+            "F3.1",
+            q(
+                Aggregate.avg(f, "taxi_out"),
+                [
+                    Predicate(f, "origin", "=", "AP03"),
+                    Predicate(f, "month", "IN", (6, 7, 8)),
+                ],
+            ),
+        ),
+        NamedQuery(
+            "F3.2",
+            q(
+                Aggregate.avg(f, "arr_delay"),
+                [
+                    Predicate(f, "unique_carrier", "=", "CARRIER_05"),
+                    Predicate(f, "dest", "=", "AP11"),
+                ],
+            ),
+        ),
+        NamedQuery(
+            "F3.3",
+            q(
+                count,
+                [
+                    Predicate(f, "origin", "=", "AP21"),
+                    Predicate(f, "dest", "=", "AP33"),
+                ],
+            ),
+        ),
+        NamedQuery(
+            "F4.1",
+            q(
+                Aggregate.sum(f, "air_time"),
+                [
+                    Predicate(f, "unique_carrier", "=", "CARRIER_09"),
+                    Predicate(f, "year_date", ">=", 2017),
+                ],
+                group_by=[(f, "year_date")],
+            ),
+        ),
+        NamedQuery(
+            "F4.2",
+            q(
+                Aggregate.avg(f, "dep_delay"),
+                [
+                    Predicate(f, "month", "=", 1),
+                    Predicate(f, "day_of_week", "=", "DAY_1"),
+                    Predicate(f, "origin", "=", "AP02"),
+                ],
+            ),
+        ),
+        NamedQuery(
+            "F5.1",
+            q(
+                Aggregate.sum(f, "arr_delay"),
+                [Predicate(f, "year_date", "=", 2019)],
+                group_by=[(f, "unique_carrier")],
+            ),
+        ),
+        NamedQuery(
+            "F5.2",
+            q(
+                Aggregate.sum(f, "arr_delay"),
+                [Predicate(f, "unique_carrier", "=", "CARRIER_03")],
+            ),
+            query2=q(
+                Aggregate.sum(f, "dep_delay"),
+                [Predicate(f, "unique_carrier", "=", "CARRIER_03")],
+            ),
+        ),
+    ]

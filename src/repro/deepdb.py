@@ -1,0 +1,147 @@
+"""The user-facing DeepDB facade (Figure 2 of the paper).
+
+``DeepDB.learn(database)`` runs the offline phase: tuple factors are
+computed, table correlations measured, and the RSPN ensemble learned.
+The resulting object serves the runtime tasks:
+
+- :meth:`DeepDB.cardinality` -- cardinality estimation for an optimizer,
+- :meth:`DeepDB.approximate` / :meth:`DeepDB.approximate_with_confidence`
+  -- approximate query processing with optional confidence intervals,
+- :meth:`DeepDB.regressor` / :meth:`DeepDB.classifier` -- ML tasks,
+- :meth:`DeepDB.insert` / :meth:`DeepDB.delete` -- direct updates.
+"""
+
+from __future__ import annotations
+
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.core.ml import RspnClassifier, RspnRegressor
+from repro.engine.join import qualify
+from repro.engine.parser import parse_query
+
+
+class DeepDB:
+    """An RSPN ensemble plus probabilistic query compilation."""
+
+    def __init__(self, database, ensemble):
+        self.database = database
+        self.ensemble = ensemble
+        self.compiler = ProbabilisticQueryCompiler(ensemble)
+
+    @classmethod
+    def learn(cls, database, config: EnsembleConfig | None = None):
+        """Offline learning phase: build the RSPN ensemble for a database."""
+        ensemble = learn_ensemble(database, config)
+        return cls(database, ensemble)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Persist the learned ensemble (not the data) to a JSON file."""
+        from repro.core.serialization import save_ensemble
+
+        save_ensemble(self.ensemble, path)
+
+    @classmethod
+    def load(cls, path, database):
+        """Re-open a persisted ensemble against its database."""
+        from repro.core.serialization import load_ensemble
+
+        return cls(database, load_ensemble(path, database))
+
+    # ------------------------------------------------------------------
+    # Runtime tasks
+    # ------------------------------------------------------------------
+    def parse(self, sql):
+        """Parse a SQL string of the supported subset into a Query."""
+        return parse_query(sql, self.database.schema)
+
+    def cardinality(self, query):
+        """Cardinality estimate (>= 1) for the query optimizer."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        return self.compiler.cardinality(query)
+
+    def approximate(self, query):
+        """Approximate answer: scalar or ``{group: value}``."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        return self.compiler.answer(query)
+
+    def approximate_with_confidence(self, query, confidence=0.95):
+        """Approximate answer plus confidence interval(s)."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        return self.compiler.answer_with_confidence(query, confidence)
+
+    def regressor(self, table, target_column, feature_columns=None):
+        """Regression model for ``table.target_column`` (Section 4.3)."""
+        rspn = self._model_for_column(table, target_column)
+        features = None
+        if feature_columns is not None:
+            features = [qualify(table, c) for c in feature_columns]
+        return RspnRegressor(rspn, qualify(table, target_column), features)
+
+    def classifier(self, table, target_column, feature_columns=None):
+        """Classification model for ``table.target_column``."""
+        rspn = self._model_for_column(table, target_column)
+        features = None
+        if feature_columns is not None:
+            features = [qualify(table, c) for c in feature_columns]
+        return RspnClassifier(rspn, qualify(table, target_column), features)
+
+    def _model_for_column(self, table, column):
+        qualified = qualify(table, column)
+        candidates = [
+            r for r in self.ensemble.rspns if r.has_column(qualified)
+        ]
+        if not candidates:
+            raise KeyError(f"no RSPN models column {qualified!r}")
+        return min(candidates, key=lambda r: len(r.tables))
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, table, row: dict):
+        """Insert one tuple into every RSPN covering ``table``.
+
+        ``row`` maps column names to *raw* values; they are encoded with
+        the table's vocabularies.  Join RSPNs receive the tuple with the
+        join-partner columns NULL-extended, matching how a fresh tuple
+        without partners enters the full outer join.
+        """
+        self._apply_update(table, row, insert=True)
+
+    def delete(self, table, row: dict):
+        """Delete one tuple from every RSPN covering ``table``."""
+        self._apply_update(table, row, insert=False)
+
+    def _apply_update(self, table, row, insert):
+        encoded = self._encode_row(table, row)
+        for rspn in self.ensemble.touching(table):
+            model_row = {
+                name: encoded.get(name)
+                for name in rspn.column_names
+                if name in encoded
+            }
+            if rspn.is_join_model:
+                model_row[qualify(table, "__present__")] = 1.0
+                for other in rspn.tables - {table}:
+                    model_row[qualify(other, "__present__")] = 0.0
+            if insert:
+                rspn.insert(model_row)
+            else:
+                rspn.delete(model_row)
+
+    def _encode_row(self, table_name, row):
+        table = self.database.table(table_name)
+        encoded = {}
+        for column, value in row.items():
+            encoded[qualify(table_name, column)] = (
+                None if value is None else table.encode_value(column, value)
+            )
+        return encoded
+
+    def describe(self):
+        return self.ensemble.describe()

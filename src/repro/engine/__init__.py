@@ -1,0 +1,25 @@
+"""In-memory relational engine used as the substrate for DeepDB.
+
+The paper evaluates against exact query results produced by a real DBMS
+(Postgres); offline we provide an equivalent substrate:
+
+- :mod:`repro.engine.table` -- dictionary-encoded column-store tables and
+  the :class:`Database` container.
+- :mod:`repro.engine.query` -- the AST for the supported query class
+  (COUNT/SUM/AVG aggregates, conjunctive predicates, FK equi-joins,
+  GROUP BY, inner and outer joins).
+- :mod:`repro.engine.parser` -- a parser for the SQL subset of the paper.
+- :mod:`repro.engine.executor` -- exact execution (ground truth for all
+  experiments), with a factorized fast path for COUNT over join trees.
+- :mod:`repro.engine.join` -- full-outer-join materialisation, exact join
+  size computation and unbiased join-row sampling; tuple factors
+  ``F_{S<-T}`` of Section 4.1.
+- :mod:`repro.engine.indexes` -- adjacency indexes backing the sampling
+  baselines (IBJS, Wander Join).
+"""
+
+from repro.engine.executor import Executor
+from repro.engine.query import Aggregate, Predicate, Query
+from repro.engine.table import Database, Table
+
+__all__ = ["Aggregate", "Database", "Executor", "Predicate", "Query", "Table"]

@@ -1,0 +1,66 @@
+"""Vectorised predicate evaluation on encoded columns.
+
+Comparisons follow SQL three-valued logic: a predicate on a NULL value
+is not true, so NULL rows never satisfy ``=``, ``<>``, ranges or ``IN``;
+they only satisfy ``IS NULL``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def predicate_mask(table, predicate):
+    """Boolean mask of rows of ``table`` satisfying ``predicate``."""
+    values = table.columns[predicate.column]
+    not_null = ~np.isnan(values)
+    op = predicate.op
+    if op == "IS NULL":
+        return ~not_null
+    if op == "IS NOT NULL":
+        return not_null
+
+    if op == "IN":
+        codes = [table.encode_value(predicate.column, v) for v in predicate.value]
+        codes = [c for c in codes if c is not None]
+        if not codes:
+            return np.zeros(table.n_rows, dtype=bool)
+        mask = np.isin(values, np.asarray(codes, dtype=float))
+        return mask & not_null
+    if op == "BETWEEN":
+        low = table.encode_value(predicate.column, predicate.value[0])
+        high = table.encode_value(predicate.column, predicate.value[1])
+        if low is None or high is None:
+            return np.zeros(table.n_rows, dtype=bool)
+        with np.errstate(invalid="ignore"):
+            return (values >= low) & (values <= high)
+
+    constant = table.encode_value(predicate.column, predicate.value)
+    if constant is None:
+        # Unknown categorical constant: '=' selects nothing, '<>' selects
+        # every non-NULL row.
+        if op == "<>":
+            return not_null.copy()
+        return np.zeros(table.n_rows, dtype=bool)
+    with np.errstate(invalid="ignore"):
+        if op == "=":
+            return values == constant
+        if op == "<>":
+            return not_null & (values != constant)
+        if op == "<":
+            return values < constant
+        if op == "<=":
+            return values <= constant
+        if op == ">":
+            return values > constant
+        if op == ">=":
+            return values >= constant
+    raise ValueError(f"unsupported operator {op!r}")
+
+
+def conjunction_mask(table, predicates):
+    """Mask of rows satisfying all ``predicates`` (empty list = all rows)."""
+    mask = np.ones(table.n_rows, dtype=bool)
+    for predicate in predicates:
+        mask &= predicate_mask(table, predicate)
+    return mask

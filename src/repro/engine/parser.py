@@ -1,0 +1,493 @@
+"""Parser for the SQL subset of the paper's query class.
+
+Grammar (case-insensitive keywords)::
+
+    query     := SELECT agg FROM tables [WHERE bool]
+                 [GROUP BY cols [HAVING hcond (AND hcond)*]
+                  [ORDER BY agg [ASC|DESC]] [LIMIT n]]
+    agg       := COUNT(*) | SUM(col) | AVG(col)
+    tables    := table [alias] ("," table [alias] | NATURAL JOIN table [alias]
+                 | JOIN table [alias] [ON col = col])*
+    bool      := conj (OR conj)*
+    conj      := unit (AND unit)*
+    unit      := NOT unit | "(" bool ")" | pred
+    pred      := col op literal | col BETWEEN lit AND lit
+               | col IN (lit, ...) | col IS [NOT] NULL | col = col (join)
+    hcond     := agg op number
+    col       := [name "."] name
+
+Join conditions are validated against the schema's FK edges and then
+dropped -- joins are implicit along FK edges, as in the query AST.
+WHERE expressions are normalised: NOT is pushed to the atoms (De
+Morgan; SQL three-valued logic preserved), then the tree is converted
+to CNF whose singleton clauses become plain predicates and whose
+multi-atom clauses become the query's OR groups (answered via
+inclusion-exclusion).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.engine.query import Aggregate, Having, Predicate, Query
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<num>-?\d+\.\d+|-?\d+)|(?P<str>'[^']*')|(?P<id>[A-Za-z_][\w.]*)"
+    r"|(?P<op><>|<=|>=|!=|=|<|>|\(|\)|,|\*))"
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "or", "group", "by", "join", "natural",
+    "on", "count", "sum", "avg", "in", "between", "is", "not", "null",
+    "inner", "left", "full", "outer", "as", "having", "order", "limit",
+    "asc", "desc",
+}
+
+_MAX_CNF_CLAUSES = 128
+
+
+def tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if not match:
+            if text[pos:].strip() in ("", ";"):
+                break
+            raise SyntaxError(f"cannot tokenize near: {text[pos:pos + 20]!r}")
+        pos = match.end()
+        if match.lastgroup == "num":
+            value = match.group("num")
+            tokens.append(("num", float(value) if "." in value else int(value)))
+        elif match.lastgroup == "str":
+            tokens.append(("str", match.group("str")[1:-1]))
+        elif match.lastgroup == "id":
+            word = match.group("id")
+            if word.lower() in _KEYWORDS and "." not in word:
+                tokens.append(("kw", word.lower()))
+            else:
+                tokens.append(("id", word))
+        else:
+            tokens.append(("op", match.group("op")))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens, schema):
+        self.tokens = tokens
+        self.schema = schema
+        self.pos = 0
+        self.aliases = {}
+
+    def peek(self, offset=0):
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else (None, None)
+
+    def next(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect(self, kind, value=None):
+        token_kind, token_value = self.next()
+        if token_kind != kind or (value is not None and token_value != value):
+            raise SyntaxError(f"expected {value or kind}, got {token_value!r}")
+        return token_value
+
+    # -- column references -------------------------------------------------
+    def resolve_column(self, name):
+        if "." in name:
+            qualifier, column = name.split(".", 1)
+            table = self.aliases.get(qualifier, qualifier)
+            if table not in self.schema.tables:
+                raise SyntaxError(f"unknown table or alias {qualifier!r}")
+            return table, column
+        candidates = [
+            t for t in self.aliases.values()
+            if self.schema.tables[t].has_attribute(name)
+        ]
+        if len(candidates) != 1:
+            raise SyntaxError(f"ambiguous or unknown column {name!r}")
+        return candidates[0], name
+
+    # -- clauses -----------------------------------------------------------
+    def parse(self):
+        self.expect("kw", "select")
+        agg_spec = self.parse_aggregate()
+        self.expect("kw", "from")
+        self.parse_tables()
+        aggregate = self.finish_aggregate(agg_spec)
+        predicates, disjunctions = [], []
+        if self.peek() == ("kw", "where"):
+            self.next()
+            predicates, disjunctions = self.parse_where()
+        group_by = []
+        if self.peek() == ("kw", "group"):
+            self.next()
+            self.expect("kw", "by")
+            group_by.append(self.resolve_column(self.expect("id")))
+            while self.peek() == ("op", ","):
+                self.next()
+                group_by.append(self.resolve_column(self.expect("id")))
+        having = self.parse_having()
+        order = self.parse_order(aggregate)
+        limit = self.parse_limit()
+        tables = tuple(dict.fromkeys(self.aliases.values()))
+        return Query(
+            tables=tables,
+            aggregate=aggregate,
+            predicates=tuple(predicates),
+            group_by=tuple(group_by),
+            disjunctions=tuple(disjunctions),
+            having=tuple(having),
+            order=order,
+            limit=limit,
+        )
+
+    def parse_having(self):
+        if self.peek() != ("kw", "having"):
+            return []
+        self.next()
+        clauses = [self.parse_having_condition()]
+        while self.peek() == ("kw", "and"):
+            self.next()
+            clauses.append(self.parse_having_condition())
+        return clauses
+
+    def parse_having_condition(self):
+        aggregate = self.finish_aggregate(self.parse_aggregate())
+        kind, op = self.next()
+        if kind != "op" or op not in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            raise SyntaxError(f"unsupported HAVING operator {op!r}")
+        literal = self.parse_literal()
+        if not isinstance(literal, (int, float)):
+            raise SyntaxError("HAVING requires a numeric constant")
+        return Having(aggregate, "<>" if op == "!=" else op, float(literal))
+
+    def parse_order(self, aggregate):
+        if self.peek() != ("kw", "order"):
+            return None
+        self.next()
+        self.expect("kw", "by")
+        ordered_on = self.finish_aggregate(self.parse_aggregate())
+        if ordered_on != aggregate:
+            raise SyntaxError(
+                "ORDER BY must name the selected aggregate "
+                f"({aggregate.describe()})"
+            )
+        direction = "asc"
+        if self.peek() in (("kw", "asc"), ("kw", "desc")):
+            direction = self.next()[1]
+        return direction
+
+    def parse_limit(self):
+        if self.peek() != ("kw", "limit"):
+            return None
+        self.next()
+        kind, value = self.next()
+        if kind != "num" or not isinstance(value, int) or value < 1:
+            raise SyntaxError("LIMIT requires a positive integer")
+        return value
+
+    def parse_aggregate(self):
+        kind, value = self.next()
+        if kind != "kw" or value not in ("count", "sum", "avg"):
+            raise SyntaxError(f"expected aggregate, got {value!r}")
+        self.expect("op", "(")
+        if value == "count":
+            if self.peek() == ("op", "*"):
+                self.next()
+            self.expect("op", ")")
+            return ("COUNT", None)
+        column = self.expect("id")
+        self.expect("op", ")")
+        return (value.upper(), column)
+
+    def finish_aggregate(self, spec):
+        function, column = spec
+        if function == "COUNT":
+            return Aggregate.count()
+        table, column = self.resolve_column(column)
+        return Aggregate(function, table, column)
+
+    def parse_tables(self):
+        self.parse_table_ref()
+        while True:
+            token = self.peek()
+            if token == ("op", ","):
+                self.next()
+                self.parse_table_ref()
+            elif token == ("kw", "natural"):
+                self.next()
+                self.expect("kw", "join")
+                self.parse_table_ref()
+            elif token == ("kw", "join") or token in (
+                ("kw", "inner"), ("kw", "left"), ("kw", "full"),
+            ):
+                if token[1] in ("inner", "left", "full"):
+                    self.next()
+                    if self.peek() == ("kw", "outer"):
+                        self.next()
+                self.expect("kw", "join")
+                self.parse_table_ref()
+                if self.peek() == ("kw", "on"):
+                    self.next()
+                    self.parse_join_condition()
+            else:
+                break
+
+    def parse_table_ref(self):
+        name = self.expect("id")
+        if name not in self.schema.tables:
+            raise SyntaxError(f"unknown table {name!r}")
+        alias = name
+        if self.peek() == ("kw", "as"):
+            self.next()
+            alias = self.expect("id")
+        elif self.peek()[0] == "id":
+            alias = self.expect("id")
+        self.aliases[alias] = name
+        self.aliases.setdefault(name, name)
+
+    def parse_join_condition(self):
+        left_table, left_column = self.resolve_column(self.expect("id"))
+        self.expect("op", "=")
+        right_table, right_column = self.resolve_column(self.expect("id"))
+        for fk in self.schema.foreign_keys:
+            pair = {(fk.parent, fk.pk_column), (fk.child, fk.fk_column)}
+            if pair == {(left_table, left_column), (right_table, right_column)}:
+                return
+        raise SyntaxError(
+            f"join condition {left_table}.{left_column} = "
+            f"{right_table}.{right_column} does not match a foreign key"
+        )
+
+    def parse_where(self):
+        """Parse the WHERE clause into ``(predicates, disjunctions)``.
+
+        The boolean expression (AND / OR / parentheses over atomic
+        predicates) is normalised to conjunctive normal form; singleton
+        clauses become plain predicates, multi-atom clauses become OR
+        groups answered via inclusion-exclusion.
+        """
+        expression = _push_negations(self.parse_or_expression())
+        clauses = _to_cnf(expression)
+        predicates, disjunctions = [], []
+        for clause in clauses:
+            atoms = [a for a in clause if not isinstance(a, _JoinConditionMarker)]
+            if len(atoms) < len(clause) and len(clause) > 1:
+                raise SyntaxError("join conditions cannot appear inside OR")
+            if not atoms:
+                continue
+            if len(atoms) == 1:
+                predicates.append(atoms[0])
+            else:
+                disjunctions.append(tuple(dict.fromkeys(atoms)))
+        return predicates, disjunctions
+
+    def parse_or_expression(self):
+        parts = [self.parse_and_expression()]
+        while self.peek() == ("kw", "or"):
+            self.next()
+            parts.append(self.parse_and_expression())
+        return parts[0] if len(parts) == 1 else ("or", parts)
+
+    def parse_and_expression(self):
+        parts = [self.parse_boolean_unit()]
+        while self.peek() == ("kw", "and"):
+            self.next()
+            parts.append(self.parse_boolean_unit())
+        return parts[0] if len(parts) == 1 else ("and", parts)
+
+    def parse_boolean_unit(self):
+        if self.peek() == ("kw", "not"):
+            self.next()
+            return ("not", self.parse_boolean_unit())
+        if self.peek() == ("op", "("):
+            self.next()
+            inner = self.parse_or_expression()
+            self.expect("op", ")")
+            return inner
+        return ("atom", self.parse_predicate())
+
+    def parse_predicate(self):
+        table, column = self.resolve_column(self.expect("id"))
+        kind, value = self.next()
+        if kind == "kw" and value == "is":
+            if self.peek() == ("kw", "not"):
+                self.next()
+                self.expect("kw", "null")
+                return Predicate(table, column, "IS NOT NULL")
+            self.expect("kw", "null")
+            return Predicate(table, column, "IS NULL")
+        if kind == "kw" and value == "in":
+            self.expect("op", "(")
+            literals = [self.parse_literal()]
+            while self.peek() == ("op", ","):
+                self.next()
+                literals.append(self.parse_literal())
+            self.expect("op", ")")
+            return Predicate(table, column, "IN", tuple(literals))
+        if kind == "kw" and value == "between":
+            low = self.parse_literal()
+            self.expect("kw", "and")
+            high = self.parse_literal()
+            return Predicate(table, column, "BETWEEN", (low, high))
+        if kind == "op" and value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = "<>" if value == "!=" else value
+            # A column on the right-hand side is a join condition in the
+            # WHERE clause (e.g. JOB-light style t.id = ci.movie_id).
+            next_kind, next_value = self.peek()
+            if op == "=" and next_kind == "id":
+                probe = self.pos
+                try:
+                    self.resolve_column(next_value)
+                except SyntaxError:
+                    pass
+                else:
+                    self.pos = probe + 1
+                    right = self.resolve_column(next_value)
+                    self._validate_fk_pair((table, column), right)
+                    return None_PREDICATE
+            literal = self.parse_literal()
+            return Predicate(table, column, op, literal)
+        raise SyntaxError(f"unsupported predicate operator {value!r}")
+
+    def _validate_fk_pair(self, left, right):
+        for fk in self.schema.foreign_keys:
+            pair = {(fk.parent, fk.pk_column), (fk.child, fk.fk_column)}
+            if pair == {left, right}:
+                return
+        raise SyntaxError(f"equality {left} = {right} does not match a foreign key")
+
+    def parse_literal(self):
+        kind, value = self.next()
+        if kind in ("num", "str"):
+            return value
+        if kind == "kw" and value == "null":
+            return None
+        raise SyntaxError(f"expected literal, got {value!r}")
+
+
+class _JoinConditionMarker:
+    """Sentinel for WHERE-clause join conditions (dropped after check)."""
+
+
+None_PREDICATE = _JoinConditionMarker()
+
+
+def _push_negations(expression):
+    """Eliminate ``not`` nodes: De Morgan over AND/OR, negated atoms.
+
+    Atom negation follows SQL three-valued logic -- a negated comparison
+    still excludes NULL rows (``NOT (x < 5)`` is not true for NULL x),
+    which the negated operators' ranges encode already.  ``NOT IN``
+    becomes a conjunction of ``<>`` atoms; ``NOT BETWEEN`` becomes a
+    disjunction of the two outside ranges.
+    """
+    kind = expression[0]
+    if kind == "atom":
+        return expression
+    if kind in ("and", "or"):
+        return (kind, [_push_negations(child) for child in expression[1]])
+    if kind == "not":
+        inner = expression[1]
+        inner_kind = inner[0]
+        if inner_kind == "not":
+            return _push_negations(inner[1])
+        if inner_kind == "and":
+            return _push_negations(("or", [("not", c) for c in inner[1]]))
+        if inner_kind == "or":
+            return _push_negations(("and", [("not", c) for c in inner[1]]))
+        return _negate_atom(inner[1])
+    raise SyntaxError(f"unknown boolean node {kind!r}")
+
+
+_NEGATED_OPS = {"=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def _negate_atom(predicate):
+    """Negation of one predicate, as a boolean expression tree."""
+    if isinstance(predicate, _JoinConditionMarker):
+        raise SyntaxError("join conditions cannot be negated")
+    op = predicate.op
+    if op in _NEGATED_OPS:
+        return ("atom", Predicate(
+            predicate.table, predicate.column, _NEGATED_OPS[op], predicate.value
+        ))
+    if op == "IS NULL":
+        return ("atom", Predicate(predicate.table, predicate.column, "IS NOT NULL"))
+    if op == "IS NOT NULL":
+        return ("atom", Predicate(predicate.table, predicate.column, "IS NULL"))
+    if op == "IN":
+        return (
+            "and",
+            [
+                ("atom", Predicate(predicate.table, predicate.column, "<>", v))
+                for v in predicate.value
+            ],
+        )
+    if op == "BETWEEN":
+        low, high = predicate.value
+        return (
+            "or",
+            [
+                ("atom", Predicate(predicate.table, predicate.column, "<", low)),
+                ("atom", Predicate(predicate.table, predicate.column, ">", high)),
+            ],
+        )
+    raise SyntaxError(f"cannot negate operator {op!r}")
+
+
+def _to_cnf(expression):
+    """Boolean expression tree -> list of clauses (each a list of atoms).
+
+    ``or`` distributes over the children's clause lists, which can grow
+    multiplicatively; expressions needing more than ``_MAX_CNF_CLAUSES``
+    clauses are rejected.
+    """
+    kind = expression[0]
+    if kind == "atom":
+        return [[expression[1]]]
+    if kind == "and":
+        clauses = []
+        for child in expression[1]:
+            clauses.extend(_to_cnf(child))
+        return clauses
+    if kind == "or":
+        clauses = [[]]
+        for child in expression[1]:
+            child_clauses = _to_cnf(child)
+            clauses = [
+                existing + extra
+                for existing in clauses
+                for extra in child_clauses
+            ]
+            if len(clauses) > _MAX_CNF_CLAUSES:
+                raise SyntaxError("WHERE clause is too complex to normalise")
+        return clauses
+    raise SyntaxError(f"unknown boolean node {kind!r}")
+
+
+def parse_query(sql, schema):
+    """Parse ``sql`` into a :class:`~repro.engine.query.Query`.
+
+    Join conditions (explicit ``ON`` or WHERE-clause key equalities) are
+    validated against the schema's FK edges and then represented
+    implicitly, matching the engine's query model.
+    """
+    parser = _Parser(tokenize(sql), schema)
+    query = parser.parse()
+    predicates = tuple(
+        p for p in query.predicates if not isinstance(p, _JoinConditionMarker)
+    )
+    return Query(
+        tables=query.tables,
+        aggregate=query.aggregate,
+        predicates=predicates,
+        group_by=query.group_by,
+        disjunctions=query.disjunctions,
+        having=query.having,
+        order=query.order,
+        limit=query.limit,
+    )

@@ -1,0 +1,29 @@
+"""Evaluation utilities: metrics and textual report tables.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report: q-error percentiles (Table 1), per-query relative errors
+(Figures 9/10), relative confidence-interval lengths (Figure 11),
+cumulative training times (Figure 12) and RMSE/training-time pairs
+(Figure 13).
+"""
+
+from repro.evaluation.metrics import (
+    average_relative_error,
+    percentiles,
+    q_error,
+    relative_error,
+    rmse,
+)
+from repro.evaluation.plots import bar_chart, series_chart
+from repro.evaluation.report import Report
+
+__all__ = [
+    "Report",
+    "bar_chart",
+    "series_chart",
+    "average_relative_error",
+    "percentiles",
+    "q_error",
+    "relative_error",
+    "rmse",
+]

@@ -1,0 +1,66 @@
+"""Metrics used throughout the paper's evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def q_error(true_value, estimate):
+    """The factor by which an estimate differs from the truth (>= 1).
+
+    Both values are clamped to >= 1, the convention of the cardinality
+    estimation literature (and the paper): only relative differences
+    matter for optimizer decisions.
+    """
+    true_value = max(float(true_value), 1.0)
+    estimate = max(float(estimate), 1.0)
+    return max(true_value / estimate, estimate / true_value)
+
+
+def relative_error(true_value, estimate):
+    """``|true - est| / |true|``; ``est=None`` (no result) counts as 100%."""
+    if true_value is None:
+        return 0.0
+    if estimate is None:
+        return 1.0
+    true_value = float(true_value)
+    if true_value == 0.0:
+        return 0.0 if float(estimate) == 0.0 else 1.0
+    return abs(true_value - float(estimate)) / abs(true_value)
+
+
+def average_relative_error(true_groups, estimated_groups):
+    """Per-group relative error averaged over the *true* groups.
+
+    Matches the paper's group-by evaluation: every true group missing
+    from the estimate contributes an error of 100%.
+    """
+    if not isinstance(true_groups, dict):
+        return relative_error(true_groups, estimated_groups)
+    if not true_groups:
+        return 0.0
+    estimated_groups = estimated_groups or {}
+    errors = [
+        relative_error(value, estimated_groups.get(key))
+        for key, value in true_groups.items()
+        if value is not None
+    ]
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def percentiles(values, points=(50, 90, 95, 100)):
+    """Named percentiles of a sample (100 = max), as an ordered dict."""
+    values = np.asarray(list(values), dtype=float)
+    labels = {50: "median", 90: "90th", 95: "95th", 100: "max"}
+    out = {}
+    for point in points:
+        label = labels.get(point, f"p{point}")
+        out[label] = float(np.percentile(values, point)) if values.size else float("nan")
+    return out
+
+
+def rmse(true_values, predictions):
+    """Root mean squared error."""
+    true_values = np.asarray(true_values, dtype=float)
+    predictions = np.asarray(predictions, dtype=float)
+    return float(np.sqrt(np.mean((true_values - predictions) ** 2)))

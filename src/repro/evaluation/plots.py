@@ -1,0 +1,125 @@
+"""Terminal charts for benchmark output.
+
+The paper's evaluation is figure-heavy (bar charts per query, series
+over swept parameters).  The benchmarks print their numbers through
+:class:`~repro.evaluation.report.Report` tables *and* through these
+plain-text charts, so the regenerated figures can be compared to the
+paper's at a glance without a plotting stack.
+
+Two chart types cover every figure:
+
+- :func:`bar_chart` -- grouped horizontal bars (Figures 1, 7, 9, 10,
+  11, 13), with optional log scaling for q-error style data;
+- :func:`series_chart` -- x/y line series rendered on a character grid
+  (Figure 8's parameter sweeps, Figure 12's cumulative times).
+"""
+
+from __future__ import annotations
+
+import math
+
+_BAR_GLYPHS = "#*o+x%@"
+
+
+def _scaled(value, maximum, width, log):
+    if value is None or value != value:  # None or NaN
+        return 0
+    if log:
+        value = math.log10(max(value, 1.0))
+        maximum = math.log10(max(maximum, 1.0))
+    if maximum <= 0:
+        return 0
+    return max(int(round(width * value / maximum)), 0)
+
+
+def bar_chart(title, labels, series, width=50, log=False, unit=""):
+    """Grouped horizontal bar chart as a string.
+
+    ``series`` maps series name to a list of values aligned with
+    ``labels``.  ``log=True`` scales bar lengths by log10 (values are
+    clamped to >= 1), the right scale for q-errors.  ``None``/NaN values
+    render as missing ("no result" bars in Figure 10).
+    """
+    series = {name: list(values) for name, values in series.items()}
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(f"series {name!r} has {len(values)} values, "
+                             f"expected {len(labels)}")
+    finite = [
+        v for values in series.values() for v in values
+        if v is not None and v == v
+    ]
+    maximum = max(finite, default=1.0)
+    label_width = max((len(str(label)) for label in labels), default=0)
+    name_width = max((len(name) for name in series), default=0)
+    lines = [f"== {title} =="]
+    if log:
+        lines[-1] += "  (log scale)"
+    for i, label in enumerate(labels):
+        for j, (name, values) in enumerate(series.items()):
+            value = values[i]
+            glyph = _BAR_GLYPHS[j % len(_BAR_GLYPHS)]
+            prefix = f"{str(label):>{label_width}} {name:<{name_width}} |"
+            if value is None or value != value:
+                lines.append(f"{prefix} (no result)")
+                continue
+            bar = glyph * _scaled(value, maximum, width, log)
+            shown = f"{value:,.3g}{unit}"
+            lines.append(f"{prefix}{bar} {shown}")
+        if len(series) > 1 and i < len(labels) - 1:
+            lines.append("")
+    return "\n".join(lines)
+
+
+def series_chart(title, x_values, series, width=60, height=14,
+                 x_label="", y_label=""):
+    """Character-grid line chart for one or more y-series over shared x.
+
+    Marker per series comes from the same glyph cycle as
+    :func:`bar_chart`; overlapping points show the later series' glyph.
+    """
+    series = {name: list(values) for name, values in series.items()}
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    ys = [
+        v for values in series.values() for v in values
+        if v is not None and v == v
+    ]
+    if not ys:
+        return f"== {title} ==\n(no data)"
+    y_min, y_max = min(ys), max(ys)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for j, (name, values) in enumerate(series.items()):
+        glyph = _BAR_GLYPHS[j % len(_BAR_GLYPHS)]
+        for x, y in zip(x_values, values):
+            if y is None or y != y:
+                continue
+            column = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = glyph
+
+    lines = [f"== {title} =="]
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{y_max:>10.3g} +{''.join(grid[0])}")
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:>10.3g} +{''.join(grid[-1])}")
+    axis = f"{x_min:<.3g}"
+    axis = axis + " " * max(width - len(axis) - len(f"{x_max:.3g}"), 1)
+    lines.append(" " * 12 + axis + f"{x_max:.3g}")
+    if x_label:
+        lines.append(" " * 12 + x_label)
+    legend = "   ".join(
+        f"{_BAR_GLYPHS[j % len(_BAR_GLYPHS)]} {name}"
+        for j, name in enumerate(series)
+    )
+    lines.append("  legend: " + legend)
+    return "\n".join(lines)

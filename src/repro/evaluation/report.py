@@ -1,0 +1,56 @@
+"""Plain-text report tables for benchmark output.
+
+Benchmarks print their results through :class:`Report` so the console
+output mirrors the paper's tables/figure series row by row and can be
+copied into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+class Report:
+    """A titled, aligned text table."""
+
+    def __init__(self, title, columns):
+        self.title = title
+        self.columns = list(columns)
+        self.rows = []
+
+    def add(self, *values):
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.columns)}"
+            )
+        self.rows.append([_format(v) for v in values])
+        return self
+
+    def render(self):
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.title} ==", header, rule]
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def print(self):
+        print()
+        print(self.render())
+        return self
+
+
+def _format(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1_000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,36 @@
+"""Cost-based join-order optimization driven by cardinality estimates.
+
+The paper motivates cardinality estimation as input "to find the correct
+join order during query optimization" (Section 2).  This subpackage
+closes that loop: a textbook System-R style dynamic-programming
+enumerator picks join orders under a C_out cost model, and the quality
+of the chosen plan is scored under *true* cardinalities -- the standard
+methodology for judging whether an estimator's errors actually hurt
+plans (Leis et al., "How good are query optimizers, really?").
+
+Modules
+-------
+- :mod:`repro.optimizer.plans` -- join-tree plan representation,
+- :mod:`repro.optimizer.cardinality` -- estimator adapters (true /
+  DeepDB / Postgres / sampling) with sub-query memoisation,
+- :mod:`repro.optimizer.cost` -- the C_out cost model,
+- :mod:`repro.optimizer.enumeration` -- bushy and left-deep DP,
+- :mod:`repro.optimizer.quality` -- plan suboptimality scoring.
+"""
+
+from repro.optimizer.cardinality import SubqueryCardinalities
+from repro.optimizer.cost import cout_cost
+from repro.optimizer.enumeration import OptimizationError, optimal_plan
+from repro.optimizer.plans import BaseRelation, Join, plan_joins
+from repro.optimizer.quality import plan_suboptimality
+
+__all__ = [
+    "BaseRelation",
+    "Join",
+    "OptimizationError",
+    "SubqueryCardinalities",
+    "cout_cost",
+    "optimal_plan",
+    "plan_joins",
+    "plan_suboptimality",
+]

@@ -1,0 +1,46 @@
+"""Cardinality oracles for the join enumerator.
+
+The enumerator asks one question: "how many rows does the inner join of
+this connected table subset produce, with the query's predicates
+applied?".  :class:`SubqueryCardinalities` turns any estimator exposing
+``cardinality(query)`` -- the DeepDB compiler, the Postgres-style
+baseline, random sampling, or the exact executor -- into a memoised
+oracle over sub-queries of one query.
+"""
+
+from __future__ import annotations
+
+from repro.engine.query import Query
+
+
+class SubqueryCardinalities:
+    """Memoised per-subset cardinalities of one query's sub-joins."""
+
+    def __init__(self, estimator, query: Query):
+        if query.has_disjunctions:
+            raise ValueError("join ordering requires a conjunctive query")
+        self.estimator = estimator
+        self.query = query
+        self._cache: dict[frozenset, float] = {}
+
+    def subquery(self, tables):
+        """The COUNT sub-query over ``tables`` with pushed-down filters."""
+        tables = tuple(sorted(tables))
+        predicates = tuple(
+            p for p in self.query.predicates if p.table in tables
+        )
+        return Query(tables=tables, predicates=predicates)
+
+    def __call__(self, tables) -> float:
+        """Estimated rows of the inner join over ``tables`` (>= 1)."""
+        key = frozenset(tables)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = max(float(self.estimator.cardinality(self.subquery(key))), 1.0)
+            self._cache[key] = cached
+        return cached
+
+    @property
+    def calls(self):
+        """Number of distinct sub-queries estimated so far."""
+        return len(self._cache)

@@ -1,0 +1,136 @@
+"""Dynamic-programming join enumeration (System-R style).
+
+For every connected subset of the query's tables (by increasing size)
+the enumerator keeps the cheapest plan; a subset's plans are built from
+every partition into two connected, FK-edge-adjacent parts.  With
+``linear=True`` the right-hand input is restricted to single tables
+(classic left-deep System-R); the default explores bushy plans.
+
+Query graphs in this system are trees (FK joins along the schema
+forest), so the number of connected subsets stays small and exact DP is
+cheap up to the 6-way joins the paper's workloads use.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.optimizer.cost import cout_cost
+from repro.optimizer.plans import BaseRelation, Join
+
+
+class OptimizationError(RuntimeError):
+    """Raised when no valid plan exists for a query."""
+
+
+def _adjacency(schema, tables):
+    adjacency = {table: set() for table in tables}
+    for fk in schema.edges_between(tables):
+        adjacency[fk.parent].add(fk.child)
+        adjacency[fk.child].add(fk.parent)
+    return adjacency
+
+
+def _is_connected(subset, adjacency):
+    subset = set(subset)
+    if not subset:
+        return False
+    seen = {next(iter(subset))}
+    frontier = list(seen)
+    while frontier:
+        table = frontier.pop()
+        for neighbor in adjacency[table] & subset:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen == subset
+
+
+def connected_subsets(schema, tables):
+    """All connected subsets of ``tables``, grouped by size."""
+    tables = sorted(tables)
+    adjacency = _adjacency(schema, tables)
+    by_size = {1: [frozenset((t,)) for t in tables]}
+    for size in range(2, len(tables) + 1):
+        by_size[size] = [
+            frozenset(combo)
+            for combo in itertools.combinations(tables, size)
+            if _is_connected(combo, adjacency)
+        ]
+    return by_size
+
+
+def _partitions(subset, adjacency, linear):
+    """Partitions of ``subset`` into two connected, adjacent halves.
+
+    Yields unordered pairs once (the smaller side is canonicalised by
+    sorted-tuple order).  ``linear`` restricts one side to size one.
+    """
+    subset = sorted(subset)
+    anchor = subset[0]
+    n = len(subset)
+    for size in range(1, n):
+        for combo in itertools.combinations(subset, size):
+            left = frozenset(combo)
+            right = frozenset(subset) - left
+            if anchor not in left:
+                continue  # canonical orientation; avoids double counting
+            if linear and len(left) > 1 and len(right) > 1:
+                continue
+            if not _is_connected(left, adjacency):
+                continue
+            if not _is_connected(right, adjacency):
+                continue
+            if not _edge_between(left, right, adjacency):
+                continue
+            yield left, right
+
+
+def _edge_between(left, right, adjacency):
+    return any(adjacency[table] & right for table in left)
+
+
+def optimal_plan(query, schema, cardinality, linear=False, cost=cout_cost):
+    """Cheapest join plan for ``query`` under a cardinality oracle.
+
+    Returns ``(plan, estimated_cost)``.  ``cardinality`` maps table
+    subsets to estimated join sizes (see
+    :class:`~repro.optimizer.cardinality.SubqueryCardinalities`);
+    ``cost`` defaults to C_out.  Raises :class:`OptimizationError` when
+    the query's tables are not connected by FK edges.
+    """
+    tables = sorted(set(query.tables))
+    if len(tables) == 1:
+        return BaseRelation(tables[0]), 0.0
+    adjacency = _adjacency(schema, tables)
+    if not _is_connected(tables, adjacency):
+        raise OptimizationError(f"tables {tables} are not connected by FK edges")
+
+    best: dict[frozenset, tuple] = {
+        frozenset((t,)): (BaseRelation(t), 0.0) for t in tables
+    }
+    by_size = connected_subsets(schema, tables)
+    for size in range(2, len(tables) + 1):
+        for subset in by_size[size]:
+            subset_rows = cardinality(subset)
+            champion = None
+            for left, right in _partitions(subset, adjacency, linear):
+                left_entry = best.get(left)
+                right_entry = best.get(right)
+                if left_entry is None or right_entry is None:
+                    continue
+                candidate_cost = left_entry[1] + right_entry[1] + subset_rows
+                if champion is None or candidate_cost < champion[1]:
+                    # Keep left-deep shape readable: big side on the left.
+                    if len(left) >= len(right):
+                        plan = Join(left_entry[0], right_entry[0])
+                    else:
+                        plan = Join(right_entry[0], left_entry[0])
+                    champion = (plan, candidate_cost)
+            if champion is not None:
+                best[subset] = champion
+    full = frozenset(tables)
+    if full not in best:
+        raise OptimizationError(f"no plan covers all tables {tables}")
+    plan, _dp_cost = best[full]
+    return plan, cost(plan, cardinality)

@@ -1,0 +1,68 @@
+"""Join-tree plan representation.
+
+Plans are binary trees: leaves scan one base relation (with the query's
+predicates on that table pushed down), internal nodes join two disjoint
+sub-plans.  Plans carry no physical operator choice -- the C_out cost
+model scores logical join orders only, which is the granularity at which
+cardinality estimates matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BaseRelation:
+    """A scan of one base table."""
+
+    table: str
+
+    @property
+    def tables(self):
+        return frozenset((self.table,))
+
+    def describe(self):
+        return self.table
+
+
+@dataclass(frozen=True)
+class Join:
+    """An (unordered) join of two disjoint sub-plans."""
+
+    left: object
+    right: object
+
+    def __post_init__(self):
+        if self.left.tables & self.right.tables:
+            raise ValueError("join inputs must be disjoint")
+
+    @property
+    def tables(self):
+        return self.left.tables | self.right.tables
+
+    def describe(self):
+        return f"({self.left.describe()} ⨝ {self.right.describe()})"
+
+
+def plan_joins(plan):
+    """All :class:`Join` nodes of a plan, bottom-up."""
+    if isinstance(plan, BaseRelation):
+        return []
+    joins = plan_joins(plan.left) + plan_joins(plan.right)
+    joins.append(plan)
+    return joins
+
+
+def is_left_deep(plan):
+    """True when every join's right input is a base relation."""
+    if isinstance(plan, BaseRelation):
+        return True
+    return isinstance(plan.right, BaseRelation) and is_left_deep(plan.left)
+
+
+def plan_depth(plan):
+    """Height of the join tree (base relations have depth 0)."""
+    if isinstance(plan, BaseRelation):
+        return 0
+    return 1 + max(plan_depth(plan.left), plan_depth(plan.right))

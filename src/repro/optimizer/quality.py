@@ -1,0 +1,62 @@
+"""Plan-quality scoring: do estimation errors actually hurt plans?
+
+The methodology follows Leis et al. ("How good are query optimizers,
+really?"): optimise the query twice -- once with the estimator under
+test, once with true cardinalities -- then score *both* plans under true
+cardinalities.  The ratio
+
+    suboptimality = C_out_true(plan chosen with estimates)
+                    / C_out_true(optimal plan)
+
+is 1.0 when the estimator's errors do not change the chosen plan (or
+only change it to an equally good one) and grows as misestimates push
+the optimizer into plans with bloated intermediates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optimizer.cardinality import SubqueryCardinalities
+from repro.optimizer.cost import cout_cost
+from repro.optimizer.enumeration import optimal_plan
+
+
+@dataclass
+class PlanComparison:
+    """Outcome of optimising one query with one estimator."""
+
+    chosen_plan: object
+    optimal_plan: object
+    chosen_true_cost: float
+    optimal_true_cost: float
+
+    @property
+    def suboptimality(self):
+        if self.optimal_true_cost <= 0:
+            return 1.0
+        return self.chosen_true_cost / self.optimal_true_cost
+
+    @property
+    def picked_optimal(self):
+        return self.suboptimality <= 1.0 + 1e-9
+
+
+def plan_suboptimality(query, schema, estimator, executor, linear=False):
+    """Compare the plan chosen under ``estimator`` to the true optimum.
+
+    ``estimator`` and ``executor`` both expose ``cardinality(query)``;
+    the executor is treated as ground truth.  Returns a
+    :class:`PlanComparison`.
+    """
+    estimated = SubqueryCardinalities(estimator, query)
+    true = SubqueryCardinalities(executor, query)
+    chosen, _ = optimal_plan(query, schema, estimated, linear=linear)
+    best, optimal_cost = optimal_plan(query, schema, true, linear=linear)
+    chosen_cost = cout_cost(chosen, true)
+    return PlanComparison(
+        chosen_plan=chosen,
+        optimal_plan=best,
+        chosen_true_cost=chosen_cost,
+        optimal_true_cost=optimal_cost,
+    )

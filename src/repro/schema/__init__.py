@@ -1,0 +1,12 @@
+"""Relational schema metadata: tables, attributes, foreign keys.
+
+The schema graph is shared by the exact execution engine
+(:mod:`repro.engine`), the RSPN ensemble learner and the probabilistic
+query compiler.  Join trees over foreign-key edges are the backbone of
+both the tuple-factor bookkeeping of Section 4.1 of the paper and of the
+exact ground-truth executor.
+"""
+
+from repro.schema.schema import Attribute, ForeignKey, SchemaGraph, TableSchema
+
+__all__ = ["Attribute", "ForeignKey", "SchemaGraph", "TableSchema"]

@@ -1,0 +1,18 @@
+"""Numerical substrate shared across DeepDB components.
+
+This package provides the statistical primitives the paper's learning
+pipeline relies on:
+
+- :mod:`repro.stats.rdc` -- the randomized dependence coefficient
+  (Lopez-Paz et al., NeurIPS 2013), used both to decide column splits
+  during SPN structure learning and to decide which tables to join in an
+  RSPN ensemble.
+- :mod:`repro.stats.kmeans` -- a small KMeans implementation whose cluster
+  centers are retained so that the incremental update algorithm
+  (Algorithm 1 of the paper) can route new tuples to the nearest cluster.
+"""
+
+from repro.stats.kmeans import KMeans
+from repro.stats.rdc import rdc, rdc_matrix, rdc_transform
+
+__all__ = ["KMeans", "rdc", "rdc_matrix", "rdc_transform"]

@@ -1,0 +1,191 @@
+"""Tests for the cardinality-estimation baselines (Table 1 competitors)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ibjs import IndexBasedJoinSampling
+from repro.baselines.mcsn import MCSN
+from repro.baselines.postgres_estimator import PostgresEstimator
+from repro.baselines.sampling import RandomSamplingEstimator
+from repro.datasets import workloads
+from repro.engine.executor import Executor
+from repro.engine.query import Predicate, Query
+from repro.evaluation.metrics import q_error
+from tests.conftest import build_customer_orders
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_customer_orders(n_customers=2_000, with_orderlines=True, seed=13)
+
+
+@pytest.fixture(scope="module")
+def executor(db):
+    return Executor(db)
+
+
+def simple_queries(db):
+    return [
+        Query(("customer",), predicates=(Predicate("customer", "region", "=", "EU"),)),
+        Query(("customer",), predicates=(Predicate("customer", "age", ">", 50),)),
+        Query(
+            ("customer", "orders"),
+            predicates=(Predicate("orders", "channel", "=", "ONLINE"),),
+        ),
+        Query(
+            ("customer", "orders", "orderline"),
+            predicates=(Predicate("orderline", "qty", ">", 3),),
+        ),
+    ]
+
+
+class TestPostgresEstimator:
+    def test_single_table_equality_accurate(self, db, executor):
+        estimator = PostgresEstimator(db)
+        query = simple_queries(db)[0]
+        assert q_error(executor.cardinality(query), estimator.cardinality(query)) < 1.2
+
+    def test_range_predicate_accurate(self, db, executor):
+        estimator = PostgresEstimator(db)
+        query = simple_queries(db)[1]
+        assert q_error(executor.cardinality(query), estimator.cardinality(query)) < 1.5
+
+    def test_join_without_predicates(self, db, executor):
+        estimator = PostgresEstimator(db)
+        query = Query(("customer", "orders"))
+        assert q_error(executor.cardinality(query), estimator.cardinality(query)) < 1.3
+
+    def test_correlated_predicates_overestimated_error(self, db, executor):
+        """Independence assumption: correlated filters give worse q-errors
+        than independent ones -- the failure mode of Table 1."""
+        estimator = PostgresEstimator(db)
+        correlated = Query(
+            ("customer",),
+            predicates=(
+                Predicate("customer", "region", "=", "EU"),
+                Predicate("customer", "age", ">", 50),
+            ),
+        )
+        error = q_error(
+            executor.cardinality(correlated), estimator.cardinality(correlated)
+        )
+        assert error > 1.5
+
+    def test_estimates_clamped_to_one(self, db):
+        estimator = PostgresEstimator(db)
+        impossible = Query(
+            ("customer",), predicates=(Predicate("customer", "age", ">", 9_999),)
+        )
+        assert estimator.cardinality(impossible) >= 1.0
+
+    def test_null_fraction_used(self, db):
+        estimator = PostgresEstimator(db)
+        query = Query(
+            ("customer",), predicates=(Predicate("customer", "age", "IS NULL"),)
+        )
+        assert estimator.cardinality(query) == pytest.approx(1.0)
+
+    def test_in_and_between(self, db, executor):
+        estimator = PostgresEstimator(db)
+        query = Query(
+            ("customer",),
+            predicates=(Predicate("customer", "age", "BETWEEN", (30, 40)),),
+        )
+        assert q_error(executor.cardinality(query), estimator.cardinality(query)) < 2.0
+
+
+class TestRandomSampling:
+    def test_reasonable_on_unselective_queries(self, db, executor):
+        estimator = RandomSamplingEstimator(db, sample_rows=1_000)
+        query = simple_queries(db)[0]
+        assert q_error(executor.cardinality(query), estimator.cardinality(query)) < 2.0
+
+    def test_estimates_positive(self, db):
+        estimator = RandomSamplingEstimator(db, sample_rows=500)
+        for query in simple_queries(db):
+            assert estimator.cardinality(query) >= 1.0
+
+    def test_join_variance_visible(self, db, executor):
+        """Small samples on multi-way joins scatter far more than single
+        tables -- the effect behind the paper's Table 1 tail."""
+        estimator = RandomSamplingEstimator(db, sample_rows=200)
+        query = simple_queries(db)[3]
+        true = executor.cardinality(query)
+        estimates = [estimator.cardinality(query) for _ in range(10)]
+        spread = max(estimates) / max(min(estimates), 1.0)
+        assert spread > 1.3
+
+
+class TestIBJS:
+    def test_accurate_on_two_way_join(self, db, executor):
+        estimator = IndexBasedJoinSampling(db, n_walks=2_000)
+        query = simple_queries(db)[2]
+        assert q_error(executor.cardinality(query), estimator.cardinality(query)) < 1.3
+
+    def test_three_way_join(self, db, executor):
+        estimator = IndexBasedJoinSampling(db, n_walks=2_000)
+        query = simple_queries(db)[3]
+        assert q_error(executor.cardinality(query), estimator.cardinality(query)) < 1.6
+
+    def test_single_table_exact(self, db, executor):
+        estimator = IndexBasedJoinSampling(db)
+        query = simple_queries(db)[0]
+        assert estimator.cardinality(query) == executor.cardinality(query)
+
+    def test_empty_start_returns_one(self, db):
+        estimator = IndexBasedJoinSampling(db)
+        query = Query(
+            ("customer", "orders"),
+            predicates=(Predicate("customer", "age", ">", 9_999),),
+        )
+        assert estimator.cardinality(query) == 1.0
+
+
+class TestMCSN:
+    @pytest.fixture(scope="class")
+    def trained(self, tiny_imdb):
+        executor = Executor(tiny_imdb)
+        training = workloads.imdb_workload(
+            tiny_imdb, 300, table_range=(1, 3), predicate_range=(1, 3), seed=3
+        )
+        queries = [nq.query for nq in training]
+        cards = [executor.cardinality(q) for q in queries]
+        model = MCSN(tiny_imdb, hidden=32, epochs=15, seed=0)
+        model.fit(queries, cards)
+        return model, queries, cards, executor
+
+    def test_training_error_reasonable(self, trained):
+        model, queries, cards, _executor = trained
+        errors = [q_error(c, model.predict(q)) for q, c in zip(queries, cards)]
+        assert float(np.median(errors)) < 4.0
+
+    def test_generalisation_gap_on_large_joins(self, trained, tiny_imdb):
+        """Trained on <=3 tables, much worse on 4-6 table joins (Fig. 1)."""
+        model, queries, cards, executor = trained
+        train_errors = [q_error(c, model.predict(q)) for q, c in zip(queries, cards)]
+        unseen = workloads.imdb_workload(
+            tiny_imdb, 40, table_range=(4, 6), predicate_range=(1, 3), seed=5
+        )
+        unseen_errors = [
+            q_error(executor.cardinality(nq.query), model.predict(nq.query))
+            for nq in unseen
+        ]
+        assert np.median(unseen_errors) > np.median(train_errors)
+
+    def test_prediction_at_least_one(self, trained):
+        model, queries, _cards, _executor = trained
+        assert all(model.predict(q) >= 1.0 for q in queries)
+
+    def test_featurizer_handles_all_ops(self, tiny_imdb):
+        model = MCSN(tiny_imdb, hidden=8, epochs=1)
+        query = Query(
+            ("title",),
+            predicates=(
+                Predicate("title", "production_year", "BETWEEN", (1990, 2000)),
+                Predicate("title", "kind_id", "IN", (0, 1)),
+                Predicate("title", "season_nr", "IS NOT NULL"),
+            ),
+        )
+        tables, joins, predicates = model.featurizer.featurise(query)
+        assert tables.shape[0] == 1
+        assert predicates.shape[0] == 3  # BETWEEN expands to two rows

@@ -1,0 +1,211 @@
+"""Tests for the Chow-Liu BN and lightweight-GBM baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bayesnet import ChowLiuEstimator, _mutual_information
+from repro.baselines.lightweight_trees import (
+    GradientBoostedTrees,
+    LightweightSelectivityModel,
+)
+from repro.baselines.postgres_estimator import PostgresEstimator
+from repro.engine.executor import Executor
+from repro.engine.query import Predicate, Query, count_query
+from repro.evaluation.metrics import q_error
+
+
+@pytest.fixture(scope="module")
+def chow_liu(customer_orders_db):
+    return ChowLiuEstimator(customer_orders_db, seed=0)
+
+
+@pytest.fixture(scope="module")
+def executor(customer_orders_db):
+    return Executor(customer_orders_db)
+
+
+class TestMutualInformation:
+    def test_independent_columns_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 20_000)
+        b = rng.integers(0, 4, 20_000)
+        assert _mutual_information(a, b, 4, 4) < 0.01
+
+    def test_identical_columns_high(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, 5_000)
+        assert _mutual_information(a, a, 4, 4) > 1.0
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 3, 2_000)
+        b = (a + rng.integers(0, 2, 2_000)) % 3
+        assert _mutual_information(a, b, 3, 3) >= 0.0
+
+
+class TestChowLiuEstimator:
+    def test_single_predicate_selectivity(self, chow_liu, customer_orders_db):
+        table = customer_orders_db.table("customer")
+        eu = table.encode_value("region", "EU")
+        true_fraction = float((table.columns["region"] == eu).mean())
+        estimated = chow_liu.selectivity(
+            "customer", [Predicate("customer", "region", "=", "EU")]
+        )
+        assert estimated == pytest.approx(true_fraction, abs=0.05)
+
+    def test_captures_intra_table_correlation(
+        self, chow_liu, executor, customer_orders_db
+    ):
+        """region determines age in the fixture; the BN must beat the
+        independence assumption on the conjunction."""
+        query = count_query(
+            ["customer"],
+            predicates=(
+                Predicate("customer", "region", "=", "EU"),
+                Predicate("customer", "age", ">", 50),
+            ),
+        )
+        truth = executor.cardinality(query)
+        postgres = PostgresEstimator(customer_orders_db)
+        bn_error = q_error(truth, chow_liu.cardinality(query))
+        pg_error = q_error(truth, postgres.cardinality(query))
+        assert bn_error < pg_error
+        assert bn_error < 1.5
+
+    def test_join_cardinality_reasonable(self, chow_liu, executor):
+        query = count_query(["customer", "orders"])
+        truth = executor.cardinality(query)
+        assert q_error(truth, chow_liu.cardinality(query)) < 2.0
+
+    def test_cardinality_at_least_one(self, chow_liu):
+        query = count_query(
+            ["customer"],
+            predicates=(Predicate("customer", "age", ">", 10_000),),
+        )
+        assert chow_liu.cardinality(query) >= 1.0
+
+    def test_null_predicate(self, chow_liu):
+        selectivity = chow_liu.selectivity(
+            "customer", [Predicate("customer", "age", "IS NOT NULL")]
+        )
+        assert selectivity == pytest.approx(1.0, abs=0.05)
+
+    def test_unknown_constant_selects_almost_nothing(self, chow_liu):
+        selectivity = chow_liu.selectivity(
+            "customer", [Predicate("customer", "region", "=", "MARS")]
+        )
+        assert selectivity < 0.05
+
+
+class TestGradientBoostedTrees:
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(3)
+        features = rng.uniform(0, 1, size=(2_000, 2))
+        targets = np.sin(4 * features[:, 0]) + (features[:, 1] > 0.5)
+        model = GradientBoostedTrees(n_trees=80, learning_rate=0.2)
+        model.fit(features, targets)
+        predictions = model.predict(features)
+        rmse = float(np.sqrt(np.mean((predictions - targets) ** 2)))
+        assert rmse < 0.15
+        assert model.n_fitted_trees > 10
+
+    def test_boosting_improves_over_single_tree(self):
+        rng = np.random.default_rng(4)
+        features = rng.uniform(0, 1, size=(1_500, 3))
+        targets = features[:, 0] * features[:, 1] - features[:, 2] ** 2
+        single = GradientBoostedTrees(n_trees=1, learning_rate=1.0)
+        boosted = GradientBoostedTrees(n_trees=60, learning_rate=0.2)
+        single.fit(features, targets)
+        boosted.fit(features, targets)
+        err_single = np.mean((single.predict(features) - targets) ** 2)
+        err_boosted = np.mean((boosted.predict(features) - targets) ** 2)
+        assert err_boosted < err_single
+
+    def test_constant_target(self):
+        features = np.random.default_rng(5).uniform(size=(200, 2))
+        model = GradientBoostedTrees(n_trees=10)
+        model.fit(features, np.full(200, 3.5))
+        assert model.predict(features[:5]) == pytest.approx(3.5)
+
+
+def _range_workload(database, n_queries, seed):
+    """Random conjunctive range queries over the customer table."""
+    rng = np.random.default_rng(seed)
+    table = database.table("customer")
+    ages = table.columns["age"]
+    finite = ages[~np.isnan(ages)]
+    queries = []
+    for _ in range(n_queries):
+        low = float(rng.uniform(finite.min(), finite.max()))
+        width = float(rng.uniform(2, 40))
+        predicates = [
+            Predicate("customer", "age", ">=", low),
+            Predicate("customer", "age", "<=", low + width),
+        ]
+        if rng.random() < 0.5:
+            predicates.append(
+                Predicate(
+                    "customer", "region", "=", rng.choice(["EU", "ASIA"])
+                )
+            )
+        queries.append(count_query(["customer"], predicates=predicates))
+    return queries
+
+
+class TestLightweightSelectivityModel:
+    @pytest.fixture(scope="class")
+    def fitted(self, customer_orders_db, executor):
+        training = _range_workload(customer_orders_db, 400, seed=6)
+        labels = [executor.cardinality(q) for q in training]
+        model = LightweightSelectivityModel(
+            customer_orders_db, "customer", n_trees=80
+        )
+        model.fit(training, labels)
+        return model
+
+    def test_accurate_on_training_distribution(
+        self, fitted, customer_orders_db, executor
+    ):
+        test_queries = _range_workload(customer_orders_db, 60, seed=7)
+        errors = [
+            q_error(executor.cardinality(q), fitted.cardinality(q))
+            for q in test_queries
+        ]
+        assert float(np.median(errors)) < 1.6
+
+    def test_featurisation_shape(self, fitted, customer_orders_db):
+        query = count_query(
+            ["customer"], predicates=(Predicate("customer", "age", "<", 30),)
+        )
+        features = fitted.featurise(query)
+        # two features (low, high) per non-key column
+        table = customer_orders_db.table("customer")
+        n_columns = len(
+            [a for a in table.schema.non_key_attributes
+             if not a.name.startswith("F__")]
+        )
+        assert features.shape == (2 * n_columns,)
+        assert np.all(features >= 0.0) and np.all(features <= 1.0)
+
+    def test_rejects_other_tables(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.featurise(count_query(["orders"]))
+
+    def test_workload_shift_degrades(self, fitted, customer_orders_db, executor):
+        """Point queries (an unseen predicate shape: the training ranges
+        are 2-40 years wide) are estimated worse than in-distribution
+        ranges -- the workload-driven weakness the paper targets."""
+        point = count_query(
+            ["customer"],
+            predicates=(Predicate("customer", "age", "=", 30.0),),
+        )
+        truth = executor.cardinality(point)
+        error = q_error(truth, fitted.cardinality(point))
+        in_distribution = _range_workload(customer_orders_db, 40, seed=8)
+        in_errors = [
+            q_error(executor.cardinality(q), fitted.cardinality(q))
+            for q in in_distribution
+        ]
+        assert error > 2 * float(np.median(in_errors))

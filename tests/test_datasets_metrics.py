@@ -1,0 +1,199 @@
+"""Tests for the dataset generators, workload builders and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import flights, imdb, ssb, workloads
+from repro.engine.executor import Executor
+from repro.engine.join import validate_referential_integrity
+from repro.evaluation.metrics import (
+    average_relative_error,
+    percentiles,
+    q_error,
+    relative_error,
+    rmse,
+)
+from repro.evaluation.report import Report
+from repro.stats.rdc import rdc
+
+
+class TestImdbGenerator:
+    def test_referential_integrity(self, tiny_imdb):
+        validate_referential_integrity(tiny_imdb)
+
+    def test_tables_present(self, tiny_imdb):
+        assert set(tiny_imdb.table_names()) == {
+            "title",
+            "movie_companies",
+            "cast_info",
+            "movie_info",
+            "movie_info_idx",
+            "movie_keyword",
+        }
+
+    def test_zero_fanout_titles_exist(self, tiny_imdb):
+        factors = tiny_imdb.table("title").columns["F__title__movie_companies"]
+        assert (factors == 0).sum() > 0
+
+    def test_season_nulls_for_movies(self, tiny_imdb):
+        title = tiny_imdb.table("title")
+        season = title.columns["season_nr"]
+        kind = title.columns["kind_id"]
+        movie_code = title.encode_value("kind_id", 0.0)
+        movies = kind == movie_code
+        assert movies.any()
+        assert np.isnan(season[movies]).all()
+
+    def test_cross_table_correlation_planted(self, tiny_imdb):
+        """role_id must correlate with production_year through the join."""
+        from repro.engine.join import sample_full_outer_join
+
+        sample = sample_full_outer_join(tiny_imdb, ["title", "cast_info"], 4_000)
+        year = sample.column("title", "production_year")
+        role = sample.column("cast_info", "role_id")
+        keep = ~np.isnan(role)
+        assert rdc(year[keep], role[keep]) > 0.3
+
+    def test_deterministic_generation(self):
+        a = imdb.generate(scale=0.01, seed=5)
+        b = imdb.generate(scale=0.01, seed=5)
+        assert np.array_equal(
+            a.table("title").columns["production_year"],
+            b.table("title").columns["production_year"],
+        )
+
+    def test_split_database_random(self, tiny_imdb):
+        initial, held_out = imdb.split_database(tiny_imdb, 0.2, mode="random", seed=0)
+        total = tiny_imdb.table("title").n_rows
+        kept = initial.table("title").n_rows
+        assert kept == total - held_out["title"].sum()
+        assert 0.1 < held_out["title"].mean() < 0.3
+        validate_referential_integrity(initial)
+
+    def test_split_database_temporal(self, tiny_imdb):
+        initial, held_out = imdb.split_database(tiny_imdb, 0.2, mode="temporal")
+        years = tiny_imdb.table("title").columns["production_year"]
+        held_years = years[held_out["title"]]
+        kept_years = years[~held_out["title"]]
+        assert held_years.min() >= kept_years.max()
+
+
+class TestSsbGenerator:
+    def test_referential_integrity(self, tiny_ssb):
+        validate_referential_integrity(tiny_ssb)
+
+    def test_hierarchies_consistent(self, tiny_ssb):
+        customer = tiny_ssb.table("customer")
+        nations = customer.distinct_values("c_nation", decoded=True)
+        assert all("_NATION" in n for n in nations)
+
+    def test_selectivity_ladder(self, tiny_ssb):
+        """SSB queries range from percent-level to starved selectivities."""
+        executor = Executor(tiny_ssb)
+        from repro.engine.query import Query
+
+        fact_rows = tiny_ssb.table("lineorder").n_rows
+        selectivities = []
+        for named in workloads.ssb_queries(tiny_ssb):
+            count_query = Query(
+                named.query.tables, predicates=named.query.predicates
+            )
+            selectivities.append(executor.cardinality(count_query) / fact_rows)
+        assert max(selectivities) > 0.01
+        assert min(selectivities) < 0.001
+
+    def test_thirteen_queries(self, tiny_ssb):
+        named = workloads.ssb_queries(tiny_ssb)
+        assert len(named) == 13
+        assert sum(1 for q in named if q.is_difference) == 2  # S4.1, S4.2
+
+
+class TestFlightsGenerator:
+    def test_single_table(self, tiny_flights):
+        assert tiny_flights.table_names() == ["flights"]
+
+    def test_cancelled_flights_null(self, tiny_flights):
+        delays = tiny_flights.table("flights").columns["arr_delay"]
+        assert 0.005 < np.isnan(delays).mean() < 0.03
+
+    def test_distance_airtime_dependence(self, tiny_flights):
+        table = tiny_flights.table("flights")
+        distance = table.columns["distance"]
+        air_time = table.columns["air_time"]
+        keep = ~np.isnan(air_time)
+        assert rdc(distance[keep], air_time[keep]) > 0.8
+
+    def test_twelve_queries_with_difference(self, tiny_flights):
+        named = workloads.flights_queries(tiny_flights)
+        assert len(named) == 12
+        assert named[-1].is_difference
+
+    def test_feature_matrix(self, tiny_flights):
+        rows, targets, names = flights.feature_matrix(
+            tiny_flights, "arr_delay", n_rows=100
+        )
+        assert len(rows) == 100 and targets.shape == (100,)
+        assert "flights.arr_delay" not in names
+        assert all(not np.isnan(t) for t in targets)
+
+
+class TestWorkloads:
+    def test_job_light_has_70_nonempty_queries(self, tiny_imdb):
+        queries = workloads.job_light(tiny_imdb)
+        executor = Executor(tiny_imdb)
+        assert len(queries) == 70
+        assert all(executor.cardinality(q.query) >= 1 for q in queries[:10])
+
+    def test_generalisation_workload_table_counts(self, tiny_imdb):
+        queries = workloads.generalisation_workload(tiny_imdb, n_queries=30)
+        sizes = {len(q.query.tables) for q in queries}
+        assert sizes <= {4, 5, 6} and len(sizes) > 1
+
+    def test_queries_respect_predicate_range(self, tiny_imdb):
+        queries = workloads.imdb_workload(
+            tiny_imdb, 20, table_range=(2, 3), predicate_range=(2, 2), seed=1
+        )
+        assert all(len(q.query.predicates) == 2 for q in queries)
+
+
+class TestMetrics:
+    def test_q_error_symmetric(self):
+        assert q_error(100, 10) == q_error(10, 100) == 10.0
+
+    def test_q_error_minimum_one(self):
+        assert q_error(50, 50) == 1.0
+        assert q_error(0, 0) == 1.0
+
+    def test_relative_error(self):
+        assert relative_error(100, 90) == pytest.approx(0.1)
+        assert relative_error(100, None) == 1.0
+        assert relative_error(0, 0) == 0.0
+
+    def test_average_relative_error_groups(self):
+        truth = {("a",): 100.0, ("b",): 200.0}
+        estimate = {("a",): 110.0}  # group b missing -> 100% error
+        assert average_relative_error(truth, estimate) == pytest.approx(
+            (0.1 + 1.0) / 2
+        )
+
+    def test_average_relative_error_scalar_passthrough(self):
+        assert average_relative_error(10.0, 9.0) == pytest.approx(0.1)
+
+    def test_percentiles(self):
+        stats = percentiles([1, 2, 3, 4, 100])
+        assert stats["median"] == 3
+        assert stats["max"] == 100
+
+    def test_rmse(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_report_renders_rows(self):
+        report = Report("demo", ["system", "median"])
+        report.add("DeepDB", 1.27)
+        text = report.render()
+        assert "DeepDB" in text and "1.27" in text.replace(",", "")
+
+    def test_report_row_width_checked(self):
+        report = Report("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            report.add(1)

@@ -1,0 +1,180 @@
+"""Differential testing with randomly generated queries.
+
+Three oracles are compared on seeded random queries:
+
+- the executor's *factorized* COUNT path vs its *materialised* path
+  (two independent implementations of the same semantics),
+- grouped results vs their scalar total (COUNT/SUM are additive over a
+  partition of the result),
+- compiled estimates vs exact answers (bounded q-error on the
+  well-behaved fixture data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.engine.executor import Executor
+from repro.engine.query import Aggregate, Predicate, Query
+from repro.evaluation.metrics import q_error
+
+_SUBSETS = (
+    ("customer",),
+    ("orders",),
+    ("orderline",),
+    ("customer", "orders"),
+    ("orders", "orderline"),
+    ("customer", "orders", "orderline"),
+)
+
+
+def _random_predicates(rng, n):
+    """Up to ``n`` random atoms over the three-table fixture."""
+    pool = [
+        lambda: Predicate("customer", "region", "=",
+                          str(rng.choice(["EU", "ASIA"]))),
+        lambda: Predicate("customer", "region", "IN", ("EU", "ASIA")),
+        lambda: Predicate("customer", "age", ">",
+                          float(rng.integers(15, 70))),
+        lambda: Predicate("customer", "age", "<=",
+                          float(rng.integers(25, 80))),
+        lambda: Predicate("customer", "age", "BETWEEN",
+                          (float(rng.integers(15, 40)),
+                           float(rng.integers(41, 80)))),
+        lambda: Predicate("orders", "channel", "=",
+                          str(rng.choice(["ONLINE", "STORE"]))),
+        lambda: Predicate("orderline", "qty", ">=",
+                          float(rng.integers(1, 6))),
+        lambda: Predicate("orderline", "qty", "<>",
+                          float(rng.integers(1, 9))),
+    ]
+    picks = rng.choice(len(pool), size=n, replace=False)
+    return [pool[i]() for i in picks]
+
+
+def _random_query(seed, with_disjunction=False):
+    rng = np.random.default_rng(seed)
+    tables = _SUBSETS[int(rng.integers(len(_SUBSETS)))]
+    atoms = _random_predicates(rng, int(rng.integers(0, 4)))
+    atoms = [p for p in atoms if p.table in tables]
+    disjunctions = ()
+    if with_disjunction and len(atoms) >= 2:
+        disjunctions = (tuple(atoms[:2]),)
+        atoms = atoms[2:]
+    return Query(
+        tables=tables,
+        predicates=tuple(atoms),
+        disjunctions=disjunctions,
+    )
+
+
+@pytest.fixture(scope="module")
+def executor(three_table_db):
+    return Executor(three_table_db)
+
+
+@pytest.fixture(scope="module")
+def compiler(three_table_db):
+    ensemble = learn_ensemble(
+        three_table_db,
+        EnsembleConfig(sample_size=8_000, correlation_sample=800),
+    )
+    return ProbabilisticQueryCompiler(ensemble)
+
+
+class TestExecutorPathsAgree:
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_factorized_equals_materialised(self, executor, seed):
+        query = _random_query(seed)
+        factorized = executor.cardinality(query)
+        materialised = len(executor._materialise(query))
+        assert factorized == float(materialised)
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_factorized_equals_materialised_with_or(self, executor, seed):
+        query = _random_query(seed, with_disjunction=True)
+        factorized = executor.cardinality(query)
+        materialised = len(executor._materialise(query))
+        assert factorized == float(materialised)
+
+
+class TestGroupTotalsAgree:
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_count_groups_sum_to_scalar(self, executor, seed):
+        query = _random_query(seed)
+        if "orders" not in query.tables:
+            return
+        grouped = Query(
+            tables=query.tables,
+            predicates=query.predicates,
+            disjunctions=query.disjunctions,
+            group_by=(("orders", "channel"),),
+        )
+        groups = executor.execute(grouped)
+        scalar = executor.execute(query)
+        assert sum(groups.values()) == pytest.approx(scalar)
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_sum_groups_sum_to_scalar(self, executor, seed):
+        query = _random_query(seed)
+        if "customer" not in query.tables:
+            return
+        aggregate = Aggregate.sum("customer", "age")
+        grouped = Query(
+            tables=query.tables,
+            aggregate=aggregate,
+            predicates=query.predicates,
+            disjunctions=query.disjunctions,
+            group_by=(("customer", "region"),),
+        )
+        groups = executor.execute(grouped)
+        scalar = executor.execute(grouped.without_group_by())
+        assert sum(groups.values()) == pytest.approx(scalar, rel=1e-9)
+
+
+class TestCompilerTracksExecutor:
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_count_estimates_bounded(self, executor, compiler, seed):
+        query = _random_query(seed)
+        truth = executor.cardinality(query)
+        if truth < 50:
+            return  # tiny counts legitimately carry large relative error
+        estimate = compiler.cardinality(query)
+        assert q_error(truth, estimate) < 5.0
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_disjunctive_count_estimates_bounded(
+        self, executor, compiler, seed
+    ):
+        query = _random_query(seed, with_disjunction=True)
+        truth = executor.cardinality(query)
+        if truth < 50:
+            return
+        estimate = compiler.cardinality(query)
+        assert q_error(truth, estimate) < 5.0
+
+    @given(seed=st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_avg_estimates_bounded(self, executor, compiler, seed):
+        query = _random_query(seed)
+        if "customer" not in query.tables:
+            return
+        if executor.cardinality(query) < 100:
+            return
+        avg_query = query.with_aggregate(Aggregate.avg("customer", "age"))
+        truth = executor.execute(avg_query)
+        if truth is None:
+            return
+        estimate = compiler.estimate_avg(avg_query).value
+        assert abs(estimate - truth) / max(abs(truth), 1.0) < 0.25

@@ -1,0 +1,184 @@
+"""Tests for ensemble learning (Sections 3.3/5.3) and the DeepDB facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.core.rspn import FunctionalDependency, RSPN
+from repro.core.ranges import Range
+from repro.deepdb import DeepDB
+from repro.engine.executor import Executor
+from repro.engine.query import Predicate, Query
+from tests.conftest import build_customer_orders
+
+
+class TestBaseEnsemble:
+    def test_correlated_tables_get_join_rspn(self, three_table_db):
+        ensemble = learn_ensemble(three_table_db, EnsembleConfig(sample_size=10_000))
+        table_sets = [frozenset(r.tables) for r in ensemble.rspns]
+        assert frozenset({"customer", "orders"}) in table_sets
+
+    def test_every_table_covered(self, three_table_db):
+        ensemble = learn_ensemble(three_table_db, EnsembleConfig(sample_size=10_000))
+        covered = set()
+        for rspn in ensemble.rspns:
+            covered |= rspn.tables
+        assert covered == set(three_table_db.table_names())
+
+    def test_single_tables_only_mode(self, three_table_db):
+        config = EnsembleConfig(sample_size=10_000, single_tables_only=True)
+        ensemble = learn_ensemble(three_table_db, config)
+        assert all(len(r.tables) == 1 for r in ensemble.rspns)
+        assert len(ensemble.rspns) == 3
+
+    def test_attribute_rdc_values_populated(self, three_table_db):
+        ensemble = learn_ensemble(three_table_db, EnsembleConfig(sample_size=10_000))
+        value = ensemble.rdc_value("customer.region", "orders.channel")
+        assert value > 0.3  # planted correlation
+
+    def test_table_dependency_values(self, three_table_db):
+        ensemble = learn_ensemble(three_table_db, EnsembleConfig(sample_size=10_000))
+        key = frozenset({"customer", "orders"})
+        assert ensemble.table_dependency[key] >= 0.3
+
+    def test_uncorrelated_pair_stays_single(self):
+        """Orderline attributes are independent of orders: no join RSPN."""
+        database = build_customer_orders(
+            n_customers=800, with_orderlines=True, seed=4
+        )
+        ensemble = learn_ensemble(database, EnsembleConfig(sample_size=10_000))
+        table_sets = [frozenset(r.tables) for r in ensemble.rspns]
+        assert frozenset({"orders", "orderline"}) not in table_sets
+        assert frozenset({"orderline"}) in table_sets
+
+    def test_training_time_recorded(self, three_table_db):
+        ensemble = learn_ensemble(three_table_db, EnsembleConfig(sample_size=10_000))
+        assert ensemble.training_seconds > 0
+        assert len(ensemble.rspn_training_seconds) == len(ensemble.rspns)
+
+    def test_describe_mentions_tables(self, three_table_db):
+        ensemble = learn_ensemble(three_table_db, EnsembleConfig(sample_size=10_000))
+        assert "customer" in ensemble.describe()
+
+    def test_covering_and_touching(self, three_table_db):
+        ensemble = learn_ensemble(three_table_db, EnsembleConfig(sample_size=10_000))
+        assert all(
+            "customer" in r.tables for r in ensemble.covering({"customer"})
+        )
+        assert all("orders" in r.tables for r in ensemble.touching("orders"))
+
+
+class TestBudgetOptimization:
+    def test_budget_zero_is_base_ensemble(self, tiny_imdb):
+        base = learn_ensemble(
+            tiny_imdb, EnsembleConfig(sample_size=5_000, budget_factor=0.0)
+        )
+        assert all(len(r.tables) <= 2 for r in base.rspns)
+
+    def test_budget_adds_larger_rspns(self, tiny_imdb):
+        config = EnsembleConfig(
+            sample_size=5_000, budget_factor=3.0, max_join_tables=3
+        )
+        extended = learn_ensemble(tiny_imdb, config)
+        sizes = sorted(len(r.tables) for r in extended.rspns)
+        assert sizes[-1] >= 3  # at least one three-table RSPN selected
+
+
+class TestFunctionalDependencies:
+    def test_fd_column_excluded_and_translated(self):
+        rng = np.random.default_rng(0)
+        source = rng.choice([0.0, 1.0, 2.0], size=3_000)
+        dependent = source * 10  # strict functional dependency
+        other = rng.normal(size=3_000)
+        rspn = RSPN.learn(
+            np.column_stack([source, dependent, other]),
+            ["t.a", "t.b", "t.x"],
+            [True, True, False],
+            tables={"t"},
+            functional_dependencies=[FunctionalDependency("t.a", "t.b")],
+        )
+        assert "t.b" not in rspn.column_names
+        empirical = float((dependent == 10.0).mean())
+        estimate = rspn.probability({"t.b": Range.point(10.0)})
+        assert estimate == pytest.approx(empirical, abs=0.03)
+
+    def test_fd_range_translation(self):
+        rng = np.random.default_rng(1)
+        source = rng.choice([0.0, 1.0, 2.0], size=2_000)
+        rspn = RSPN.learn(
+            np.column_stack([source, source * 10]),
+            ["t.a", "t.b"],
+            [True, True],
+            tables={"t"},
+            functional_dependencies=[FunctionalDependency("t.a", "t.b")],
+        )
+        estimate = rspn.probability({"t.b": Range.from_operator(">=", 10.0)})
+        empirical = float((source >= 1.0).mean())
+        assert estimate == pytest.approx(empirical, abs=0.05)
+
+
+class TestDeepDBFacade:
+    @pytest.fixture(scope="class")
+    def deepdb(self):
+        database = build_customer_orders(n_customers=1_500, seed=8)
+        return DeepDB.learn(database, EnsembleConfig(sample_size=20_000))
+
+    def test_sql_cardinality(self, deepdb):
+        executor = Executor(deepdb.database)
+        sql = "SELECT COUNT(*) FROM customer WHERE customer.region = 'EU'"
+        estimate = deepdb.cardinality(sql)
+        true = executor.cardinality(deepdb.parse(sql))
+        assert estimate == pytest.approx(true, rel=0.15)
+
+    def test_sql_aqp_average(self, deepdb):
+        executor = Executor(deepdb.database)
+        sql = "SELECT AVG(customer.age) FROM customer WHERE customer.region = 'ASIA'"
+        estimate = deepdb.approximate(sql)
+        true = executor.execute(deepdb.parse(sql))
+        assert estimate == pytest.approx(true, rel=0.1)
+
+    def test_confidence_intervals(self, deepdb):
+        sql = "SELECT COUNT(*) FROM customer"
+        value, (low, high) = deepdb.approximate_with_confidence(sql)
+        assert low <= value <= high
+
+    def test_group_by_answer(self, deepdb):
+        sql = "SELECT COUNT(*) FROM customer GROUP BY customer.region"
+        result = deepdb.approximate(sql)
+        assert set(result) == {("EU",), ("ASIA",)}
+
+    def test_insert_updates_estimates(self, deepdb):
+        sql = "SELECT COUNT(*) FROM customer WHERE customer.region = 'EU'"
+        before = deepdb.cardinality(sql)
+        for _ in range(200):
+            deepdb.insert("customer", {"c_id": -1.0, "region": "EU", "age": 33.0})
+        after = deepdb.cardinality(sql)
+        assert after - before == pytest.approx(200, rel=0.25)
+
+    def test_delete_reverses_insert(self, deepdb):
+        sql = "SELECT COUNT(*) FROM customer WHERE customer.age > 90"
+        before = deepdb.cardinality(sql)
+        row = {"c_id": -2.0, "region": "EU", "age": 95.0}
+        deepdb.insert("customer", row)
+        deepdb.delete("customer", row)
+        assert deepdb.cardinality(sql) == pytest.approx(before, rel=0.01)
+
+    def test_regressor_access(self, deepdb):
+        regressor = deepdb.regressor("customer", "age", ["region"])
+        eu_code = deepdb.database.table("customer").encode_value("region", "EU")
+        asia_code = deepdb.database.table("customer").encode_value("region", "ASIA")
+        assert regressor.predict_one(
+            {"customer.region": eu_code}
+        ) > regressor.predict_one({"customer.region": asia_code})
+
+    def test_classifier_access(self, deepdb):
+        classifier = deepdb.classifier("customer", "region", ["age"])
+        prediction = classifier.predict_one({"customer.age": 65.0})
+        decoded = deepdb.database.table("customer").decode_value(
+            "region", prediction
+        )
+        assert decoded == "EU"
+
+    def test_unknown_column_model_raises(self, deepdb):
+        with pytest.raises(KeyError):
+            deepdb.regressor("customer", "no_such_column")

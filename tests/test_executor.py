@@ -1,0 +1,220 @@
+"""Tests for the exact executor: the ground truth of all experiments.
+
+The factorized COUNT path is validated against the materialised path and
+against a brute-force python evaluation on small random databases.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import Executor
+from repro.engine.query import Aggregate, Predicate, Query
+from tests.conftest import build_customer_orders
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_customer_orders(n_customers=400, with_orderlines=True, seed=9)
+
+
+def brute_force_count(database, query):
+    """Nested-loop evaluation of an inner-join COUNT (small data only)."""
+    from repro.engine.filters import conjunction_mask
+
+    tables = list(query.tables)
+    masks = {
+        name: conjunction_mask(database.table(name), query.predicates_on(name))
+        for name in tables
+    }
+    rows = {name: np.flatnonzero(masks[name]) for name in tables}
+    edges = database.schema.edges_between(tables)
+    count = 0
+    for combo in itertools.product(*(rows[name] for name in tables)):
+        assignment = dict(zip(tables, combo))
+        ok = True
+        for fk in edges:
+            parent_table = database.table(fk.parent)
+            child_table = database.table(fk.child)
+            pk = parent_table.columns[fk.pk_column][assignment[fk.parent]]
+            fk_value = child_table.columns[fk.fk_column][assignment[fk.child]]
+            if np.isnan(fk_value) or pk != fk_value:
+                ok = False
+                break
+        if ok:
+            count += 1
+    return float(count)
+
+
+class TestCardinality:
+    def test_single_table_count(self, db):
+        executor = Executor(db)
+        query = Query(("customer",), predicates=(Predicate("customer", "region", "=", "EU"),))
+        expected = float(
+            (np.asarray(db.table("customer").vocabularies["region"])[
+                db.table("customer").columns["region"].astype(int)
+            ] == "EU").sum()
+        )
+        assert executor.cardinality(query) == expected
+
+    def test_two_way_join_matches_brute_force(self):
+        small = build_customer_orders(n_customers=40, seed=5)
+        executor = Executor(small)
+        query = Query(
+            ("customer", "orders"),
+            predicates=(
+                Predicate("customer", "region", "=", "EU"),
+                Predicate("orders", "channel", "=", "ONLINE"),
+            ),
+        )
+        assert executor.cardinality(query) == brute_force_count(small, query)
+
+    def test_three_way_join_matches_brute_force(self):
+        small = build_customer_orders(n_customers=15, with_orderlines=True, seed=6)
+        executor = Executor(small)
+        query = Query(
+            ("customer", "orders", "orderline"),
+            predicates=(Predicate("orderline", "qty", ">", 4),),
+        )
+        assert executor.cardinality(query) == brute_force_count(small, query)
+
+    def test_factorized_equals_materialised(self, db):
+        executor = Executor(db)
+        query = Query(
+            ("customer", "orders", "orderline"),
+            predicates=(Predicate("customer", "age", "<", 40),),
+        )
+        factorized = executor.cardinality(query)
+        materialised = executor._execute_materialised(query)
+        assert factorized == materialised
+
+    def test_empty_result(self, db):
+        executor = Executor(db)
+        query = Query(
+            ("customer",), predicates=(Predicate("customer", "age", ">", 10_000),)
+        )
+        assert executor.cardinality(query) == 0.0
+
+    def test_cardinality_requires_count(self, db):
+        executor = Executor(db)
+        query = Query(("customer",), aggregate=Aggregate.avg("customer", "age"))
+        with pytest.raises(ValueError):
+            executor.cardinality(query)
+
+
+class TestAggregates:
+    def test_avg_single_table(self, db):
+        executor = Executor(db)
+        query = Query(
+            ("customer",),
+            aggregate=Aggregate.avg("customer", "age"),
+            predicates=(Predicate("customer", "region", "=", "ASIA"),),
+        )
+        table = db.table("customer")
+        mask = table.columns["region"] == table.encode_value("region", "ASIA")
+        assert executor.execute(query) == pytest.approx(
+            float(table.columns["age"][mask].mean())
+        )
+
+    def test_sum_equals_count_times_avg(self, db):
+        executor = Executor(db)
+        base = Query(
+            ("customer", "orders"),
+            predicates=(Predicate("orders", "channel", "=", "ONLINE"),),
+        )
+        total = executor.execute(base.with_aggregate(Aggregate.sum("customer", "age")))
+        count = executor.execute(base)
+        avg = executor.execute(base.with_aggregate(Aggregate.avg("customer", "age")))
+        assert total == pytest.approx(count * avg, rel=1e-9)
+
+    def test_avg_of_empty_result_is_none(self, db):
+        executor = Executor(db)
+        query = Query(
+            ("customer",),
+            aggregate=Aggregate.avg("customer", "age"),
+            predicates=(Predicate("customer", "age", ">", 10_000),),
+        )
+        assert executor.execute(query) is None
+
+    def test_avg_skips_nulls(self):
+        from repro.engine.table import Database, Table
+        from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+
+        schema = SchemaGraph()
+        schema.add_table(TableSchema("t", [Attribute("x", "numeric")]))
+        database = Database(schema)
+        database.add_table(
+            Table.from_columns(schema.table("t"), {"x": [1.0, None, 3.0]})
+        )
+        query = Query(("t",), aggregate=Aggregate.avg("t", "x"))
+        assert Executor(database).execute(query) == pytest.approx(2.0)
+
+
+class TestGroupBy:
+    def test_group_by_counts_partition_total(self, db):
+        executor = Executor(db)
+        grouped = Query(("customer",), group_by=(("customer", "region"),))
+        result = executor.execute(grouped)
+        assert set(result) == {("EU",), ("ASIA",)}
+        assert sum(result.values()) == db.table("customer").n_rows
+
+    def test_group_by_avg(self, db):
+        executor = Executor(db)
+        grouped = Query(
+            ("customer",),
+            aggregate=Aggregate.avg("customer", "age"),
+            group_by=(("customer", "region"),),
+        )
+        result = executor.execute(grouped)
+        assert result[("EU",)] > result[("ASIA",)]  # planted correlation
+
+    def test_group_by_across_join(self, db):
+        executor = Executor(db)
+        grouped = Query(
+            ("customer", "orders"),
+            group_by=(("customer", "region"), ("orders", "channel")),
+        )
+        result = executor.execute(grouped)
+        assert len(result) == 4
+        flat = executor.execute(Query(("customer", "orders")))
+        assert sum(result.values()) == flat
+
+    def test_distinct_group_values(self, db):
+        executor = Executor(db)
+        values = executor.distinct_group_values([("customer", "region")])
+        assert {str(v) for v in values[0]} == {"EU", "ASIA"}
+
+
+class TestOuterJoins:
+    def test_full_outer_count(self, db):
+        executor = Executor(db)
+        inner = executor.execute(Query(("customer", "orders")))
+        full = executor.execute(Query(("customer", "orders"), join_kind="full_outer"))
+        customers_without_orders = float(
+            (db.table("customer").columns["F__customer__orders"] == 0).sum()
+        )
+        assert full == inner + customers_without_orders
+
+    def test_left_outer_count(self, db):
+        executor = Executor(db)
+        left = executor.execute(Query(("customer", "orders"), join_kind="left_outer"))
+        full = executor.execute(Query(("customer", "orders"), join_kind="full_outer"))
+        assert left == full  # no orphan orders in this dataset
+
+    def test_predicate_on_outer_join_drops_null_rows(self, db):
+        executor = Executor(db)
+        filtered = executor.execute(
+            Query(
+                ("customer", "orders"),
+                predicates=(Predicate("orders", "channel", "=", "ONLINE"),),
+                join_kind="full_outer",
+            )
+        )
+        inner = executor.execute(
+            Query(
+                ("customer", "orders"),
+                predicates=(Predicate("orders", "channel", "=", "ONLINE"),),
+            )
+        )
+        assert filtered == inner

@@ -1,0 +1,160 @@
+"""Tests for predicate masks (SQL NULL semantics) and the schema graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.filters import conjunction_mask, predicate_mask
+from repro.engine.query import Predicate
+from repro.engine.table import Table
+from repro.schema.schema import Attribute, ForeignKey, SchemaGraph, TableSchema
+
+
+def numbers_table(values):
+    schema = TableSchema("t", [Attribute("x", "numeric")])
+    return Table.from_columns(schema, {"x": values})
+
+
+class TestPredicateMask:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("=", 2.0, [False, True, False, False]),
+            ("<>", 2.0, [True, False, True, False]),
+            ("<", 3.0, [True, True, False, False]),
+            ("<=", 2.0, [True, True, False, False]),
+            (">", 2.0, [False, False, True, False]),
+            (">=", 3.0, [False, False, True, False]),
+        ],
+    )
+    def test_comparisons_with_null(self, op, value, expected):
+        table = numbers_table([1.0, 2.0, 3.0, None])
+        mask = predicate_mask(table, Predicate("t", "x", op, value))
+        assert mask.tolist() == expected
+
+    def test_null_tests(self):
+        table = numbers_table([1.0, None])
+        assert predicate_mask(table, Predicate("t", "x", "IS NULL")).tolist() == [
+            False,
+            True,
+        ]
+        assert predicate_mask(table, Predicate("t", "x", "IS NOT NULL")).tolist() == [
+            True,
+            False,
+        ]
+
+    def test_in_predicate(self):
+        table = numbers_table([1.0, 2.0, 3.0, None])
+        mask = predicate_mask(table, Predicate("t", "x", "IN", (1, 3)))
+        assert mask.tolist() == [True, False, True, False]
+
+    def test_between_predicate(self):
+        table = numbers_table([1.0, 2.0, 3.0, None])
+        mask = predicate_mask(table, Predicate("t", "x", "BETWEEN", (2, 3)))
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_categorical_unknown_constant(self):
+        schema = TableSchema("t", [Attribute("c", "categorical")])
+        table = Table.from_columns(schema, {"c": ["a", "b", None]})
+        eq = predicate_mask(table, Predicate("t", "c", "=", "zzz"))
+        ne = predicate_mask(table, Predicate("t", "c", "<>", "zzz"))
+        assert eq.tolist() == [False, False, False]
+        assert ne.tolist() == [True, True, False]
+
+    def test_conjunction(self):
+        table = numbers_table([1.0, 2.0, 3.0, 4.0])
+        mask = conjunction_mask(
+            table,
+            [Predicate("t", "x", ">", 1.0), Predicate("t", "x", "<", 4.0)],
+        )
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_empty_conjunction_selects_all(self):
+        table = numbers_table([1.0, None])
+        assert conjunction_mask(table, []).tolist() == [True, True]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.integers(-5, 5)), min_size=1, max_size=30
+        ),
+        threshold=st.integers(-5, 5),
+    )
+    def test_less_than_matches_python_semantics(self, values, threshold):
+        table = numbers_table([None if v is None else float(v) for v in values])
+        mask = predicate_mask(table, Predicate("t", "x", "<", float(threshold)))
+        expected = [v is not None and v < threshold for v in values]
+        assert mask.tolist() == expected
+
+
+class TestSchemaGraph:
+    def make_graph(self):
+        graph = SchemaGraph()
+        graph.add_table(TableSchema("a", [Attribute("id", "key")], primary_key="id"))
+        graph.add_table(
+            TableSchema(
+                "b", [Attribute("id", "key"), Attribute("a_id", "key")], primary_key="id"
+            )
+        )
+        graph.add_table(
+            TableSchema(
+                "c", [Attribute("id", "key"), Attribute("b_id", "key")], primary_key="id"
+            )
+        )
+        graph.add_foreign_key("a", "b", "a_id")
+        graph.add_foreign_key("b", "c", "b_id")
+        return graph
+
+    def test_join_tree_chain(self):
+        graph = self.make_graph()
+        root, edges = graph.join_tree(["a", "b", "c"], root="a")
+        assert root == "a"
+        assert [e.name for e in edges] == ["a<-b", "b<-c"]
+
+    def test_join_order(self):
+        graph = self.make_graph()
+        assert graph.join_order(["c", "a", "b"], root="c") == ["c", "b", "a"]
+
+    def test_disconnected_tables_rejected(self):
+        graph = self.make_graph()
+        graph.add_table(TableSchema("island", [Attribute("id", "key")], primary_key="id"))
+        with pytest.raises(ValueError):
+            graph.join_tree(["a", "island"])
+
+    def test_edges_between(self):
+        graph = self.make_graph()
+        assert [fk.name for fk in graph.edges_between(["a", "b"])] == ["a<-b"]
+        assert graph.edges_between(["a", "c"]) == []
+
+    def test_children_and_parents(self):
+        graph = self.make_graph()
+        assert [fk.child for fk in graph.children_of("a")] == ["b"]
+        assert [fk.parent for fk in graph.parents_of("c")] == ["b"]
+
+    def test_fk_requires_registered_tables(self):
+        graph = SchemaGraph()
+        graph.add_table(TableSchema("a", [Attribute("id", "key")], primary_key="id"))
+        with pytest.raises(KeyError):
+            graph.add_foreign_key("a", "missing", "a_id")
+
+    def test_fk_requires_primary_key(self):
+        graph = SchemaGraph()
+        graph.add_table(TableSchema("a", [Attribute("id", "key")]))
+        graph.add_table(TableSchema("b", [Attribute("a_id", "key")]))
+        with pytest.raises(ValueError):
+            graph.add_foreign_key("a", "b", "a_id")
+
+    def test_duplicate_table_rejected(self):
+        graph = SchemaGraph()
+        graph.add_table(TableSchema("a", []))
+        with pytest.raises(ValueError):
+            graph.add_table(TableSchema("a", []))
+
+    def test_attribute_kinds_validated(self):
+        with pytest.raises(ValueError):
+            Attribute("x", "strange")
+
+    def test_factor_name(self):
+        fk = ForeignKey("a", "b", "a_id", "id")
+        assert fk.factor_name == "F__a__b"

@@ -1,0 +1,223 @@
+"""HAVING / ORDER BY / LIMIT on group-by queries (exact + approximate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.engine.executor import Executor
+from repro.engine.parser import parse_query
+from repro.engine.query import Aggregate, Having, Predicate, Query
+
+
+@pytest.fixture(scope="module")
+def executor(three_table_db):
+    return Executor(three_table_db)
+
+
+@pytest.fixture(scope="module")
+def compiler(three_table_db):
+    ensemble = learn_ensemble(
+        three_table_db,
+        EnsembleConfig(sample_size=6_000, correlation_sample=800),
+    )
+    return ProbabilisticQueryCompiler(ensemble)
+
+
+def _grouped(having=(), order=None, limit=None, aggregate=None):
+    return Query(
+        ("customer", "orders"),
+        aggregate=aggregate or Aggregate.count(),
+        group_by=(("orders", "channel"),),
+        having=tuple(having),
+        order=order,
+        limit=limit,
+    )
+
+
+class TestQueryValidation:
+    def test_having_requires_group_by(self):
+        with pytest.raises(ValueError):
+            Query(
+                ("customer",),
+                having=(Having(Aggregate.count(), ">", 1.0),),
+            )
+
+    def test_order_requires_group_by(self):
+        with pytest.raises(ValueError):
+            Query(("customer",), order="desc")
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Query(("customer",), group_by=(("customer", "region"),), limit=0)
+
+    def test_invalid_order_direction(self):
+        with pytest.raises(ValueError):
+            Query(("customer",), group_by=(("customer", "region"),), order="up")
+
+    def test_invalid_having_operator(self):
+        with pytest.raises(ValueError):
+            Having(Aggregate.count(), "IN", 3.0)
+
+    def test_having_table_must_be_in_query(self):
+        with pytest.raises(ValueError):
+            Query(
+                ("customer",),
+                group_by=(("customer", "region"),),
+                having=(Having(Aggregate.avg("orders", "o_id"), ">", 1.0),),
+            )
+
+    def test_having_accepts_null_is_false(self):
+        clause = Having(Aggregate.count(), ">", 0.0)
+        assert not clause.accepts(None)
+
+    def test_describe_mentions_all_clauses(self):
+        query = _grouped(
+            having=(Having(Aggregate.count(), ">", 5.0),),
+            order="desc",
+            limit=3,
+        )
+        text = query.describe()
+        assert "HAVING COUNT(*) > 5.0" in text
+        assert "ORDER BY COUNT(*) DESC" in text
+        assert "LIMIT 3" in text
+
+
+class TestExactExecution:
+    def test_having_filters_groups(self, executor):
+        unfiltered = executor.execute(_grouped())
+        threshold = sorted(unfiltered.values())[-1]  # keep only the max group
+        filtered = executor.execute(
+            _grouped(having=(Having(Aggregate.count(), ">=", threshold),))
+        )
+        assert set(filtered) == {
+            key for key, value in unfiltered.items() if value >= threshold
+        }
+
+    def test_having_on_different_aggregate(self, executor, three_table_db):
+        """HAVING AVG(age) filters while COUNT(*) is selected."""
+        unfiltered_avg = executor.execute(
+            _grouped(aggregate=Aggregate.avg("customer", "age"))
+        )
+        cutoff = sum(unfiltered_avg.values()) / len(unfiltered_avg)
+        result = executor.execute(
+            _grouped(
+                having=(Having(Aggregate.avg("customer", "age"), ">", cutoff),)
+            )
+        )
+        expected = {k for k, v in unfiltered_avg.items() if v > cutoff}
+        assert set(result) == expected
+
+    def test_order_descending(self, executor):
+        result = executor.execute(_grouped(order="desc"))
+        values = list(result.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_order_ascending(self, executor):
+        result = executor.execute(_grouped(order="asc"))
+        values = list(result.values())
+        assert values == sorted(values)
+
+    def test_limit_truncates_after_ordering(self, executor):
+        full = executor.execute(_grouped(order="desc"))
+        top1 = executor.execute(_grouped(order="desc", limit=1))
+        assert len(top1) == 1
+        best_key = next(iter(full))
+        assert next(iter(top1)) == best_key
+
+    def test_having_can_eliminate_all_groups(self, executor):
+        result = executor.execute(
+            _grouped(having=(Having(Aggregate.count(), ">", 1e12),))
+        )
+        assert result == {}
+
+
+class TestCompiledGroups:
+    def test_having_matches_exact_group_set(self, executor, compiler):
+        unfiltered = executor.execute(_grouped())
+        threshold = sum(unfiltered.values()) / len(unfiltered)
+        query = _grouped(having=(Having(Aggregate.count(), ">", threshold),))
+        exact = executor.execute(query)
+        approximate = compiler.answer(query)
+        assert set(approximate) == set(exact)
+
+    def test_top1_group_matches(self, executor, compiler):
+        query = _grouped(order="desc", limit=1)
+        exact = executor.execute(query)
+        approximate = compiler.answer(query)
+        assert list(approximate) == list(exact)
+
+    def test_order_applies_to_estimates(self, compiler):
+        result = compiler.answer(_grouped(order="asc"))
+        values = list(result.values())
+        assert values == sorted(values)
+
+    def test_confidence_intervals_respect_limit(self, compiler):
+        answer = compiler.answer_with_confidence(
+            _grouped(order="desc", limit=1)
+        )
+        assert len(answer) == 1
+        (value, (low, high)), = answer.values()
+        assert low <= value <= high
+
+
+class TestParser:
+    def test_full_clause_stack(self, three_table_db):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer, orders "
+            "WHERE customer.c_id = orders.c_id "
+            "GROUP BY orders.channel "
+            "HAVING COUNT(*) > 100 AND AVG(customer.age) < 70 "
+            "ORDER BY COUNT(*) DESC LIMIT 2",
+            three_table_db.schema,
+        )
+        assert len(query.having) == 2
+        assert query.having[0].op == ">"
+        assert query.having[1].aggregate.function == "AVG"
+        assert query.order == "desc"
+        assert query.limit == 2
+
+    def test_order_defaults_to_ascending(self, three_table_db):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer GROUP BY region "
+            "ORDER BY COUNT(*)",
+            three_table_db.schema,
+        )
+        assert query.order == "asc"
+
+    def test_order_by_other_aggregate_rejected(self, three_table_db):
+        with pytest.raises(SyntaxError):
+            parse_query(
+                "SELECT COUNT(*) FROM customer GROUP BY region "
+                "ORDER BY AVG(age)",
+                three_table_db.schema,
+            )
+
+    def test_having_requires_numeric_constant(self, three_table_db):
+        with pytest.raises(SyntaxError):
+            parse_query(
+                "SELECT COUNT(*) FROM customer GROUP BY region "
+                "HAVING COUNT(*) > 'many'",
+                three_table_db.schema,
+            )
+
+    def test_bad_limit_rejected(self, three_table_db):
+        with pytest.raises(SyntaxError):
+            parse_query(
+                "SELECT COUNT(*) FROM customer GROUP BY region LIMIT 0",
+                three_table_db.schema,
+            )
+
+    def test_end_to_end_sql(self, three_table_db, executor, compiler):
+        sql = (
+            "SELECT COUNT(*) FROM customer, orders "
+            "WHERE customer.c_id = orders.c_id AND customer.region = 'EU' "
+            "GROUP BY orders.channel ORDER BY COUNT(*) DESC LIMIT 1"
+        )
+        query = parse_query(sql, three_table_db.schema)
+        exact = executor.execute(query)
+        approximate = compiler.answer(query)
+        assert list(approximate) == list(exact)
+        key = next(iter(exact))
+        assert approximate[key] == pytest.approx(exact[key], rel=0.15)

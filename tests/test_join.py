@@ -1,0 +1,207 @@
+"""Tests for tuple factors, full outer joins and join sampling."""
+
+import numpy as np
+import pytest
+
+from repro.engine.join import (
+    JoinPlan,
+    compute_tuple_factors,
+    full_outer_join_size,
+    join_learning_columns,
+    match_parent_rows,
+    materialize_full_outer_join,
+    sample_full_outer_join,
+    validate_referential_integrity,
+)
+from repro.engine.table import Database, Table
+from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+
+
+def paper_example_db():
+    """The exact customer/order tables of Figure 5 of the paper."""
+    schema = SchemaGraph()
+    schema.add_table(
+        TableSchema(
+            "customer",
+            [
+                Attribute("c_id", "key"),
+                Attribute("c_age", "numeric"),
+                Attribute("c_region", "categorical"),
+            ],
+            primary_key="c_id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "orders",
+            [
+                Attribute("o_id", "key"),
+                Attribute("c_id", "key"),
+                Attribute("o_channel", "categorical"),
+            ],
+            primary_key="o_id",
+        )
+    )
+    schema.add_foreign_key("customer", "orders", "c_id")
+    database = Database(schema)
+    database.add_table(
+        Table.from_columns(
+            schema.table("customer"),
+            {
+                "c_id": [1, 2, 3],
+                "c_age": [20.0, 50.0, 80.0],
+                "c_region": ["EUROPE", "EUROPE", "ASIA"],
+            },
+        )
+    )
+    database.add_table(
+        Table.from_columns(
+            schema.table("orders"),
+            {
+                "o_id": [1, 2, 3, 4],
+                "c_id": [1, 1, 3, 3],
+                "o_channel": ["ONLINE", "STORE", "ONLINE", "STORE"],
+            },
+        )
+    )
+    return database
+
+
+class TestTupleFactors:
+    def test_paper_figure5_factors(self):
+        """F_{C<-O} = (2, 0, 2) for the paper's example table."""
+        database = paper_example_db()
+        compute_tuple_factors(database)
+        factors = database.table("customer").columns["F__customer__orders"]
+        assert factors.tolist() == [2.0, 0.0, 2.0]
+
+    def test_factors_sum_to_child_rows(self, tiny_imdb):
+        title = tiny_imdb.table("title")
+        for dim in ("cast_info", "movie_info", "movie_keyword"):
+            factors = title.columns[f"F__title__{dim}"]
+            assert factors.sum() == tiny_imdb.table(dim).n_rows
+
+    def test_match_parent_rows(self):
+        parent_keys = np.array([10.0, 20.0, 30.0])
+        child_keys = np.array([20.0, 99.0, 10.0, np.nan])
+        matched = match_parent_rows(parent_keys, child_keys)
+        assert matched.tolist() == [1, -1, 0, -1]
+
+    def test_referential_integrity_validation(self):
+        database = paper_example_db()
+        validate_referential_integrity(database)  # no orphans
+        database.table("orders").columns["c_id"][0] = 999.0
+        with pytest.raises(ValueError):
+            validate_referential_integrity(database)
+
+
+class TestFullOuterJoin:
+    def test_paper_figure5_join_size(self):
+        """The full outer join of Figure 5b has 5 rows (customer 2 NULL-extended)."""
+        database = paper_example_db()
+        compute_tuple_factors(database)
+        assert full_outer_join_size(database, ["customer", "orders"]) == 5.0
+
+    def test_materialised_join_matches_size(self):
+        database = paper_example_db()
+        compute_tuple_factors(database)
+        join = materialize_full_outer_join(database, ["customer", "orders"])
+        assert len(join) == 5
+
+    def test_null_extension_and_indicators(self):
+        database = paper_example_db()
+        compute_tuple_factors(database)
+        join = materialize_full_outer_join(database, ["customer", "orders"])
+        indicator = join.indicator("orders")
+        assert indicator.sum() == 4.0  # one NULL-extended customer row
+        channel = join.column("orders", "o_channel")
+        assert np.isnan(channel).sum() == 1
+
+    def test_factor_column_in_join(self):
+        database = paper_example_db()
+        compute_tuple_factors(database)
+        join = materialize_full_outer_join(database, ["customer", "orders"])
+        factors = join.column("customer", "F__customer__orders")
+        # customers 1 and 3 appear twice with F=2; customer 2 once with F=0
+        assert sorted(factors.tolist()) == [0.0, 2.0, 2.0, 2.0, 2.0]
+
+    def test_size_formula_matches_materialisation(self, three_table_db):
+        for tables in (
+            ["customer", "orders"],
+            ["orders", "orderline"],
+            ["customer", "orders", "orderline"],
+        ):
+            size = full_outer_join_size(three_table_db, tables)
+            join = materialize_full_outer_join(three_table_db, tables)
+            assert len(join) == size
+
+    def test_every_tuple_appears(self, three_table_db):
+        join = materialize_full_outer_join(
+            three_table_db, ["customer", "orders", "orderline"]
+        )
+        for table in ("customer", "orders", "orderline"):
+            rows = join.table_rows(table)
+            present = set(rows[rows >= 0].tolist())
+            assert len(present) == three_table_db.table(table).n_rows
+
+    def test_orphan_parents_kept_for_fact_root(self, tiny_ssb):
+        """SSB joins from the fact side must keep unreferenced dimension rows."""
+        join = materialize_full_outer_join(tiny_ssb, ["lineorder", "customer"])
+        size = full_outer_join_size(tiny_ssb, ["lineorder", "customer"])
+        assert len(join) == size
+        customer_rows = join.table_rows("customer")
+        present = set(customer_rows[customer_rows >= 0].tolist())
+        assert len(present) == tiny_ssb.table("customer").n_rows
+
+    def test_memory_cap_enforced(self, three_table_db):
+        with pytest.raises(MemoryError):
+            materialize_full_outer_join(
+                three_table_db, ["customer", "orders"], max_rows=10
+            )
+
+
+class TestJoinSampling:
+    def test_small_join_returns_exact_rows(self):
+        database = paper_example_db()
+        compute_tuple_factors(database)
+        sample = sample_full_outer_join(database, ["customer", "orders"], 100)
+        assert len(sample) == 5
+
+    def test_subsample_size(self, three_table_db):
+        sample = sample_full_outer_join(
+            three_table_db, ["customer", "orders"], 500, seed=1
+        )
+        assert len(sample) == 500
+
+    def test_weighted_sampling_path_unbiased(self, three_table_db):
+        """Force the weighted-sampling path and compare marginals."""
+        full = materialize_full_outer_join(
+            three_table_db, ["customer", "orders"]
+        )
+        region_full = full.column("customer", "region")
+        sample = sample_full_outer_join(
+            three_table_db, ["customer", "orders"], 3_000, seed=2, max_rows=10
+        )
+        region_sample = sample.column("customer", "region")
+        full_rate = np.nanmean(region_full == 0.0)
+        sample_rate = np.nanmean(region_sample == 0.0)
+        assert sample_rate == pytest.approx(full_rate, abs=0.05)
+
+
+class TestJoinPlan:
+    def test_parent_root_preferred(self, three_table_db):
+        plan = JoinPlan(three_table_db.schema, ["orderline", "customer", "orders"])
+        assert plan.root == "customer"
+
+    def test_learning_columns(self, three_table_db):
+        columns = join_learning_columns(three_table_db, ["customer", "orders"])
+        assert "customer.region" in columns
+        assert "customer.F__customer__orders" in columns
+        assert "orders.F__orders__orderline" in columns
+        assert "customer.__present__" in columns
+        assert "orders.__present__" in columns
+        assert not any(c.endswith(".c_id") for c in columns)
+
+    def test_single_table_learning_columns(self, three_table_db):
+        columns = join_learning_columns(three_table_db, ["customer"])
+        assert columns == ["customer.region", "customer.age", "customer.F__customer__orders"]

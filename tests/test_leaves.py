@@ -1,0 +1,213 @@
+"""Tests for RSPN histogram leaves (NULL buckets, transforms, updates)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.leaves import (
+    BinnedLeaf,
+    DiscreteLeaf,
+    IDENTITY,
+    INVERSE_FACTOR,
+    SQUARE,
+    Transform,
+    build_leaf,
+    product_transform,
+)
+from repro.core.ranges import Range
+
+
+def make_discrete(values, nulls=0):
+    column = np.concatenate([np.asarray(values, dtype=float), np.full(nulls, np.nan)])
+    return DiscreteLeaf.fit(0, "t.x", column)
+
+
+class TestDiscreteLeaf:
+    def test_full_range_probability_is_one(self):
+        leaf = make_discrete([1, 2, 2, 3], nulls=2)
+        assert leaf.evaluate(Range.everything(include_null=True), None) == pytest.approx(1.0)
+
+    def test_point_probability(self):
+        leaf = make_discrete([1, 2, 2, 3])
+        assert leaf.evaluate(Range.point(2.0), None) == pytest.approx(0.5)
+
+    def test_null_bucket_partition(self):
+        leaf = make_discrete([1, 2], nulls=2)
+        not_null = leaf.evaluate(Range.from_operator("IS NOT NULL", None), None)
+        null = leaf.evaluate(Range.from_operator("IS NULL", None), None)
+        assert not_null == pytest.approx(0.5)
+        assert null == pytest.approx(0.5)
+        assert not_null + null == pytest.approx(1.0)
+
+    def test_range_excludes_null(self):
+        leaf = make_discrete([1, 2, 3], nulls=3)
+        assert leaf.evaluate(Range.from_operator(">", 0.0), None) == pytest.approx(0.5)
+
+    def test_expectation_identity(self):
+        leaf = make_discrete([1, 2, 3, 4])
+        assert leaf.evaluate(None, IDENTITY) == pytest.approx(2.5)
+
+    def test_expectation_with_condition(self):
+        leaf = make_discrete([1, 2, 3, 4])
+        value = leaf.evaluate(Range.from_operator(">", 2.0), IDENTITY)
+        assert value == pytest.approx((3 + 4) / 4)
+
+    def test_null_contributes_zero_to_identity(self):
+        leaf = make_discrete([2, 2], nulls=2)
+        assert leaf.evaluate(None, IDENTITY) == pytest.approx(1.0)  # (2+2+0+0)/4
+
+    def test_inverse_factor_null_contributes_one(self):
+        leaf = make_discrete([2, 4], nulls=2)
+        value = leaf.evaluate(None, INVERSE_FACTOR)
+        assert value == pytest.approx((0.5 + 0.25 + 1 + 1) / 4)
+
+    def test_inverse_factor_zero_clamped(self):
+        leaf = make_discrete([0, 2])
+        assert leaf.evaluate(None, INVERSE_FACTOR) == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_square_transform(self):
+        leaf = make_discrete([1, 3])
+        assert leaf.evaluate(None, SQUARE) == pytest.approx(5.0)
+
+    def test_update_insert_existing_value(self):
+        leaf = make_discrete([1, 2])
+        leaf.update(2.0, +1)
+        assert leaf.evaluate(Range.point(2.0), None) == pytest.approx(2 / 3)
+
+    def test_update_insert_new_value_keeps_sorted(self):
+        leaf = make_discrete([1, 3])
+        leaf.update(2.0, +1)
+        assert list(leaf.values) == [1.0, 2.0, 3.0]
+
+    def test_update_delete(self):
+        leaf = make_discrete([1, 2, 2])
+        leaf.update(2.0, -1)
+        assert leaf.evaluate(Range.point(2.0), None) == pytest.approx(0.5)
+
+    def test_update_null(self):
+        leaf = make_discrete([1])
+        leaf.update(np.nan, +1)
+        assert leaf.null_count == 1
+
+    def test_delete_never_goes_negative(self):
+        leaf = make_discrete([1])
+        leaf.update(5.0, -1)
+        assert (leaf.counts >= 0).all()
+
+    def test_mean_excludes_nulls(self):
+        leaf = make_discrete([2, 4], nulls=10)
+        assert leaf.mean() == pytest.approx(3.0)
+
+
+class TestBinnedLeaf:
+    @pytest.fixture()
+    def leaf(self):
+        rng = np.random.default_rng(0)
+        column = rng.uniform(0, 100, 20_000)
+        return BinnedLeaf.fit(0, "t.x", column, n_bins=64)
+
+    def test_full_range_probability(self, leaf):
+        assert leaf.evaluate(Range.everything(include_null=True), None) == pytest.approx(1.0)
+
+    def test_uniform_range_probability(self, leaf):
+        value = leaf.evaluate(Range.from_operator("<", 25.0), None)
+        assert value == pytest.approx(0.25, abs=0.02)
+
+    def test_expectation_matches_uniform_mean(self, leaf):
+        assert leaf.evaluate(None, IDENTITY) == pytest.approx(50.0, rel=0.05)
+
+    def test_conditional_expectation(self, leaf):
+        value = leaf.evaluate(Range.from_operator(">", 50.0), IDENTITY)
+        assert value == pytest.approx(75.0 * 0.5, rel=0.08)
+
+    def test_point_query_uses_distinct_correction(self):
+        column = np.repeat(np.arange(1000, dtype=float), 3)
+        leaf = BinnedLeaf.fit(0, "t.x", column, n_bins=10)
+        prob = leaf.evaluate(Range.point(500.0), None)
+        assert prob == pytest.approx(3 / 3000, rel=0.5)
+
+    def test_update_shifts_mass(self, leaf):
+        before = leaf.evaluate(Range.from_operator("<", 10.0), None)
+        for _ in range(2000):
+            leaf.update(5.0, +1)
+        after = leaf.evaluate(Range.from_operator("<", 10.0), None)
+        assert after > before
+
+    def test_nulls_tracked(self):
+        column = np.concatenate([np.linspace(0, 1, 1000), np.full(1000, np.nan)])
+        leaf = BinnedLeaf.fit(0, "t.x", column)
+        assert leaf.evaluate(Range.from_operator("IS NULL", None), None) == pytest.approx(0.5)
+
+    def test_skewed_data_equi_depth_bins(self):
+        rng = np.random.default_rng(1)
+        column = rng.exponential(10.0, 50_000)
+        leaf = BinnedLeaf.fit(0, "t.x", column, n_bins=64)
+        median = float(np.median(column))
+        value = leaf.evaluate(Range.from_operator("<", median), None)
+        assert value == pytest.approx(0.5, abs=0.03)
+
+
+class TestBuildLeaf:
+    def test_categorical_always_discrete(self):
+        column = np.arange(10_000, dtype=float) % 3
+        leaf = build_leaf(0, "t.c", column, discrete=True)
+        assert isinstance(leaf, DiscreteLeaf)
+
+    def test_numeric_few_distinct_values_exact(self):
+        column = np.arange(10_000, dtype=float) % 50
+        leaf = build_leaf(0, "t.x", column, discrete=False, max_distinct=512)
+        assert isinstance(leaf, DiscreteLeaf)
+
+    def test_numeric_many_distinct_values_binned(self):
+        column = np.random.default_rng(0).normal(size=10_000)
+        leaf = build_leaf(0, "t.x", column, discrete=False, max_distinct=512)
+        assert isinstance(leaf, BinnedLeaf)
+
+
+class TestTransforms:
+    def test_product_transform_composes(self):
+        composed = product_transform([IDENTITY, IDENTITY])
+        values = np.array([2.0, 3.0])
+        assert np.allclose(composed.fn(values), values**2)
+        assert composed.null_value == 0.0
+
+    def test_single_transform_passthrough(self):
+        assert product_transform([SQUARE]) is SQUARE
+
+    def test_custom_transform(self):
+        halve = Transform(lambda v: v / 2, 0.0, "x/2")
+        leaf = make_discrete([4, 8])
+        assert leaf.evaluate(None, halve) == pytest.approx(3.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 20), min_size=1, max_size=50),
+    threshold=st.integers(-1, 21),
+)
+def test_discrete_probability_matches_empirical(values, threshold):
+    column = np.asarray(values, dtype=float)
+    leaf = DiscreteLeaf.fit(0, "t.x", column)
+    expected = float((column <= threshold).mean())
+    assert leaf.evaluate(
+        Range.from_operator("<=", float(threshold)), None
+    ) == pytest.approx(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(0, 10), min_size=1, max_size=30),
+    inserted=st.integers(0, 10),
+)
+def test_insert_then_delete_restores_probabilities(values, inserted):
+    column = np.asarray(values, dtype=float)
+    leaf = DiscreteLeaf.fit(0, "t.x", column)
+    before = {
+        float(v): leaf.evaluate(Range.point(float(v)), None) for v in set(values)
+    }
+    leaf.update(float(inserted), +1)
+    leaf.update(float(inserted), -1)
+    for v, probability in before.items():
+        assert leaf.evaluate(Range.point(v), None) == pytest.approx(probability)
+    assert leaf.evaluate(Range.everything(include_null=True), None) == pytest.approx(1.0)

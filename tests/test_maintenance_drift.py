@@ -1,0 +1,199 @@
+"""Structure-drift detection and ensemble refresh (Section 5.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.core.maintenance import (
+    absorb_inserts,
+    check_structure_drift,
+    refresh_ensemble,
+)
+from repro.engine.executor import Executor
+from repro.engine.join import compute_tuple_factors
+from repro.engine.query import Predicate, Query
+from repro.engine.table import Database, Table
+from repro.evaluation.metrics import q_error
+from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+
+
+def _single_table_db(region, age, n=None):
+    schema = SchemaGraph()
+    schema.add_table(
+        TableSchema(
+            "people",
+            [
+                Attribute("p_id", "key"),
+                Attribute("region", "categorical"),
+                Attribute("age", "numeric"),
+            ],
+            primary_key="p_id",
+        )
+    )
+    database = Database(schema)
+    n = n if n is not None else len(age)
+    database.add_table(
+        Table.from_columns(
+            schema.table("people"),
+            {
+                "p_id": np.arange(n, dtype=float),
+                "region": list(region),
+                "age": np.asarray(age, dtype=float),
+            },
+        )
+    )
+    compute_tuple_factors(database)
+    return database
+
+
+def _independent_db(n=3_000, seed=0):
+    rng = np.random.default_rng(seed)
+    region = rng.choice(["EU", "ASIA"], n)
+    age = rng.normal(40, 12, n).round()
+    return _single_table_db(region, age)
+
+
+def _config():
+    return EnsembleConfig(sample_size=10_000, correlation_sample=1_000)
+
+
+class TestDriftDetection:
+    def test_no_drift_on_unchanged_data(self):
+        database = _independent_db()
+        ensemble = learn_ensemble(database, _config())
+        reports = check_structure_drift(ensemble, database, seed=1)
+        assert all(not r.has_drift for r in reports)
+
+    def test_no_drift_on_stationary_inserts(self):
+        """Inserts from the same distribution must not trigger rebuilds."""
+        database = _independent_db(seed=2)
+        ensemble = learn_ensemble(database, _config())
+        rng = np.random.default_rng(3)
+        extra = 1_000
+        database.table("people").append_rows(
+            {
+                "p_id": np.arange(10_000, 10_000 + extra, dtype=float),
+                "region": list(rng.choice(["EU", "ASIA"], extra)),
+                "age": rng.normal(40, 12, extra).round(),
+            }
+        )
+        mask = np.zeros(database.table("people").n_rows, dtype=bool)
+        mask[-extra:] = True
+        absorb_inserts(ensemble, database, {"people": mask})
+        reports = check_structure_drift(ensemble, database, seed=4)
+        assert all(not r.has_drift for r in reports)
+
+    def test_new_dependency_detected(self):
+        """Inserts that correlate previously independent columns fire."""
+        database = _independent_db(seed=5)
+        ensemble = learn_ensemble(database, _config())
+        # Flood the table with strongly correlated rows: EU -> old,
+        # ASIA -> young, with twice the original population.
+        rng = np.random.default_rng(6)
+        extra = 6_000
+        region = rng.choice(["EU", "ASIA"], extra)
+        age = np.where(
+            region == "EU",
+            rng.normal(75, 3, extra),
+            rng.normal(18, 2, extra),
+        ).round()
+        database.table("people").append_rows(
+            {
+                "p_id": np.arange(20_000, 20_000 + extra, dtype=float),
+                "region": list(region),
+                "age": age,
+            }
+        )
+        reports = check_structure_drift(ensemble, database, seed=7)
+        assert any(r.has_drift for r in reports)
+        drifted = next(r for r in reports if r.has_drift)
+        columns = {c for a, b, _v in drifted.violations for c in (a, b)}
+        assert columns == {"people.region", "people.age"}
+        assert "broken column splits" in drifted.describe()
+
+    def test_report_describe_without_drift(self):
+        database = _independent_db(seed=8)
+        ensemble = learn_ensemble(database, _config())
+        report = check_structure_drift(ensemble, database, seed=9)[0]
+        assert "still valid" in report.describe()
+
+
+class TestRefresh:
+    def test_refresh_rebuilds_only_drifted(self):
+        database = _independent_db(seed=10)
+        ensemble = learn_ensemble(database, _config())
+        before = list(ensemble.rspns)
+        reports, rebuilt, _seconds = refresh_ensemble(
+            ensemble, database, _config(), seed=11
+        )
+        assert rebuilt == 0
+        assert ensemble.rspns == before
+
+    def test_refresh_restores_accuracy(self):
+        """After drift, the rebuilt RSPN answers correlated predicates
+        accurately again while Algorithm-1 updates alone cannot."""
+        database = _independent_db(seed=12)
+        ensemble = learn_ensemble(database, _config())
+
+        rng = np.random.default_rng(13)
+        extra = 9_000
+        region = rng.choice(["EU", "ASIA"], extra)
+        age = np.where(
+            region == "EU", rng.normal(75, 3, extra), rng.normal(18, 2, extra)
+        ).round()
+        table = database.table("people")
+        table.append_rows(
+            {
+                "p_id": np.arange(30_000, 30_000 + extra, dtype=float),
+                "region": list(region),
+                "age": age,
+            }
+        )
+        mask = np.zeros(table.n_rows, dtype=bool)
+        mask[-extra:] = True
+        absorb_inserts(ensemble, database, {"people": mask})
+
+        query = Query(
+            ("people",),
+            predicates=(
+                Predicate("people", "region", "=", "EU"),
+                Predicate("people", "age", ">", 60),
+            ),
+        )
+        truth = Executor(database).cardinality(query)
+        updated_error = q_error(
+            truth, ProbabilisticQueryCompiler(ensemble).cardinality(query)
+        )
+
+        reports, rebuilt, _seconds = refresh_ensemble(
+            ensemble, database, _config(), seed=14
+        )
+        assert rebuilt >= 1
+        refreshed_error = q_error(
+            truth, ProbabilisticQueryCompiler(ensemble).cardinality(query)
+        )
+        assert refreshed_error < updated_error
+        assert refreshed_error < 1.5
+
+    def test_refresh_preserves_ensemble_size(self):
+        database = _independent_db(seed=15)
+        ensemble = learn_ensemble(database, _config())
+        n_before = len(ensemble.rspns)
+        refresh_ensemble(ensemble, database, _config(), seed=16)
+        assert len(ensemble.rspns) == n_before
+
+
+class TestJoinModelDrift:
+    def test_join_rspn_checked_on_full_outer_join(self, customer_orders_db):
+        ensemble = learn_ensemble(
+            customer_orders_db,
+            EnsembleConfig(sample_size=4_000, correlation_sample=500),
+        )
+        reports = check_structure_drift(ensemble, customer_orders_db, seed=17)
+        assert len(reports) == len(ensemble.rspns)
+        join_reports = [r for r in reports if r.rspn.is_join_model]
+        assert join_reports  # the fixture's correlation forces a join RSPN
+        assert all(not r.has_drift for r in reports)

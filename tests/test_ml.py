@@ -1,0 +1,137 @@
+"""Tests for ML tasks on RSPNs (Section 4.3) and the ML baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nn import MLPRegressor
+from repro.baselines.regression_tree import RegressionTree
+from repro.core.ml import RspnClassifier, RspnRegressor
+from repro.core.rspn import RSPN
+from repro.evaluation.metrics import rmse
+
+
+def clustered_dataset(n=6_000, seed=0):
+    """Categorical cluster determines the mean of y; x adds signal."""
+    rng = np.random.default_rng(seed)
+    cluster = rng.choice([0.0, 1.0, 2.0], size=n)
+    x = rng.normal(cluster * 10, 1.0)
+    y = cluster * 50 + rng.normal(0, 2, n)
+    return np.column_stack([cluster, x, y])
+
+
+@pytest.fixture(scope="module")
+def rspn():
+    data = clustered_dataset()
+    return RSPN.learn(
+        data, ["t.cluster", "t.x", "t.y"], [True, False, False], tables={"t"}
+    )
+
+
+class TestRspnRegressor:
+    def test_recovers_cluster_means(self, rspn):
+        regressor = RspnRegressor(rspn, "t.y", ["t.cluster"])
+        for cluster, expected in ((0.0, 0.0), (1.0, 50.0), (2.0, 100.0)):
+            prediction = regressor.predict_one({"t.cluster": cluster})
+            assert prediction == pytest.approx(expected, abs=6.0)
+
+    def test_continuous_feature_conditioning(self, rspn):
+        regressor = RspnRegressor(rspn, "t.y", ["t.x"])
+        low = regressor.predict_one({"t.x": 0.0})
+        high = regressor.predict_one({"t.x": 20.0})
+        assert high > low + 50
+
+    def test_missing_features_fall_back_gracefully(self, rspn):
+        regressor = RspnRegressor(rspn, "t.y", ["t.cluster"])
+        prediction = regressor.predict_one({})
+        assert np.isfinite(prediction)
+
+    def test_unseen_feature_value_falls_back(self, rspn):
+        regressor = RspnRegressor(rspn, "t.y", ["t.x"])
+        prediction = regressor.predict_one({"t.x": 10_000.0})
+        assert np.isfinite(prediction)
+
+    def test_batch_prediction_rmse(self, rspn):
+        data = clustered_dataset(seed=99)[:500]
+        rows = [{"t.cluster": r[0], "t.x": r[1]} for r in data]
+        predictions = RspnRegressor(rspn, "t.y").predict(rows)
+        assert rmse(data[:, 2], predictions) < 10.0
+
+
+class TestRspnClassifier:
+    def test_separable_classification(self, rspn):
+        classifier = RspnClassifier(rspn, "t.cluster", ["t.x"])
+        assert classifier.predict_one({"t.x": 0.0}) == 0.0
+        assert classifier.predict_one({"t.x": 10.0}) == 1.0
+        assert classifier.predict_one({"t.x": 20.0}) == 2.0
+
+    def test_class_probabilities_sum_to_one(self, rspn):
+        classifier = RspnClassifier(rspn, "t.cluster", ["t.x"])
+        probabilities = classifier.class_probabilities({"t.x": 10.0})
+        assert sum(probabilities.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_accuracy_on_holdout(self, rspn):
+        data = clustered_dataset(seed=123)[:300]
+        classifier = RspnClassifier(rspn, "t.cluster", ["t.x"])
+        rows = [{"t.x": r[1]} for r in data]
+        predictions = classifier.predict(rows)
+        accuracy = float(np.mean(np.asarray(predictions) == data[:, 0]))
+        assert accuracy > 0.95
+
+
+class TestRegressionTree:
+    def test_fits_piecewise_constant(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=(4_000, 1))
+        y = np.where(x[:, 0] < 5, 1.0, 9.0) + rng.normal(0, 0.1, 4_000)
+        tree = RegressionTree(max_depth=3).fit(x, y)
+        assert tree.predict(np.array([[2.0]]))[0] == pytest.approx(1.0, abs=0.3)
+        assert tree.predict(np.array([[8.0]]))[0] == pytest.approx(9.0, abs=0.3)
+
+    def test_beats_mean_predictor_on_linear_data(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(5_000, 3))
+        y = 3 * x[:, 0] - 2 * x[:, 1] + rng.normal(0, 0.5, 5_000)
+        tree = RegressionTree(max_depth=8).fit(x[:4000], y[:4000])
+        tree_rmse = rmse(y[4000:], tree.predict(x[4000:]))
+        mean_rmse = rmse(y[4000:], np.full(1000, y[:4000].mean()))
+        assert tree_rmse < 0.5 * mean_rmse
+
+    def test_handles_nan_features(self):
+        x = np.array([[1.0], [np.nan], [3.0], [4.0]] * 20)
+        y = np.arange(80, dtype=float)
+        tree = RegressionTree(min_samples_leaf=5).fit(x, y)
+        assert np.isfinite(tree.predict(x)).all()
+
+    def test_depth_limited(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2_000, 2))
+        y = rng.normal(size=2_000)
+        tree = RegressionTree(max_depth=4).fit(x, y)
+        assert tree.depth() <= 5
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).normal(size=(100, 2))
+        tree = RegressionTree().fit(x, np.full(100, 3.0))
+        assert tree.predict(x[:5]).tolist() == [3.0] * 5
+
+
+class TestMLPRegressor:
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4_000, 2))
+        y = 2 * x[:, 0] + x[:, 1]
+        model = MLPRegressor(hidden=(32,), epochs=20, seed=0).fit(x[:3500], y[:3500])
+        assert rmse(y[3500:], model.predict(x[3500:])) < 0.4
+
+    def test_learns_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, size=(6_000, 1))
+        y = np.sin(2 * x[:, 0])
+        model = MLPRegressor(hidden=(64, 64), epochs=40, seed=1).fit(x[:5000], y[:5000])
+        assert rmse(y[5000:], model.predict(x[5000:])) < 0.2
+
+    def test_prediction_shape(self):
+        x = np.random.default_rng(0).normal(size=(100, 3))
+        y = x.sum(axis=1)
+        model = MLPRegressor(hidden=(8,), epochs=5).fit(x, y)
+        assert model.predict(x).shape == (100,)

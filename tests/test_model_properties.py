@@ -1,0 +1,274 @@
+"""Cross-cutting model invariants (property-based).
+
+These tests pin down algebraic identities the whole pipeline relies on:
+probability additivity and complements at the RSPN level,
+inclusion-exclusion consistency at the compiler level, SUM = COUNT x AVG,
+monotonicity of COUNT under predicate narrowing, and the execution
+strategy options.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.core.ranges import Range
+from repro.core.rspn import RSPN, RspnConfig
+from repro.engine.query import Aggregate, Predicate, Query
+
+
+def _learn_rspn(seed=0, rows=3_000):
+    rng = np.random.default_rng(seed)
+    group = rng.choice([0.0, 1.0, 2.0], rows, p=[0.5, 0.3, 0.2])
+    value = rng.normal(10 * group, 2.0, rows)
+    value[rng.random(rows) < 0.05] = np.nan
+    return RSPN.learn(
+        np.column_stack([group, value]),
+        ["t.group", "t.value"],
+        [True, False],
+        tables={"t"},
+        config=RspnConfig(seed=seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def rspn():
+    return _learn_rspn()
+
+
+@pytest.fixture(scope="module")
+def compiler(customer_orders_db):
+    ensemble = learn_ensemble(
+        customer_orders_db,
+        EnsembleConfig(sample_size=6_000, correlation_sample=800),
+    )
+    return ProbabilisticQueryCompiler(ensemble)
+
+
+class TestRspnProbabilityAlgebra:
+    def test_categorical_partition_sums_to_not_null(self, rspn):
+        total = sum(
+            rspn.probability({"t.group": Range.point(v)})
+            for v in (0.0, 1.0, 2.0)
+        )
+        not_null = rspn.probability(
+            {"t.group": Range.from_operator("IS NOT NULL", None)}
+        )
+        assert total == pytest.approx(not_null, abs=1e-9)
+
+    @given(threshold=st.floats(min_value=-10.0, max_value=35.0))
+    @settings(max_examples=40, deadline=None)
+    def test_range_complement(self, threshold):
+        rspn = _SHARED
+        below = rspn.probability(
+            {"t.value": Range.from_operator("<=", threshold)}
+        )
+        above = rspn.probability(
+            {"t.value": Range.from_operator(">", threshold)}
+        )
+        not_null = rspn.probability(
+            {"t.value": Range.from_operator("IS NOT NULL", None)}
+        )
+        assert below + above == pytest.approx(not_null, abs=1e-6)
+
+    @given(
+        low=st.floats(min_value=-5.0, max_value=25.0),
+        width_a=st.floats(min_value=0.1, max_value=15.0),
+        width_b=st.floats(min_value=0.1, max_value=15.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_range_width(self, low, width_a, width_b):
+        rspn = _SHARED
+        narrow, wide = sorted((width_a, width_b))
+        p_narrow = rspn.probability(
+            {"t.value": Range.from_operator("BETWEEN", (low, low + narrow))}
+        )
+        p_wide = rspn.probability(
+            {"t.value": Range.from_operator("BETWEEN", (low, low + wide))}
+        )
+        assert p_narrow <= p_wide + 1e-12
+
+    def test_null_plus_not_null_is_one(self, rspn):
+        null = rspn.probability({"t.value": Range.null_only()})
+        not_null = rspn.probability(
+            {"t.value": Range.from_operator("IS NOT NULL", None)}
+        )
+        assert null + not_null == pytest.approx(1.0, abs=1e-9)
+
+
+class TestCompilerAlgebra:
+    def test_inclusion_exclusion_identity(self, compiler):
+        """count(A or B) == count(A) + count(B) - count(A and B) exactly
+        (the expansion is algebraic, not approximate)."""
+        atom_a = Predicate("customer", "region", "=", "EU")
+        atom_b = Predicate("customer", "age", "<", 40)
+        union = compiler.estimate_count(
+            Query(("customer",), disjunctions=((atom_a, atom_b),))
+        ).value
+        count_a = compiler.estimate_count(
+            Query(("customer",), predicates=(atom_a,))
+        ).value
+        count_b = compiler.estimate_count(
+            Query(("customer",), predicates=(atom_b,))
+        ).value
+        both = compiler.estimate_count(
+            Query(("customer",), predicates=(atom_a, atom_b))
+        ).value
+        assert union == pytest.approx(count_a + count_b - both, rel=1e-9)
+
+    def test_sum_is_count_times_avg(self, compiler):
+        query = Query(
+            ("customer",),
+            aggregate=Aggregate.sum("customer", "age"),
+            predicates=(Predicate("customer", "region", "=", "EU"),),
+        )
+        total = compiler.estimate_sum(query).value
+        count = compiler.estimate_count(
+            query.with_extra_predicates(
+                (Predicate("customer", "age", "IS NOT NULL"),)
+            )
+        ).value
+        avg = compiler.estimate_avg(query).value
+        assert total == pytest.approx(count * avg, rel=1e-9)
+
+    def test_narrowing_predicates_cannot_increase_count(self, compiler):
+        base = Query(
+            ("customer",),
+            predicates=(Predicate("customer", "region", "=", "EU"),),
+        )
+        narrowed = base.with_extra_predicates(
+            (Predicate("customer", "age", "<", 50),)
+        )
+        assert (
+            compiler.estimate_count(narrowed).value
+            <= compiler.estimate_count(base).value + 1e-9
+        )
+
+    def test_group_counts_sum_to_total(self, compiler):
+        grouped = Query(("customer",), group_by=(("customer", "region"),))
+        groups = compiler.answer(grouped)
+        total = compiler.estimate_count(grouped.without_group_by()).value
+        assert sum(groups.values()) == pytest.approx(total, rel=0.02)
+
+    def test_empty_predicate_range_gives_zero(self, compiler):
+        query = Query(
+            ("customer",),
+            predicates=(
+                Predicate("customer", "age", "<", 10),
+                Predicate("customer", "age", ">", 90),
+            ),
+        )
+        assert compiler.estimate_count(query).value == 0.0
+
+
+class TestExecutionStrategies:
+    @pytest.fixture(scope="class")
+    def overlapping_ensemble(self, customer_orders_db):
+        """Ensemble where single-table and join RSPNs overlap."""
+        ensemble = learn_ensemble(
+            customer_orders_db,
+            EnsembleConfig(sample_size=6_000, correlation_sample=800),
+        )
+        from repro.core.ensemble import SPNEnsemble, _learn_single_table
+
+        scratch = SPNEnsemble(customer_orders_db)
+        for table in customer_orders_db.table_names():
+            ensemble.add(
+                _learn_single_table(
+                    customer_orders_db, scratch, table,
+                    EnsembleConfig(sample_size=6_000),
+                )
+            )
+        return ensemble
+
+    def test_invalid_strategy_rejected(self, overlapping_ensemble):
+        with pytest.raises(ValueError):
+            ProbabilisticQueryCompiler(overlapping_ensemble, strategy="magic")
+
+    def test_all_strategies_produce_reasonable_counts(
+        self, overlapping_ensemble, customer_orders_db
+    ):
+        from repro.engine.executor import Executor
+        from repro.evaluation.metrics import q_error
+
+        truth = Executor(customer_orders_db).cardinality(
+            Query(
+                ("customer",),
+                predicates=(Predicate("customer", "region", "=", "EU"),),
+            )
+        )
+        for strategy in ("rdc", "median", "first"):
+            compiler = ProbabilisticQueryCompiler(
+                overlapping_ensemble, strategy=strategy
+            )
+            estimate = compiler.cardinality(
+                Query(
+                    ("customer",),
+                    predicates=(Predicate("customer", "region", "=", "EU"),),
+                )
+            )
+            assert q_error(truth, estimate) < 1.3
+
+    def test_median_lies_between_extremes(self, overlapping_ensemble):
+        query = Query(
+            ("customer",),
+            predicates=(Predicate("customer", "age", ">", 50),),
+        )
+        candidates = [
+            r for r in overlapping_ensemble.covering({"customer"})
+        ]
+        assert len(candidates) >= 2
+        values = []
+        for rspn in candidates:
+            single = ProbabilisticQueryCompiler(
+                overlapping_ensemble, strategy="first"
+            )
+            # evaluate the count expectation on each candidate directly
+            conditions = single._conditions(query)
+            expectation = single._count_expectation(
+                rspn, {"customer"}, conditions, query
+            )
+            values.append(rspn.full_size * expectation.evaluate())
+        median_compiler = ProbabilisticQueryCompiler(
+            overlapping_ensemble, strategy="median"
+        )
+        estimate = median_compiler.estimate_count(query).value
+        assert min(values) - 1e-9 <= estimate <= max(values) + 1e-9
+
+
+class TestEstimateMoments:
+    def test_sum_estimate_moments_combine(self, compiler):
+        atom_a = Predicate("customer", "region", "=", "EU")
+        atom_b = Predicate("customer", "age", "<", 40)
+        estimate = compiler.estimate_count(
+            Query(("customer",), disjunctions=((atom_a, atom_b),))
+        )
+        mean, variance = estimate.moments()
+        assert mean == pytest.approx(estimate.value, rel=0.05)
+        assert variance > 0.0
+        low, high = estimate.confidence_interval(0.99)
+        narrow_low, narrow_high = estimate.confidence_interval(0.5)
+        assert low <= narrow_low <= narrow_high <= high
+
+    def test_ratio_estimate_moments(self, compiler):
+        query = Query(
+            ("customer",),
+            aggregate=Aggregate.avg("customer", "age"),
+            disjunctions=(
+                (
+                    Predicate("customer", "age", "<", 30),
+                    Predicate("customer", "age", ">", 60),
+                ),
+            ),
+        )
+        estimate = compiler.estimate_avg(query)
+        mean, variance = estimate.moments()
+        assert mean == pytest.approx(estimate.value, rel=0.1)
+        assert variance >= 0.0
+
+
+_SHARED = _learn_rspn(seed=9)

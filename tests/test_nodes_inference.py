@@ -1,0 +1,149 @@
+"""Tests for SPN nodes and bottom-up inference.
+
+Includes a literal reconstruction of the paper's Figure 3/4 running
+example: an SPN over (region, age) with a 0.3/0.7 sum node, from which
+the paper derives P = 5% for young European customers and E(age | EU).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import EvaluationSpec, evaluate, probability
+from repro.core.leaves import DiscreteLeaf, IDENTITY
+from repro.core.nodes import ProductNode, SumNode, count_nodes, iter_nodes
+from repro.core.ranges import Range
+
+EU, ASIA = 0.0, 1.0
+
+
+def paper_figure3_spn():
+    """The customer SPN of Figure 3c.
+
+    Left cluster (30%): 80% EU, ages mostly high (15% < 30).
+    Right cluster (70%): 10% EU, ages mostly low (20% < 30).
+    """
+    region_left = DiscreteLeaf(0, "c.region", [EU, ASIA], [80.0, 20.0], 0.0)
+    age_left = DiscreteLeaf(1, "c.age", [20.0, 60.0], [15.0, 85.0], 0.0)
+    region_right = DiscreteLeaf(0, "c.region", [EU, ASIA], [10.0, 90.0], 0.0)
+    age_right = DiscreteLeaf(1, "c.age", [20.0, 60.0], [20.0, 80.0], 0.0)
+    left = ProductNode((0, 1), [region_left, age_left])
+    right = ProductNode((0, 1), [region_right, age_right])
+    return SumNode((0, 1), [left, right], counts=[30.0, 70.0])
+
+
+class TestPaperExample:
+    def test_figure3d_probability(self):
+        """P(EU and age < 30) = 12% * 0.3 + 2% * 0.7 = 5%."""
+        spn = paper_figure3_spn()
+        value = probability(
+            spn, {0: Range.point(EU), 1: Range.from_operator("<", 30.0)}
+        )
+        assert value == pytest.approx(0.05)
+
+    def test_figure4b_marginal(self):
+        """P(EU) = 0.8 * 0.3 + 0.1 * 0.7 = 31%."""
+        spn = paper_figure3_spn()
+        assert probability(spn, {0: Range.point(EU)}) == pytest.approx(0.31)
+
+    def test_figure4a_expectation_with_indicator(self):
+        """E(age * 1_EU) mirrors Figure 4a's bottom-up pass."""
+        spn = paper_figure3_spn()
+        spec = EvaluationSpec()
+        spec.condition(0, Range.point(EU))
+        spec.transform(1, IDENTITY)
+        value = evaluate(spn, spec)
+        # left: 0.8 * (0.15*20 + 0.85*60); right: 0.1 * (0.2*20 + 0.8*60)
+        expected = 0.3 * 0.8 * 54.0 + 0.7 * 0.1 * 52.0
+        assert value == pytest.approx(expected)
+
+    def test_conditional_expectation_ratio(self):
+        spn = paper_figure3_spn()
+        spec = EvaluationSpec()
+        spec.condition(0, Range.point(EU))
+        spec.transform(1, IDENTITY)
+        numerator = evaluate(spn, spec)
+        denominator = probability(spn, {0: Range.point(EU)})
+        conditional = numerator / denominator
+        assert 52.0 < conditional < 54.0  # between the two cluster means
+
+
+class TestNodes:
+    def test_product_requires_partition(self):
+        a = DiscreteLeaf(0, "x", [0.0], [1.0], 0.0)
+        b = DiscreteLeaf(0, "x", [0.0], [1.0], 0.0)
+        with pytest.raises(ValueError):
+            ProductNode((0, 1), [a, b])  # both children cover scope 0
+
+    def test_sum_weights_normalised(self):
+        a = DiscreteLeaf(0, "x", [0.0], [1.0], 0.0)
+        b = DiscreteLeaf(0, "x", [1.0], [1.0], 0.0)
+        node = SumNode((0,), [a, b], counts=[1.0, 3.0])
+        assert np.allclose(node.weights, [0.25, 0.75])
+
+    def test_sum_weight_count_mismatch(self):
+        a = DiscreteLeaf(0, "x", [0.0], [1.0], 0.0)
+        with pytest.raises(ValueError):
+            SumNode((0,), [a], counts=[1.0, 2.0])
+
+    def test_zero_counts_fall_back_to_uniform(self):
+        a = DiscreteLeaf(0, "x", [0.0], [1.0], 0.0)
+        b = DiscreteLeaf(0, "x", [1.0], [1.0], 0.0)
+        node = SumNode((0,), [a, b], counts=[0.0, 0.0])
+        assert np.allclose(node.weights, [0.5, 0.5])
+
+    def test_iter_and_count_nodes(self):
+        spn = paper_figure3_spn()
+        assert len(list(iter_nodes(spn))) == 7
+        assert count_nodes(spn) == {"sum": 1, "product": 2, "leaf": 4}
+
+
+class TestInference:
+    def test_unconstrained_evaluates_to_one(self):
+        spn = paper_figure3_spn()
+        assert evaluate(spn, EvaluationSpec()) == pytest.approx(1.0)
+
+    def test_empty_range_short_circuits(self):
+        spn = paper_figure3_spn()
+        spec = EvaluationSpec()
+        spec.condition(0, Range.nothing())
+        assert evaluate(spn, spec) == 0.0
+
+    def test_condition_intersection_in_spec(self):
+        spec = EvaluationSpec()
+        spec.condition(0, Range.from_operator(">", 1.0))
+        spec.condition(0, Range.from_operator("<", 3.0))
+        assert spec.ranges[0].contains(2.0)
+        assert not spec.ranges[0].contains(4.0)
+
+    def test_probability_additivity(self):
+        spn = paper_figure3_spn()
+        eu = probability(spn, {0: Range.point(EU)})
+        asia = probability(spn, {0: Range.point(ASIA)})
+        assert eu + asia == pytest.approx(1.0)
+
+    def test_product_pruning_skips_untouched_children(self):
+        spn = paper_figure3_spn()
+        value = probability(spn, {1: Range.from_operator("<", 30.0)})
+        expected = 0.3 * 0.15 + 0.7 * 0.2
+        assert value == pytest.approx(expected)
+
+    def test_expectation_linearity(self):
+        spn = paper_figure3_spn()
+        spec_x = EvaluationSpec()
+        spec_x.transform(1, IDENTITY)
+        e_x = evaluate(spn, spec_x)
+        # E[X * 1_everything] decomposes into the two region parts
+        spec_eu = EvaluationSpec()
+        spec_eu.condition(0, Range.point(EU))
+        spec_eu.transform(1, IDENTITY)
+        spec_asia = EvaluationSpec()
+        spec_asia.condition(0, Range.point(ASIA))
+        spec_asia.transform(1, IDENTITY)
+        assert evaluate(spn, spec_eu) + evaluate(spn, spec_asia) == pytest.approx(e_x)
+
+    def test_spec_copy_is_independent(self):
+        spec = EvaluationSpec()
+        spec.condition(0, Range.point(EU))
+        duplicate = spec.copy()
+        duplicate.condition(1, Range.point(20.0))
+        assert 1 not in spec.ranges

@@ -1,0 +1,368 @@
+"""Tests for the join-order optimizer substrate."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.query import Predicate, Query, count_query
+from repro.optimizer import (
+    BaseRelation,
+    Join,
+    OptimizationError,
+    SubqueryCardinalities,
+    cout_cost,
+    optimal_plan,
+    plan_joins,
+    plan_suboptimality,
+)
+from repro.optimizer.enumeration import connected_subsets
+from repro.optimizer.plans import is_left_deep, plan_depth
+from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+
+
+def chain_schema(names=("a", "b", "c", "d")):
+    """A chain a <- b <- c <- d of FK edges."""
+    schema = SchemaGraph()
+    for name in names:
+        schema.add_table(
+            TableSchema(
+                name,
+                [Attribute(f"{name}_id", "key"), Attribute("x", "numeric")],
+                primary_key=f"{name}_id",
+            )
+        )
+    for parent, child in zip(names, names[1:]):
+        schema.add_foreign_key(parent, child, f"{parent}_id")
+    return schema
+
+
+def star_schema(fact="f", dimensions=("d1", "d2", "d3")):
+    """A star: every dimension is a parent of the fact table."""
+    schema = SchemaGraph()
+    schema.add_table(
+        TableSchema(
+            fact,
+            [Attribute(f"{d}_id", "key") for d in dimensions]
+            + [Attribute("measure", "numeric")],
+        )
+    )
+    for dimension in dimensions:
+        schema.add_table(
+            TableSchema(
+                dimension,
+                [Attribute(f"{dimension}_id", "key"), Attribute("x", "numeric")],
+                primary_key=f"{dimension}_id",
+            )
+        )
+        schema.add_foreign_key(dimension, fact, f"{dimension}_id")
+    return schema
+
+
+class _TableOracle:
+    """Deterministic fake oracle: product of per-table sizes times a
+    dampening factor per join edge (keeps values stable and positive)."""
+
+    def __init__(self, sizes, dampening=0.1):
+        self.sizes = sizes
+        self.dampening = dampening
+
+    def __call__(self, tables):
+        tables = sorted(tables)
+        value = 1.0
+        for table in tables:
+            value *= self.sizes[table]
+        return max(value * self.dampening ** (len(tables) - 1), 1.0)
+
+
+class TestPlans:
+    def test_join_requires_disjoint_inputs(self):
+        a, b = BaseRelation("a"), BaseRelation("b")
+        with pytest.raises(ValueError):
+            Join(Join(a, b), b)
+
+    def test_tables_union(self):
+        plan = Join(Join(BaseRelation("a"), BaseRelation("b")), BaseRelation("c"))
+        assert plan.tables == frozenset(("a", "b", "c"))
+
+    def test_plan_joins_bottom_up(self):
+        plan = Join(Join(BaseRelation("a"), BaseRelation("b")), BaseRelation("c"))
+        joins = plan_joins(plan)
+        assert len(joins) == 2
+        assert joins[0].tables == frozenset(("a", "b"))
+        assert joins[1].tables == frozenset(("a", "b", "c"))
+
+    def test_left_deep_detection(self):
+        a, b, c, d = (BaseRelation(n) for n in "abcd")
+        left_deep = Join(Join(Join(a, b), c), d)
+        bushy = Join(Join(a, b), Join(c, d))
+        assert is_left_deep(left_deep)
+        assert not is_left_deep(bushy)
+        assert plan_depth(left_deep) == 3
+        assert plan_depth(bushy) == 2
+
+    def test_describe_is_parenthesised(self):
+        plan = Join(Join(BaseRelation("a"), BaseRelation("b")), BaseRelation("c"))
+        assert plan.describe() == "((a ⨝ b) ⨝ c)"
+
+
+class TestConnectedSubsets:
+    def test_chain_counts(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        by_size = connected_subsets(schema, ["a", "b", "c", "d"])
+        assert len(by_size[1]) == 4
+        assert len(by_size[2]) == 3  # ab, bc, cd
+        assert len(by_size[3]) == 2  # abc, bcd
+        assert len(by_size[4]) == 1
+
+    def test_star_counts(self):
+        schema = star_schema()
+        by_size = connected_subsets(schema, ["f", "d1", "d2", "d3"])
+        # Any subset containing f is connected; subsets of dimensions only
+        # are not (no edges among dimensions).
+        assert len(by_size[2]) == 3
+        assert len(by_size[3]) == 3
+        assert len(by_size[4]) == 1
+
+
+class TestOptimalPlan:
+    def test_single_table(self):
+        schema = chain_schema()
+        plan, cost = optimal_plan(count_query(["a"]), schema, _TableOracle({"a": 10}))
+        assert plan == BaseRelation("a")
+        assert cost == 0.0
+
+    def test_two_tables(self):
+        schema = chain_schema()
+        oracle = _TableOracle({"a": 10, "b": 20})
+        plan, cost = optimal_plan(count_query(["a", "b"]), schema, oracle)
+        assert plan.tables == frozenset(("a", "b"))
+        assert cost == oracle(("a", "b"))
+
+    def test_chain_prefers_selective_side(self):
+        """On a chain a-b-c with a tiny ab join, (a ⨝ b) goes first."""
+        schema = chain_schema(("a", "b", "c"))
+        values = {
+            frozenset("a"): 100, frozenset("b"): 100, frozenset("c"): 100,
+            frozenset(("a", "b")): 5,
+            frozenset(("b", "c")): 10_000,
+            frozenset(("a", "b", "c")): 50,
+        }
+        plan, cost = optimal_plan(
+            count_query(["a", "b", "c"]), schema, lambda t: values[frozenset(t)]
+        )
+        first_join = plan_joins(plan)[0]
+        assert first_join.tables == frozenset(("a", "b"))
+        assert cost == 5 + 50
+
+    def test_disconnected_tables_raise(self):
+        schema = star_schema()
+        with pytest.raises(OptimizationError):
+            optimal_plan(
+                Query(tables=("d1", "d2")), schema, _TableOracle({"d1": 1, "d2": 1})
+            )
+
+    def test_linear_mode_yields_left_deep(self):
+        schema = star_schema()
+        oracle = _TableOracle({"f": 1000, "d1": 10, "d2": 20, "d3": 30})
+        query = count_query(["f", "d1", "d2", "d3"])
+        plan, _ = optimal_plan(query, schema, oracle, linear=True)
+        assert is_left_deep(plan)
+
+    def test_bushy_no_worse_than_left_deep(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        oracle = _TableOracle({"a": 50, "b": 400, "c": 300, "d": 80}, dampening=0.3)
+        query = count_query(["a", "b", "c", "d"])
+        _, bushy_cost = optimal_plan(query, schema, oracle)
+        _, linear_cost = optimal_plan(query, schema, oracle, linear=True)
+        assert bushy_cost <= linear_cost + 1e-9
+
+    def test_plan_covers_all_query_tables(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        oracle = _TableOracle({"a": 5, "b": 10, "c": 20, "d": 40})
+        plan, _ = optimal_plan(count_query(["a", "b", "c", "d"]), schema, oracle)
+        assert plan.tables == frozenset(("a", "b", "c", "d"))
+
+
+def _all_plans(subset, adjacency):
+    """Brute-force all valid join trees over a connected subset."""
+    subset = frozenset(subset)
+    if len(subset) == 1:
+        yield BaseRelation(next(iter(subset)))
+        return
+    tables = sorted(subset)
+    anchor = tables[0]
+    for size in range(1, len(tables)):
+        for combo in itertools.combinations(tables, size):
+            left = frozenset(combo)
+            if anchor not in left:
+                continue
+            right = subset - left
+            if not _bf_connected(left, adjacency) or not _bf_connected(right, adjacency):
+                continue
+            if not any(adjacency[t] & right for t in left):
+                continue
+            for left_plan in _all_plans(left, adjacency):
+                for right_plan in _all_plans(right, adjacency):
+                    yield Join(left_plan, right_plan)
+
+
+def _bf_connected(subset, adjacency):
+    subset = set(subset)
+    seen = {next(iter(subset))}
+    frontier = list(seen)
+    while frontier:
+        node = frontier.pop()
+        for other in adjacency[node] & subset:
+            if other not in seen:
+                seen.add(other)
+                frontier.append(other)
+    return seen == subset
+
+
+class TestDpOptimality:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=10_000), min_size=4, max_size=4
+        ),
+        dampening=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dp_matches_brute_force_on_chain(self, sizes, dampening):
+        names = ("a", "b", "c", "d")
+        schema = chain_schema(names)
+        oracle = _TableOracle(dict(zip(names, sizes)), dampening)
+        _, dp_cost = optimal_plan(count_query(names), schema, oracle)
+        adjacency = {n: set() for n in names}
+        for fk in schema.foreign_keys:
+            adjacency[fk.parent].add(fk.child)
+            adjacency[fk.child].add(fk.parent)
+        brute = min(
+            cout_cost(plan, oracle) for plan in _all_plans(names, adjacency)
+        )
+        assert dp_cost == pytest.approx(brute, rel=1e-12)
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=10_000), min_size=4, max_size=4
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dp_matches_brute_force_on_star(self, sizes):
+        names = ("f", "d1", "d2", "d3")
+        schema = star_schema()
+        oracle = _TableOracle(dict(zip(names, sizes)), dampening=0.05)
+        _, dp_cost = optimal_plan(count_query(names), schema, oracle)
+        adjacency = {n: set() for n in names}
+        for fk in schema.foreign_keys:
+            adjacency[fk.parent].add(fk.child)
+            adjacency[fk.child].add(fk.parent)
+        brute = min(
+            cout_cost(plan, oracle) for plan in _all_plans(names, adjacency)
+        )
+        assert dp_cost == pytest.approx(brute, rel=1e-12)
+
+
+class TestSubqueryCardinalities:
+    def test_memoisation(self, customer_orders_db):
+        from repro.engine.executor import Executor
+
+        query = count_query(
+            ["customer", "orders"],
+            predicates=(Predicate("customer", "region", "=", "EU"),),
+        )
+        oracle = SubqueryCardinalities(Executor(customer_orders_db), query)
+        first = oracle(("customer",))
+        assert oracle.calls == 1
+        again = oracle(("customer",))
+        assert oracle.calls == 1
+        assert first == again
+
+    def test_predicates_pushed_down(self, customer_orders_db):
+        query = count_query(
+            ["customer", "orders"],
+            predicates=(Predicate("customer", "region", "=", "EU"),),
+        )
+        oracle = SubqueryCardinalities(object(), query)
+        sub = oracle.subquery(("customer",))
+        assert sub.tables == ("customer",)
+        assert len(sub.predicates) == 1
+        sub_orders = oracle.subquery(("orders",))
+        assert not sub_orders.predicates
+
+    def test_disjunctive_query_rejected(self, customer_orders_db):
+        query = Query(
+            ("customer",),
+            disjunctions=(
+                (
+                    Predicate("customer", "region", "=", "EU"),
+                    Predicate("customer", "age", "<", 30),
+                ),
+            ),
+        )
+        with pytest.raises(ValueError):
+            SubqueryCardinalities(object(), query)
+
+
+class TestPlanSuboptimality:
+    def test_true_estimator_is_optimal(self, three_table_db):
+        from repro.engine.executor import Executor
+
+        executor = Executor(three_table_db)
+        query = count_query(
+            ["customer", "orders", "orderline"],
+            predicates=(Predicate("customer", "region", "=", "EU"),),
+        )
+        comparison = plan_suboptimality(
+            query, three_table_db.schema, executor, executor
+        )
+        assert comparison.suboptimality == pytest.approx(1.0)
+        assert comparison.picked_optimal
+
+    def test_suboptimality_at_least_one(self, three_table_db):
+        from repro.baselines.postgres_estimator import PostgresEstimator
+        from repro.engine.executor import Executor
+
+        executor = Executor(three_table_db)
+        estimator = PostgresEstimator(three_table_db)
+        query = count_query(
+            ["customer", "orders", "orderline"],
+            predicates=(
+                Predicate("customer", "region", "=", "EU"),
+                Predicate("orders", "channel", "=", "ONLINE"),
+            ),
+        )
+        comparison = plan_suboptimality(
+            query, three_table_db.schema, estimator, executor
+        )
+        assert comparison.suboptimality >= 1.0 - 1e-9
+        assert comparison.chosen_plan.tables == frozenset(query.tables)
+
+    def test_adversarial_estimator_can_be_punished(self):
+        """An estimator that inverts sizes picks a provably worse plan."""
+        schema = chain_schema(("a", "b", "c"))
+        true_values = {
+            frozenset("a"): 10, frozenset("b"): 10, frozenset("c"): 10,
+            frozenset(("a", "b")): 2,
+            frozenset(("b", "c")): 5_000,
+            frozenset(("a", "b", "c")): 100,
+        }
+        lying_values = dict(true_values)
+        lying_values[frozenset(("a", "b"))] = 5_000
+        lying_values[frozenset(("b", "c"))] = 2
+
+        class _Static:
+            def __init__(self, values):
+                self.values = values
+
+            def cardinality(self, query):
+                return self.values[frozenset(query.tables)]
+
+        query = count_query(["a", "b", "c"])
+        comparison = plan_suboptimality(
+            query, schema, _Static(lying_values), _Static(true_values)
+        )
+        assert comparison.suboptimality > 1.0

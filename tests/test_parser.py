@@ -1,0 +1,140 @@
+"""Tests for the SQL-subset parser."""
+
+import pytest
+
+from repro.engine.parser import parse_query, tokenize
+
+
+@pytest.fixture(scope="module")
+def schema(customer_orders_db):
+    return customer_orders_db.schema
+
+
+class TestTokenizer:
+    def test_numbers_strings_identifiers(self):
+        tokens = tokenize("SELECT COUNT(*) FROM t WHERE a = 'x' AND b < 3.5")
+        kinds = [k for k, _v in tokens]
+        assert "str" in kinds and "num" in kinds
+
+    def test_negative_numbers(self):
+        tokens = tokenize("a > -5")
+        assert ("num", -5) in tokens
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SyntaxError):
+            tokenize("SELECT @")
+
+    def test_trailing_semicolon_ignored(self):
+        tokens = tokenize("SELECT COUNT(*) FROM t;")
+        assert tokens[-1] != ";"
+
+
+class TestParser:
+    def test_count_star_single_table(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer WHERE customer.region = 'EU'", schema
+        )
+        assert query.tables == ("customer",)
+        assert query.aggregate.function == "COUNT"
+        assert query.predicates[0].value == "EU"
+
+    def test_unqualified_column_resolution(self, schema):
+        query = parse_query("SELECT COUNT(*) FROM customer WHERE region = 'EU'", schema)
+        assert query.predicates[0].table == "customer"
+
+    def test_alias(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer c WHERE c.age > 30", schema
+        )
+        assert query.predicates[0].table == "customer"
+        assert query.predicates[0].op == ">"
+
+    def test_natural_join(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer NATURAL JOIN orders", schema
+        )
+        assert set(query.tables) == {"customer", "orders"}
+
+    def test_explicit_join_with_on(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer c JOIN orders o ON o.c_id = c.c_id",
+            schema,
+        )
+        assert set(query.tables) == {"customer", "orders"}
+
+    def test_where_clause_join_condition_dropped(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer c, orders o "
+            "WHERE c.c_id = o.c_id AND o.channel = 'ONLINE'",
+            schema,
+        )
+        assert len(query.predicates) == 1
+        assert query.predicates[0].column == "channel"
+
+    def test_invalid_join_condition_rejected(self, schema):
+        with pytest.raises(SyntaxError):
+            parse_query(
+                "SELECT COUNT(*) FROM customer c JOIN orders o ON o.o_id = c.c_id",
+                schema,
+            )
+
+    def test_avg_aggregate(self, schema):
+        query = parse_query("SELECT AVG(c.age) FROM customer c", schema)
+        assert query.aggregate.function == "AVG"
+        assert query.aggregate.qualified_column == "customer.age"
+
+    def test_sum_aggregate(self, schema):
+        query = parse_query("SELECT SUM(age) FROM customer", schema)
+        assert query.aggregate.function == "SUM"
+
+    def test_group_by(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer GROUP BY customer.region", schema
+        )
+        assert query.group_by == (("customer", "region"),)
+
+    def test_in_predicate(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM orders WHERE orders.channel IN ('ONLINE', 'STORE')",
+            schema,
+        )
+        assert query.predicates[0].op == "IN"
+        assert query.predicates[0].value == ("ONLINE", "STORE")
+
+    def test_between_predicate(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer WHERE customer.age BETWEEN 20 AND 30",
+            schema,
+        )
+        assert query.predicates[0].op == "BETWEEN"
+        assert query.predicates[0].value == (20, 30)
+
+    def test_is_null(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer WHERE customer.age IS NULL", schema
+        )
+        assert query.predicates[0].op == "IS NULL"
+
+    def test_is_not_null(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer WHERE customer.age IS NOT NULL", schema
+        )
+        assert query.predicates[0].op == "IS NOT NULL"
+
+    def test_not_equals_normalised(self, schema):
+        query = parse_query(
+            "SELECT COUNT(*) FROM customer WHERE customer.age != 30", schema
+        )
+        assert query.predicates[0].op == "<>"
+
+    def test_unknown_table_rejected(self, schema):
+        with pytest.raises(SyntaxError):
+            parse_query("SELECT COUNT(*) FROM nonexistent", schema)
+
+    def test_unknown_column_rejected(self, schema):
+        with pytest.raises(SyntaxError):
+            parse_query("SELECT COUNT(*) FROM customer WHERE nope = 3", schema)
+
+    def test_case_insensitive_keywords(self, schema):
+        query = parse_query("select count(*) from customer where age > 10", schema)
+        assert query.predicates[0].op == ">"

@@ -1,0 +1,96 @@
+"""Physical plan execution vs the cost model and the exact executor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.executor import Executor
+from repro.engine.query import Predicate, count_query
+from repro.optimizer import SubqueryCardinalities, cout_cost, optimal_plan
+from repro.optimizer.execution import ExecutionError, execute_plan
+from repro.optimizer.plans import BaseRelation, Join
+
+
+@pytest.fixture(scope="module")
+def executor(three_table_db):
+    return Executor(three_table_db)
+
+
+def _query(predicates=(), tables=("customer", "orders", "orderline")):
+    return count_query(tables, predicates=predicates)
+
+
+class TestExecutePlan:
+    def test_final_count_matches_executor(self, three_table_db, executor):
+        query = _query(
+            predicates=(
+                Predicate("customer", "region", "=", "EU"),
+                Predicate("orderline", "qty", ">", 3),
+            )
+        )
+        oracle = SubqueryCardinalities(executor, query)
+        plan, _ = optimal_plan(query, three_table_db.schema, oracle)
+        execution = execute_plan(plan, three_table_db, query)
+        assert execution.result_rows == executor.cardinality(query)
+
+    def test_realised_cout_matches_cost_model(self, three_table_db, executor):
+        """The C_out of a plan under true cardinalities is exactly the
+        total number of rows the hash-join executor materialises."""
+        query = _query(
+            predicates=(Predicate("orders", "channel", "=", "ONLINE"),)
+        )
+        oracle = SubqueryCardinalities(executor, query)
+        plan, _ = optimal_plan(query, three_table_db.schema, oracle)
+        execution = execute_plan(plan, three_table_db, query)
+        modelled = cout_cost(plan, oracle)
+        assert execution.total_intermediate_rows == pytest.approx(modelled)
+
+    def test_intermediates_match_subquery_cardinalities(
+        self, three_table_db, executor
+    ):
+        query = _query(
+            predicates=(Predicate("customer", "age", ">", 40),)
+        )
+        oracle = SubqueryCardinalities(executor, query)
+        plan, _ = optimal_plan(query, three_table_db.schema, oracle)
+        execution = execute_plan(plan, three_table_db, query)
+        for tables, n_rows in execution.intermediates:
+            assert n_rows == oracle(tables)
+
+    def test_both_plan_shapes_agree_on_final_count(
+        self, three_table_db, executor
+    ):
+        """Any valid join order produces the same final result size."""
+        query = _query()
+        a, b, c = (
+            BaseRelation("customer"),
+            BaseRelation("orders"),
+            BaseRelation("orderline"),
+        )
+        left_deep = Join(Join(a, b), c)
+        right_deep = Join(a, Join(b, c))
+        first = execute_plan(left_deep, three_table_db, query)
+        second = execute_plan(right_deep, three_table_db, query)
+        assert first.result_rows == second.result_rows
+        assert first.result_rows == executor.cardinality(query)
+
+    def test_unjoinable_plan_raises(self, three_table_db):
+        plan = Join(BaseRelation("customer"), BaseRelation("orderline"))
+        with pytest.raises(ExecutionError):
+            execute_plan(plan, three_table_db, _query(tables=("customer", "orderline")))
+
+    @given(age=st.integers(10, 80), qty=st.integers(1, 9))
+    @settings(max_examples=15, deadline=None)
+    def test_random_filters_consistent(self, three_table_db, executor, age, qty):
+        query = _query(
+            predicates=(
+                Predicate("customer", "age", "<", float(age)),
+                Predicate("orderline", "qty", ">=", float(qty)),
+            )
+        )
+        oracle = SubqueryCardinalities(executor, query)
+        plan, _ = optimal_plan(query, three_table_db.schema, oracle)
+        execution = execute_plan(plan, three_table_db, query)
+        assert execution.result_rows == executor.cardinality(query)

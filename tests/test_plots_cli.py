@@ -1,0 +1,184 @@
+"""Tests for terminal charts and the command-line interface."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.evaluation.plots import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_contains_labels_series_and_values(self):
+        chart = bar_chart(
+            "Errors", ["Q1", "Q2"],
+            {"A": [1.0, 2.0], "B": [3.0, 4.0]},
+        )
+        for token in ("== Errors ==", "Q1", "Q2", "A", "B", "4"):
+            assert token in chart
+
+    def test_bar_lengths_monotone(self):
+        chart = bar_chart("t", ["x", "y"], {"s": [10.0, 40.0]})
+        lines = [l for l in chart.splitlines() if "|" in l]
+        short = lines[0].split("|")[1].count("#")
+        long = lines[1].split("|")[1].count("#")
+        assert 0 < short < long
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart("t", ["a", "b"], {"s": [10.0, 1000.0]}, width=40)
+        logarithmic = bar_chart(
+            "t", ["a", "b"], {"s": [10.0, 1000.0]}, width=40, log=True
+        )
+
+        def lengths(chart):
+            rows = [l for l in chart.splitlines() if "|" in l]
+            return [row.split("|")[1].count("#") for row in rows]
+
+        linear_ratio = lengths(linear)[1] / max(lengths(linear)[0], 1)
+        log_ratio = lengths(logarithmic)[1] / max(lengths(logarithmic)[0], 1)
+        assert log_ratio < linear_ratio
+        assert "(log scale)" in logarithmic
+
+    def test_none_renders_no_result(self):
+        chart = bar_chart("t", ["a"], {"s": [None]})
+        assert "(no result)" in chart
+        chart = bar_chart("t", ["a"], {"s": [math.nan]})
+        assert "(no result)" in chart
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a", "b"], {"s": [1.0]})
+
+
+class TestSeriesChart:
+    def test_axes_and_legend(self):
+        chart = series_chart(
+            "Sweep", [0, 1, 2, 3],
+            {"q-error": [2.0, 1.9, 1.85, 1.85], "time": [1.0, 2.0, 4.0, 8.0]},
+        )
+        assert "== Sweep ==" in chart
+        assert "legend:" in chart
+        assert "q-error" in chart and "time" in chart
+
+    def test_markers_present(self):
+        chart = series_chart("t", [0, 1], {"a": [0.0, 1.0]})
+        assert "#" in chart
+
+    def test_empty_series_handled(self):
+        chart = series_chart("t", [0, 1], {"a": [None, float("nan")]})
+        assert "(no data)" in chart
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            series_chart("t", [0, 1, 2], {"a": [1.0]})
+
+
+class _Capture:
+    def __init__(self):
+        self.lines = []
+
+    def write(self, text):
+        self.lines.append(text)
+
+    @property
+    def text(self):
+        return "".join(self.lines)
+
+
+@pytest.fixture(scope="module")
+def trained_model(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.json"
+    out = _Capture()
+    code = main(
+        [
+            "train", "--dataset", "imdb", "--scale", "0.02", "--seed", "1",
+            "--out", str(path), "--sample-size", "5000",
+        ],
+        out=out,
+    )
+    assert code == 0
+    return path
+
+
+class TestCli:
+    def test_train_saves_model(self, trained_model):
+        assert trained_model.exists()
+
+    def test_estimate_with_truth(self, trained_model):
+        out = _Capture()
+        code = main(
+            [
+                "estimate", "--dataset", "imdb", "--scale", "0.02",
+                "--seed", "1", "--model", str(trained_model),
+                "--sql",
+                "SELECT COUNT(*) FROM title WHERE title.production_year > 2005",
+                "--truth",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "estimated cardinality" in out.text
+        assert "q-error" in out.text
+
+    def test_query_with_confidence(self, trained_model):
+        out = _Capture()
+        code = main(
+            [
+                "query", "--dataset", "imdb", "--scale", "0.02", "--seed", "1",
+                "--model", str(trained_model),
+                "--sql", "SELECT AVG(title.production_year) FROM title",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "CI [" in out.text
+
+    def test_plan_prints_join_order(self, trained_model):
+        out = _Capture()
+        code = main(
+            [
+                "plan", "--dataset", "imdb", "--scale", "0.02", "--seed", "1",
+                "--model", str(trained_model),
+                "--sql",
+                "SELECT COUNT(*) FROM title t, cast_info ci, movie_companies mc "
+                "WHERE t.id = ci.movie_id AND t.id = mc.movie_id "
+                "AND t.production_year > 2005",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "⨝" in out.text
+        assert "C_out" in out.text
+
+    def test_inspect_summarises(self, trained_model):
+        out = _Capture()
+        code = main(["inspect", "--model", str(trained_model)], out=out)
+        assert code == 0
+        assert "RSPNs" in out.text
+        assert "leaf nodes" in out.text
+
+    def test_missing_model_is_error(self):
+        out = _Capture()
+        code = main(
+            [
+                "estimate", "--dataset", "imdb", "--scale", "0.02",
+                "--seed", "1", "--model", "/nonexistent.json",
+                "--sql", "SELECT COUNT(*) FROM title",
+            ],
+            out=out,
+        )
+        assert code == 2
+
+    def test_bad_sql_is_error(self, trained_model):
+        out = _Capture()
+        code = main(
+            [
+                "estimate", "--dataset", "imdb", "--scale", "0.02",
+                "--seed", "1", "--model", str(trained_model),
+                "--sql", "SELECT COUNT(*) FROM not_a_table",
+            ],
+            out=out,
+        )
+        assert code == 1

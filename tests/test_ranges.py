@@ -1,0 +1,162 @@
+"""Tests for the predicate range algebra (SQL three-valued logic)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranges import Interval, Range, range_from_predicates
+
+
+class TestInterval:
+    def test_contains_inclusive_bounds(self):
+        interval = Interval(1.0, 5.0)
+        assert interval.contains(1.0) and interval.contains(5.0)
+
+    def test_contains_exclusive_bounds(self):
+        interval = Interval(1.0, 5.0, low_inclusive=False, high_inclusive=False)
+        assert not interval.contains(1.0) and not interval.contains(5.0)
+        assert interval.contains(3.0)
+
+    def test_empty_intervals(self):
+        assert Interval(5.0, 1.0).is_empty()
+        assert Interval(2.0, 2.0, low_inclusive=False).is_empty()
+        assert not Interval(2.0, 2.0).is_empty()
+
+    def test_intersection(self):
+        merged = Interval(0.0, 10.0).intersect(Interval(5.0, 20.0))
+        assert merged.low == 5.0 and merged.high == 10.0
+
+    def test_disjoint_intersection_is_none(self):
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_touching_open_bounds_do_not_intersect(self):
+        a = Interval(0.0, 1.0, high_inclusive=False)
+        b = Interval(1.0, 2.0)
+        assert a.intersect(b) is None
+
+
+class TestRangeOperators:
+    def test_equals(self):
+        rng = Range.from_operator("=", 5.0)
+        assert rng.contains(5.0) and not rng.contains(4.0)
+        assert not rng.include_null
+
+    def test_not_equals_excludes_value_and_null(self):
+        rng = Range.from_operator("<>", 5.0)
+        assert rng.contains(4.99) and rng.contains(5.01)
+        assert not rng.contains(5.0)
+        assert not rng.contains(None)
+
+    @pytest.mark.parametrize(
+        "op,value,inside,outside",
+        [
+            ("<", 5.0, 4.9, 5.0),
+            ("<=", 5.0, 5.0, 5.1),
+            (">", 5.0, 5.1, 5.0),
+            (">=", 5.0, 5.0, 4.9),
+        ],
+    )
+    def test_comparisons(self, op, value, inside, outside):
+        rng = Range.from_operator(op, value)
+        assert rng.contains(inside)
+        assert not rng.contains(outside)
+
+    def test_in_list(self):
+        rng = Range.from_operator("IN", [1.0, 3.0, None])
+        assert rng.contains(1.0) and rng.contains(3.0)
+        assert not rng.contains(2.0)
+
+    def test_in_with_all_unknown_values_is_empty(self):
+        assert Range.from_operator("IN", [None, None]).is_empty()
+
+    def test_between(self):
+        rng = Range.from_operator("BETWEEN", (2.0, 4.0))
+        assert rng.contains(2.0) and rng.contains(4.0)
+        assert not rng.contains(4.5)
+
+    def test_is_null(self):
+        rng = Range.from_operator("IS NULL", None)
+        assert rng.contains(None)
+        assert not rng.contains(0.0)
+
+    def test_is_not_null(self):
+        rng = Range.from_operator("IS NOT NULL", None)
+        assert not rng.contains(None)
+        assert rng.contains(123.0)
+
+    def test_comparison_with_unknown_constant(self):
+        assert Range.from_operator("=", None).is_empty()
+        rng = Range.from_operator("<>", None)
+        assert rng.contains(1.0) and not rng.contains(None)
+
+    def test_comparisons_never_include_null(self):
+        for op in ("=", "<>", "<", "<=", ">", ">=", "IN", "BETWEEN"):
+            value = (1.0, 2.0) if op == "BETWEEN" else ([1.0] if op == "IN" else 1.0)
+            assert not Range.from_operator(op, value).include_null
+
+
+class TestRangeAlgebra:
+    def test_intersection_of_overlapping_ranges(self):
+        a = Range.from_operator(">", 2.0)
+        b = Range.from_operator("<", 10.0)
+        merged = a.intersect(b)
+        assert merged.contains(5.0)
+        assert not merged.contains(2.0) and not merged.contains(10.0)
+
+    def test_intersection_with_not_equals_splits(self):
+        rng = Range.from_operator("BETWEEN", (0.0, 10.0)).intersect(
+            Range.from_operator("<>", 5.0)
+        )
+        assert rng.contains(4.0) and rng.contains(6.0)
+        assert not rng.contains(5.0)
+        assert len(rng.intervals) == 2
+
+    def test_contradiction_is_empty(self):
+        merged = Range.from_operator("<", 2.0).intersect(Range.from_operator(">", 3.0))
+        assert merged.is_empty()
+
+    def test_point_values(self):
+        assert Range.points([3.0, 1.0, 3.0]).point_values() == [1.0, 3.0]
+        assert Range.from_operator(">", 2.0).point_values() is None
+
+    def test_everything_is_unconstrained(self):
+        assert Range.everything().is_unconstrained()
+        assert not Range.from_operator(">", 0.0).is_unconstrained()
+
+    def test_range_from_predicates_conjunction(self):
+        merged = range_from_predicates([(">", 1.0), ("<=", 5.0), ("<>", 3.0)])
+        assert merged.contains(2.0) and merged.contains(5.0)
+        assert not merged.contains(3.0) and not merged.contains(1.0)
+        assert not merged.include_null
+
+    def test_describe_readable(self):
+        text = Range.from_operator("BETWEEN", (1.0, 2.0)).describe()
+        assert "1.0" in text and "2.0" in text
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    value=st.floats(-100, 100),
+    a=st.floats(-50, 50),
+    b=st.floats(-50, 50),
+)
+def test_intersection_agrees_with_membership(value, a, b):
+    """x in (A intersect B) iff x in A and x in B."""
+    range_a = Range.from_operator(">", a)
+    range_b = Range.from_operator("<=", b)
+    merged = range_a.intersect(range_b)
+    expected = range_a.contains(value) and range_b.contains(value)
+    assert merged.contains(value) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    points=st.lists(st.floats(-20, 20), min_size=1, max_size=6),
+    threshold=st.floats(-20, 20),
+)
+def test_points_intersect_halfline(points, threshold):
+    merged = Range.points(points).intersect(Range.from_operator("<", threshold))
+    for p in set(points):
+        assert merged.contains(p) == (p < threshold)

@@ -1,0 +1,106 @@
+"""Tests for the randomized dependence coefficient."""
+
+import numpy as np
+import pytest
+
+from repro.stats.rdc import rdc, rdc_matrix, rdc_transform
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestRdc:
+    def test_independent_columns_score_low(self, rng):
+        a = rng.normal(size=4000)
+        b = rng.normal(size=4000)
+        assert rdc(a, b) < 0.15
+
+    def test_linear_dependence_scores_high(self, rng):
+        a = rng.normal(size=4000)
+        assert rdc(a, 3 * a + 1) > 0.9
+
+    def test_monotone_nonlinear_dependence(self, rng):
+        a = rng.uniform(0, 5, size=4000)
+        assert rdc(a, np.exp(a)) > 0.9
+
+    def test_non_monotone_dependence(self, rng):
+        a = rng.normal(size=4000)
+        assert rdc(a, a**2) > 0.5
+
+    def test_categorical_mixture_dependence(self, rng):
+        c = rng.choice([0.0, 1.0], size=4000)
+        f = np.where(c == 1, rng.poisson(3.0, 4000), rng.poisson(0.8, 4000))
+        assert rdc(c, f.astype(float)) > 0.3
+
+    def test_constant_column_scores_zero(self, rng):
+        a = rng.normal(size=500)
+        assert rdc(a, np.full(500, 7.0)) == 0.0
+
+    def test_null_indicator_dependence(self, rng):
+        c = rng.choice([0.0, 1.0], size=3000)
+        x = rng.normal(size=3000)
+        x[c == 0] = np.nan
+        assert rdc(c, x) > 0.8
+
+    def test_deterministic_given_seed(self, rng):
+        a = rng.normal(size=1000)
+        b = a + rng.normal(size=1000)
+        assert rdc(a, b, seed=5) == rdc(a, b, seed=5)
+
+    def test_result_in_unit_interval(self, rng):
+        for _ in range(5):
+            a = rng.normal(size=300)
+            b = rng.normal(size=300)
+            value = rdc(a, b)
+            assert 0.0 <= value <= 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rdc(np.ones(10), np.ones(11))
+
+    def test_tiny_input_returns_zero(self):
+        assert rdc(np.array([1.0]), np.array([2.0])) == 0.0
+
+    def test_subsampling_keeps_signal(self, rng):
+        a = rng.normal(size=50_000)
+        assert rdc(a, 2 * a, n_samples=2_000) > 0.9
+
+
+class TestRdcMatrix:
+    def test_matrix_shape_and_diagonal(self, rng):
+        data = rng.normal(size=(1000, 4))
+        matrix = rdc_matrix(data)
+        assert matrix.shape == (4, 4)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_matrix_symmetry(self, rng):
+        data = rng.normal(size=(1000, 4))
+        data[:, 1] = data[:, 0] * 2
+        matrix = rdc_matrix(data)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_matrix_finds_dependent_pair(self, rng):
+        data = rng.normal(size=(2000, 3))
+        data[:, 2] = data[:, 0] ** 2
+        matrix = rdc_matrix(data, seed=1)
+        assert matrix[0, 2] > 0.5
+        assert matrix[0, 1] < 0.2
+
+    def test_constant_column_row_is_zero(self, rng):
+        data = np.column_stack([rng.normal(size=500), np.full(500, 3.0)])
+        matrix = rdc_matrix(data)
+        assert matrix[0, 1] == 0.0
+
+
+class TestRdcTransform:
+    def test_shape(self, rng):
+        out = rdc_transform(rng.normal(size=200), k=10)
+        assert out.shape == (200, 20)  # sin and cos blocks
+
+    def test_handles_nan(self, rng):
+        column = rng.normal(size=200)
+        column[:50] = np.nan
+        out = rdc_transform(column)
+        assert np.isfinite(out).all()

@@ -1,0 +1,182 @@
+"""Tests for SPN sampling and MPE (repro.core.sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ranges import Range
+from repro.core.rspn import RSPN, RspnConfig
+from repro.core.sampling import (
+    ZeroEvidenceError,
+    draw,
+    draw_dicts,
+    most_probable_explanation,
+)
+
+
+def _learn_rspn(seed=0, rows=4_000, nulls=False):
+    rng = np.random.default_rng(seed)
+    region = rng.choice([0.0, 1.0], rows, p=[0.3, 0.7])
+    age = np.where(region == 0.0, rng.normal(60, 5, rows), rng.normal(25, 5, rows))
+    amount = rng.gamma(2.0, 50.0, rows)
+    if nulls:
+        age[rng.random(rows) < 0.1] = np.nan
+    data = np.column_stack([region, age, amount])
+    return RSPN.learn(
+        data,
+        ["t.region", "t.age", "t.amount"],
+        [True, False, False],
+        tables={"t"},
+        config=RspnConfig(max_distinct_leaf=64, seed=seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def rspn():
+    return _learn_rspn()
+
+
+@pytest.fixture(scope="module")
+def rspn_with_nulls():
+    return _learn_rspn(seed=3, nulls=True)
+
+
+class TestUnconditionalSampling:
+    def test_shape_and_alignment(self, rspn):
+        rows = draw(rspn, 25, seed=1)
+        assert rows.shape == (25, 3)
+        dicts = draw_dicts(rspn, 5, seed=1)
+        assert set(dicts[0]) == {"t.region", "t.age", "t.amount"}
+
+    def test_marginal_frequencies_match_model(self, rspn):
+        rows = draw(rspn, 3_000, seed=2)
+        region = rows[:, 0]
+        empirical = float((region == 0.0).mean())
+        model = rspn.probability({"t.region": Range.point(0.0)})
+        assert empirical == pytest.approx(model, abs=0.03)
+
+    def test_correlation_is_reproduced(self, rspn):
+        """Region 0 is the old cluster: its sampled ages must be high."""
+        rows = draw(rspn, 3_000, seed=3)
+        old = rows[rows[:, 0] == 0.0, 1]
+        young = rows[rows[:, 0] == 1.0, 1]
+        assert old.mean() > 45
+        assert young.mean() < 40
+
+    def test_null_fraction_reproduced(self, rspn_with_nulls):
+        rows = draw(rspn_with_nulls, 3_000, seed=4)
+        empirical = float(np.isnan(rows[:, 1]).mean())
+        model = rspn_with_nulls.probability({"t.age": Range.null_only()})
+        assert empirical == pytest.approx(model, abs=0.03)
+
+    def test_deterministic_given_seed(self, rspn):
+        a = draw(rspn, 10, seed=7)
+        b = draw(rspn, 10, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestConditionalSampling:
+    def test_samples_satisfy_evidence(self, rspn):
+        conditions = {"t.region": Range.point(0.0)}
+        rows = draw(rspn, 500, conditions=conditions, seed=5)
+        assert (rows[:, 0] == 0.0).all()
+
+    def test_range_evidence_respected(self, rspn):
+        conditions = {"t.age": Range.from_operator("<", 30.0)}
+        rows = draw(rspn, 500, conditions=conditions, seed=6)
+        assert (rows[:, 1] < 30.0).all()
+
+    def test_conditional_distribution_shifts(self, rspn):
+        """Conditioning on old ages must shift the region distribution."""
+        conditions = {"t.age": Range.from_operator(">", 50.0)}
+        rows = draw(rspn, 1_500, conditions=conditions, seed=7)
+        p_region0 = float((rows[:, 0] == 0.0).mean())
+        model = rspn.probability(
+            {"t.age": Range.from_operator(">", 50.0), "t.region": Range.point(0.0)}
+        ) / rspn.probability({"t.age": Range.from_operator(">", 50.0)})
+        assert p_region0 == pytest.approx(model, abs=0.05)
+        assert p_region0 > 0.8  # old ages are almost exclusively region 0
+
+    def test_zero_probability_evidence_raises(self, rspn):
+        with pytest.raises(ZeroEvidenceError):
+            draw(rspn, 5, conditions={"t.region": Range.point(99.0)}, seed=8)
+
+    def test_empty_range_raises(self, rspn):
+        empty = Range.point(0.0).intersect(Range.point(1.0))
+        with pytest.raises(ZeroEvidenceError):
+            draw(rspn, 5, conditions={"t.region": empty}, seed=9)
+
+
+class TestMostProbableExplanation:
+    def test_assignment_covers_all_columns(self, rspn):
+        assignment, score = most_probable_explanation(rspn)
+        assert set(assignment) == set(rspn.column_names)
+        assert score > 0
+
+    def test_mode_tracks_evidence(self, rspn):
+        """Conditioned on region 0 the modal age must be the old cluster."""
+        young, _ = most_probable_explanation(
+            rspn, {"t.region": Range.point(1.0)}
+        )
+        old, _ = most_probable_explanation(
+            rspn, {"t.region": Range.point(0.0)}
+        )
+        assert old["t.age"] > young["t.age"]
+        assert old["t.region"] == 0.0
+        assert young["t.region"] == 1.0
+
+    def test_evidence_is_kept_in_assignment(self, rspn):
+        assignment, _ = most_probable_explanation(
+            rspn, {"t.age": Range.from_operator(">", 55.0)}
+        )
+        assert assignment["t.age"] > 55.0
+
+    def test_mpe_score_dominates_samples(self, rspn):
+        """The MPE completion scores at least as high as sampled tuples
+        when re-evaluated through the same max-product scoring."""
+        _, mpe_score = most_probable_explanation(rspn)
+        rows = draw(rspn, 50, seed=10)
+        for row in rows:
+            conditions = {}
+            for name, value in zip(rspn.column_names, row):
+                if np.isnan(value):
+                    conditions[name] = Range.null_only()
+                elif name == "t.region":
+                    conditions[name] = Range.point(float(value))
+            _, score = most_probable_explanation(rspn, conditions)
+            assert mpe_score >= score - 1e-12
+
+    def test_zero_evidence_raises(self, rspn):
+        with pytest.raises(ZeroEvidenceError):
+            most_probable_explanation(rspn, {"t.region": Range.point(42.0)})
+
+
+class TestSamplingProperties:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_probability_of_sampled_region_positive(self, seed):
+        rspn = _SHARED_RSPN
+        rows = draw(rspn, 3, seed=seed)
+        for row in rows:
+            p = rspn.probability({"t.region": Range.point(float(row[0]))})
+            assert p > 0.0
+
+    @given(
+        low=st.floats(min_value=0.0, max_value=80.0),
+        width=st.floats(min_value=1.0, max_value=40.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_conditional_samples_inside_interval(self, low, width, seed):
+        rspn = _SHARED_RSPN
+        rng = Range.from_operator("BETWEEN", (low, low + width))
+        if rspn.probability({"t.age": rng}) <= 0:
+            return
+        rows = draw(rspn, 5, conditions={"t.age": rng}, seed=seed)
+        assert ((rows[:, 1] >= low) & (rows[:, 1] <= low + width)).all()
+
+
+_SHARED_RSPN = _learn_rspn(seed=11)

@@ -1,0 +1,227 @@
+"""Round-trip tests for RSPN / ensemble persistence."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.core.leaves import BinnedLeaf, DiscreteLeaf, IDENTITY
+from repro.core.ranges import Range
+from repro.core.rspn import RSPN, FunctionalDependency, RspnConfig
+from repro.core.serialization import (
+    SerializationError,
+    ensemble_from_dict,
+    ensemble_to_dict,
+    load_ensemble,
+    load_rspn,
+    node_from_dict,
+    node_to_dict,
+    rspn_from_dict,
+    rspn_to_dict,
+    save_ensemble,
+    save_rspn,
+)
+from repro.engine.query import Predicate, Query
+
+
+def _learn_small_rspn(seed=0, rows=600):
+    rng = np.random.default_rng(seed)
+    region = rng.integers(0, 3, rows).astype(float)
+    age = np.where(region == 0, rng.normal(60, 5, rows), rng.normal(30, 5, rows))
+    age[rng.random(rows) < 0.05] = np.nan
+    income = rng.normal(100, 40, rows)
+    data = np.column_stack([region, age, income])
+    return RSPN.learn(
+        data,
+        ["t.region", "t.age", "t.income"],
+        [True, False, False],
+        tables={"t"},
+        config=RspnConfig(max_distinct_leaf=16, seed=seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def small_rspn():
+    return _learn_small_rspn()
+
+
+@pytest.fixture(scope="module")
+def ensemble(customer_orders_db):
+    return learn_ensemble(
+        customer_orders_db,
+        EnsembleConfig(sample_size=4_000, correlation_sample=500),
+    )
+
+
+class TestNodeRoundTrip:
+    def test_discrete_leaf_round_trip(self):
+        leaf = DiscreteLeaf.fit(0, 0, np.array([1.0, 1.0, 2.0, np.nan, 3.0]))
+        restored = node_from_dict(node_to_dict(leaf))
+        assert isinstance(restored, DiscreteLeaf)
+        np.testing.assert_array_equal(restored.values, leaf.values)
+        np.testing.assert_array_equal(restored.counts, leaf.counts)
+        assert restored.null_count == leaf.null_count
+
+    def test_binned_leaf_round_trip(self):
+        column = np.concatenate([np.random.default_rng(0).normal(0, 1, 5_000),
+                                 [np.nan] * 7])
+        leaf = BinnedLeaf.fit(2, 2, column, n_bins=32)
+        restored = node_from_dict(node_to_dict(leaf))
+        assert isinstance(restored, BinnedLeaf)
+        np.testing.assert_array_equal(restored.edges, leaf.edges)
+        np.testing.assert_array_equal(restored.sums, leaf.sums)
+        assert restored.null_count == leaf.null_count
+
+    def test_unknown_node_type_raises(self):
+        with pytest.raises(SerializationError):
+            node_from_dict({"type": "mystery"})
+
+    def test_document_is_json_compatible(self, small_rspn):
+        text = json.dumps(rspn_to_dict(small_rspn))
+        assert "NaN" not in text  # NaN is not valid JSON; must be encoded
+
+
+class TestRspnRoundTrip:
+    def test_probabilities_identical(self, small_rspn):
+        restored = rspn_from_dict(rspn_to_dict(small_rspn))
+        conditions = {
+            "t.region": Range.point(0.0),
+            "t.age": Range.from_operator("<", 50.0),
+        }
+        assert restored.probability(conditions) == pytest.approx(
+            small_rspn.probability(conditions), abs=1e-12
+        )
+
+    def test_expectations_identical(self, small_rspn):
+        restored = rspn_from_dict(rspn_to_dict(small_rspn))
+        expected = small_rspn.expectation(transforms={"t.income": [IDENTITY]})
+        assert restored.expectation(
+            transforms={"t.income": [IDENTITY]}
+        ) == pytest.approx(expected, abs=1e-12)
+
+    def test_metadata_preserved(self, small_rspn):
+        restored = rspn_from_dict(rspn_to_dict(small_rspn))
+        assert restored.column_names == small_rspn.column_names
+        assert restored.tables == small_rspn.tables
+        assert restored.full_size == small_rspn.full_size
+        assert restored.sample_size == small_rspn.sample_size
+        assert restored.node_counts() == small_rspn.node_counts()
+
+    def test_updates_work_after_round_trip(self, small_rspn):
+        restored = rspn_from_dict(rspn_to_dict(small_rspn))
+        before = restored.probability({"t.region": Range.point(1.0)})
+        for _ in range(50):
+            restored.insert({"t.region": 1.0, "t.age": 30.0, "t.income": 90.0})
+        after = restored.probability({"t.region": Range.point(1.0)})
+        assert after > before
+
+    def test_functional_dependency_preserved(self):
+        rng = np.random.default_rng(4)
+        source = rng.integers(0, 5, 400).astype(float)
+        dependent = source * 10.0
+        other = rng.normal(0, 1, 400)
+        rspn = RSPN.learn(
+            np.column_stack([source, dependent, other]),
+            ["t.a", "t.b", "t.c"],
+            [True, True, False],
+            tables={"t"},
+            functional_dependencies=[FunctionalDependency("t.a", "t.b")],
+        )
+        restored = rspn_from_dict(rspn_to_dict(rspn))
+        assert "t.b" in restored.functional_dependencies
+        rng_b = Range.point(30.0)
+        assert restored.probability({"t.b": rng_b}) == pytest.approx(
+            rspn.probability({"t.b": rng_b}), abs=1e-12
+        )
+
+    def test_file_round_trip(self, small_rspn, tmp_path):
+        path = tmp_path / "model.json"
+        save_rspn(small_rspn, path)
+        restored = load_rspn(path)
+        assert restored.full_size == small_rspn.full_size
+
+    def test_header_validation(self, small_rspn):
+        document = rspn_to_dict(small_rspn)
+        document["format"] = "other"
+        with pytest.raises(SerializationError):
+            rspn_from_dict(document)
+        document = rspn_to_dict(small_rspn)
+        document["version"] = 99
+        with pytest.raises(SerializationError):
+            rspn_from_dict(document)
+
+
+class TestEnsembleRoundTrip:
+    def test_cardinalities_identical(self, ensemble, customer_orders_db, tmp_path):
+        path = tmp_path / "ensemble.json"
+        save_ensemble(ensemble, path)
+        restored = load_ensemble(path, customer_orders_db)
+        original = ProbabilisticQueryCompiler(ensemble)
+        loaded = ProbabilisticQueryCompiler(restored)
+        queries = [
+            Query(("customer",), predicates=(Predicate("customer", "region", "=", "EU"),)),
+            Query(
+                ("customer", "orders"),
+                predicates=(
+                    Predicate("customer", "region", "=", "EU"),
+                    Predicate("orders", "channel", "=", "ONLINE"),
+                ),
+            ),
+        ]
+        for query in queries:
+            assert loaded.cardinality(query) == pytest.approx(
+                original.cardinality(query), rel=1e-12
+            )
+
+    def test_rdc_metadata_preserved(self, ensemble, customer_orders_db):
+        restored = ensemble_from_dict(
+            ensemble_to_dict(ensemble), customer_orders_db
+        )
+        assert restored.attribute_rdc == ensemble.attribute_rdc
+        assert restored.table_dependency == ensemble.table_dependency
+        assert restored.training_seconds == ensemble.training_seconds
+
+    def test_rspn_count_preserved(self, ensemble, customer_orders_db):
+        restored = ensemble_from_dict(
+            ensemble_to_dict(ensemble), customer_orders_db
+        )
+        assert len(restored.rspns) == len(ensemble.rspns)
+        for original, loaded in zip(ensemble.rspns, restored.rspns):
+            assert loaded.tables == original.tables
+
+
+class TestFloatEncoding:
+    @given(
+        st.floats(allow_nan=True, allow_infinity=True, width=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_float_round_trip(self, value):
+        from repro.core.serialization import _decode_float, _encode_float
+
+        encoded = _encode_float(value)
+        json.dumps(encoded)  # must be JSON-serialisable
+        decoded = _decode_float(encoded)
+        if math.isnan(value):
+            assert math.isnan(decoded)
+        else:
+            assert decoded == value
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_array_round_trip(self, values):
+        from repro.core.serialization import _decode_array, _encode_array
+
+        array = np.asarray(values, dtype=float)
+        np.testing.assert_array_equal(_decode_array(_encode_array(array)), array)

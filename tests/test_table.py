@@ -1,0 +1,122 @@
+"""Tests for the column-store table and database container."""
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Database, Table
+from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+
+
+def make_schema():
+    return TableSchema(
+        "t",
+        [
+            Attribute("id", "key"),
+            Attribute("color", "categorical"),
+            Attribute("size", "numeric"),
+        ],
+        primary_key="id",
+    )
+
+
+def make_table():
+    return Table.from_columns(
+        make_schema(),
+        {
+            "id": [0, 1, 2, 3],
+            "color": ["red", "blue", None, "red"],
+            "size": [1.5, None, 3.0, 4.0],
+        },
+    )
+
+
+class TestTable:
+    def test_dictionary_encoding(self):
+        table = make_table()
+        assert table.vocabularies["color"] == ["red", "blue"]
+        assert table.columns["color"][0] == 0.0
+        assert table.columns["color"][3] == 0.0
+
+    def test_null_encoding(self):
+        table = make_table()
+        assert np.isnan(table.columns["color"][2])
+        assert np.isnan(table.columns["size"][1])
+
+    def test_encode_decode_roundtrip(self):
+        table = make_table()
+        code = table.encode_value("color", "blue")
+        assert table.decode_value("color", code) == "blue"
+
+    def test_encode_unknown_value_is_none(self):
+        table = make_table()
+        assert table.encode_value("color", "green") is None
+
+    def test_decode_null(self):
+        table = make_table()
+        assert table.decode_value("color", float("nan")) is None
+
+    def test_distinct_values(self):
+        table = make_table()
+        assert table.distinct_values("color", decoded=True) == ["red", "blue"]
+        assert list(table.distinct_values("size")) == [1.5, 3.0, 4.0]
+
+    def test_null_fraction(self):
+        table = make_table()
+        assert table.null_fraction("size") == pytest.approx(0.25)
+
+    def test_column_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Table.from_columns(
+                make_schema(), {"id": [1], "color": ["red", "blue"], "size": [1.0]}
+            )
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            Table.from_columns(make_schema(), {"id": [1], "color": ["red"]})
+
+    def test_append_rows(self):
+        table = make_table()
+        table.append_rows({"id": [4], "color": ["green"], "size": [9.0]})
+        assert table.n_rows == 5
+        assert table.decode_value("color", table.columns["color"][4]) == "green"
+        assert "green" in table.vocabularies["color"]
+
+    def test_select_shares_vocabulary(self):
+        table = make_table()
+        selected = table.select(np.array([True, False, True, False]))
+        assert selected.n_rows == 2
+        assert selected.encode_value("color", "blue") == table.encode_value(
+            "color", "blue"
+        )
+
+    def test_select_by_indices(self):
+        table = make_table()
+        selected = table.select(np.array([3, 0]))
+        assert selected.columns["size"][0] == 4.0
+
+    def test_add_column_registers_attribute(self):
+        table = make_table()
+        table.add_column("F__t__u", [1, 0, 2, 1])
+        assert table.schema.has_attribute("F__t__u")
+        assert "F__t__u" in [a.name for a in table.schema.non_key_attributes]
+
+    def test_row_accessor(self):
+        table = make_table()
+        row = table.row(0, columns=["size"])
+        assert row == {"size": 1.5}
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        schema_graph = SchemaGraph()
+        schema_graph.add_table(make_schema())
+        database = Database(schema_graph)
+        table = database.add_table(make_table())
+        assert database.table("t") is table
+        assert "t" in database
+        assert database.total_rows() == 4
+
+    def test_unknown_table_rejected(self):
+        database = Database(SchemaGraph())
+        with pytest.raises(KeyError):
+            database.add_table(make_table())
