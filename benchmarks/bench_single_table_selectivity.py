@@ -74,7 +74,8 @@ def _shifted_workload(database, n_queries, seed):
     return queries
 
 
-def test_single_table_selectivity_families(benchmark, flights_env):
+def test_single_table_selectivity_families(benchmark, flights_env,
+                                           record_inference_timing, best_of):
     database = flights_env.database
     executor = flights_env.executor
 
@@ -134,6 +135,34 @@ def test_single_table_selectivity_families(benchmark, flights_env):
             <= medians[(workload_name, "Chow-Liu BN")] * 1.1
         )
 
-    query = workloads_by_name["in-distribution"][0]
+    # Batched compiled inference: the 80-query in-distribution workload
+    # through one cardinality_batch call vs. the scalar per-query loop;
+    # estimates must agree to 1e-9, throughput must be >= 3x.
     compiler = flights_env.compiler
+    workload = workloads_by_name["in-distribution"]
+    scalar_values = [compiler.cardinality(q) for q in workload]  # warm-up
+    scalar_seconds = best_of(
+        lambda: [compiler.cardinality(q) for q in workload]
+    )
+    batch_values = compiler.cardinality_batch(workload)  # warm-up
+    batch_seconds = best_of(lambda: compiler.cardinality_batch(workload))
+    assert np.allclose(batch_values, scalar_values, rtol=1e-9, atol=1e-9)
+    speedup = scalar_seconds / batch_seconds
+    batching = Report(
+        "Single-table inference: scalar vs batched (80 queries)",
+        ["path", "seconds", "queries/s"],
+    )
+    batching.add("scalar loop", scalar_seconds, len(workload) / scalar_seconds)
+    batching.add("cardinality_batch", batch_seconds, len(workload) / batch_seconds)
+    batching.print()
+    record_inference_timing(
+        "single_table_scalar_80q", scalar_seconds, queries=len(workload)
+    )
+    record_inference_timing(
+        "single_table_batched_80q", batch_seconds,
+        queries=len(workload), speedup=speedup,
+    )
+    assert speedup >= 3.0, f"batched speedup only {speedup:.2f}x"
+
+    query = workload[0]
     benchmark(lambda: compiler.cardinality(query))

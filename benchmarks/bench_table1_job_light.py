@@ -4,7 +4,9 @@ Reproduces the paper's headline cardinality-estimation comparison:
 median / 90th / 95th / max q-errors of DeepDB against MCSN, Postgres,
 IBJS and random sampling on 70 JOB-light queries, plus the training-time
 comparison of Section 6.1 (DeepDB learns from data; MCSN must first
-execute a labelled workload).
+execute a labelled workload).  Also measures the batched compiled
+inference path (``cardinality_batch``) against the scalar per-query
+path on the same 70 queries.
 """
 
 import numpy as np
@@ -13,7 +15,8 @@ from repro.evaluation.metrics import percentiles, q_error
 from repro.evaluation.report import Report
 
 
-def test_table1_job_light(benchmark, imdb_env):
+def test_table1_job_light(benchmark, imdb_env, record_inference_timing,
+                          best_of):
     queries = imdb_env.job_light
     truths = imdb_env.job_light_truth
 
@@ -56,6 +59,35 @@ def test_table1_job_light(benchmark, imdb_env):
             continue
         assert deepdb["95th"] <= percentiles(errors)["95th"] * 1.5, name
     assert deepdb["median"] < 2.5
+
+    # Batched compiled inference: the whole 70-query workload through
+    # one cardinality_batch call vs. the scalar per-query loop.  The
+    # estimates must agree to 1e-9 and the batch must be >= 3x faster.
+    compiler = imdb_env.compiler
+    workload = [named.query for named in queries]
+    scalar_values = [compiler.cardinality(q) for q in workload]  # warm-up
+    scalar_seconds = best_of(
+        lambda: [compiler.cardinality(q) for q in workload]
+    )
+    batch_values = compiler.cardinality_batch(workload)  # warm-up
+    batch_seconds = best_of(lambda: compiler.cardinality_batch(workload))
+    assert np.allclose(batch_values, scalar_values, rtol=1e-9, atol=1e-9)
+    speedup = scalar_seconds / batch_seconds
+    batching = Report(
+        "JOB-light inference: scalar vs batched (70 queries)",
+        ["path", "seconds", "queries/s"],
+    )
+    batching.add("scalar loop", scalar_seconds, len(workload) / scalar_seconds)
+    batching.add("cardinality_batch", batch_seconds, len(workload) / batch_seconds)
+    batching.print()
+    record_inference_timing(
+        "job_light_scalar_70q", scalar_seconds, queries=len(workload)
+    )
+    record_inference_timing(
+        "job_light_batched_70q", batch_seconds,
+        queries=len(workload), speedup=speedup,
+    )
+    assert speedup >= 3.0, f"batched speedup only {speedup:.2f}x"
 
     # Latency of a single DeepDB cardinality estimate (paper: micro- to
     # milliseconds).

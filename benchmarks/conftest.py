@@ -8,10 +8,18 @@ numbers differ from the paper's testbed but the comparisons' *shape*
 EXPERIMENTS.md records paper-vs-measured per experiment.
 
 Set ``REPRO_BENCH_SCALE`` (default 1.0) to grow/shrink every dataset.
+
+Timing records: every ``benchmark``-fixture measurement plus any value
+registered through :func:`record_timing` is appended to
+``benchmarks/BENCH_inference.json`` at session end, one run object per
+session, so the perf trajectory (scalar vs. batched inference latency in
+particular) is tracked across PRs.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 import time
 
@@ -50,6 +58,89 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     value = fn(*args, **kwargs)
     return TimedResult(value, time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Perf-trajectory records (BENCH_inference.json)
+# ----------------------------------------------------------------------
+_TIMING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_inference.json")
+_MANUAL_RECORDS: list[dict] = []
+
+
+def record_timing(name, seconds, **extra):
+    """Register one named timing for the session's BENCH_inference.json
+    run record (used by benches for scalar-vs-batched comparisons)."""
+    _MANUAL_RECORDS.append({"name": name, "seconds": float(seconds), **extra})
+
+
+def best_of(fn, repeats=3):
+    """Best wall-clock seconds of ``repeats`` runs of ``fn``."""
+    seconds = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        seconds.append(time.perf_counter() - start)
+    return min(seconds)
+
+
+@pytest.fixture(scope="session", name="best_of")
+def best_of_fixture():
+    """Fixture handing benches the :func:`best_of` timer."""
+    return best_of
+
+
+@pytest.fixture(scope="session")
+def record_inference_timing():
+    """Fixture handing benches the :func:`record_timing` recorder."""
+    return record_timing
+
+
+def _benchmark_records(session):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return []
+    records = []
+    for bench in getattr(bench_session, "benchmarks", []):
+        stats = getattr(bench, "stats", None)
+        stats = getattr(stats, "stats", stats)  # pytest-benchmark metadata
+        if stats is None:
+            continue
+        records.append(
+            {
+                "name": bench.name,
+                "mean_s": float(stats.mean),
+                "min_s": float(stats.min),
+                "stddev_s": float(stats.stddev),
+                "rounds": int(stats.rounds),
+            }
+        )
+    return records
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's timing records to BENCH_inference.json."""
+    records = _benchmark_records(session)
+    if not records and not _MANUAL_RECORDS:
+        return
+    run = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "scale": SCALE,
+        "benchmarks": records,
+        "timings": list(_MANUAL_RECORDS),
+    }
+    try:
+        with open(_TIMING_PATH) as handle:
+            history = json.load(handle)
+        if not isinstance(history, list):
+            history = []
+    except (OSError, ValueError):
+        history = []
+    history.append(run)
+    try:
+        with open(_TIMING_PATH, "w") as handle:
+            json.dump(history, handle, indent=2)
+    except OSError:
+        pass  # recording must never fail the bench run
 
 
 # ----------------------------------------------------------------------

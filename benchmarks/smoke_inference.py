@@ -1,0 +1,91 @@
+"""30-second inference smoke check for CI.
+
+Learns a small flights ensemble, answers a 40-query workload through the
+scalar path and the batched compiled path, and verifies that
+
+- the two paths agree to 1e-9,
+- the batched path is not slower than the scalar loop,
+- per-query latency stays in the milliseconds.
+
+This is deliberately tiny (it must finish well inside CI's 30-second
+budget); the full scalar-vs-batched comparison with the 3x throughput
+assertion lives in ``bench_single_table_selectivity.py`` and
+``bench_table1_job_light.py``.
+
+Run with ``PYTHONPATH=src python benchmarks/smoke_inference.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.core.ensemble import EnsembleConfig, learn_ensemble
+from repro.core.rspn import RspnConfig
+from repro.datasets import flights
+from repro.engine.query import Predicate, count_query
+
+_NUMERIC = ("distance", "dep_delay", "taxi_out", "air_time", "arr_delay")
+
+
+def _workload(database, n_queries, seed):
+    rng = np.random.default_rng(seed)
+    table = database.table("flights")
+    queries = []
+    while len(queries) < n_queries:
+        columns = rng.choice(_NUMERIC, size=rng.integers(1, 4), replace=False)
+        predicates = []
+        for column in columns:
+            values = table.columns[column]
+            finite = values[~np.isnan(values)]
+            span = finite.max() - finite.min()
+            width = span * rng.uniform(0.05, 0.3)
+            low = rng.uniform(finite.min(), finite.max() - width)
+            predicates.append(Predicate("flights", column, ">=", float(low)))
+            predicates.append(Predicate("flights", column, "<=", float(low + width)))
+        queries.append(count_query(["flights"], predicates=predicates))
+    return queries
+
+
+def main():
+    start = time.perf_counter()
+    database = flights.generate(scale=0.05, seed=0)
+    ensemble = learn_ensemble(
+        database,
+        EnsembleConfig(sample_size=10_000, rspn=RspnConfig(min_instances_fraction=0.01)),
+    )
+    compiler = ProbabilisticQueryCompiler(ensemble)
+    queries = _workload(database, 40, seed=7)
+    print(f"setup: {time.perf_counter() - start:.1f}s")
+
+    scalar_start = time.perf_counter()
+    scalar = [compiler.cardinality(q) for q in queries]
+    scalar_seconds = time.perf_counter() - scalar_start
+    batch_start = time.perf_counter()
+    batched = compiler.cardinality_batch(queries)
+    batch_seconds = time.perf_counter() - batch_start
+
+    print(f"scalar : {scalar_seconds * 1e3:7.1f} ms "
+          f"({scalar_seconds / len(queries) * 1e3:.2f} ms/query)")
+    print(f"batched: {batch_seconds * 1e3:7.1f} ms "
+          f"({batch_seconds / len(queries) * 1e3:.2f} ms/query)")
+
+    if not np.allclose(batched, scalar, rtol=1e-9, atol=1e-9):
+        print("FAIL: batched and scalar estimates disagree beyond 1e-9")
+        return 1
+    if batch_seconds > scalar_seconds:
+        print("FAIL: batched path slower than the scalar loop")
+        return 1
+    if scalar_seconds / len(queries) > 0.1:
+        print("FAIL: scalar latency above 100 ms/query")
+        return 1
+    print(f"OK: batched speedup {scalar_seconds / batch_seconds:.1f}x, "
+          "estimates agree to 1e-9")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

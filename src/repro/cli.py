@@ -12,6 +12,10 @@ session.  Typical flow::
     python -m repro.cli plan    --dataset imdb --scale 0.05 --model model.json \
         --sql "SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id"
     python -m repro.cli inspect --model model.json
+
+``estimate`` and ``query`` accept ``--sql`` several times; multi-query
+invocations are answered through the batched compiled-inference path
+(one bottom-up sweep per RSPN for the whole batch).
 """
 
 from __future__ import annotations
@@ -73,7 +77,29 @@ def _cmd_estimate(args, out):
 
     database = _build_database(args)
     deepdb = _load_model(args, database)
-    query = deepdb.parse(args.sql)
+    queries = [deepdb.parse(sql) for sql in args.sql]
+    if len(queries) > 1:
+        # Batched path: all expectation sub-queries share one compiled
+        # bottom-up sweep per RSPN.
+        start = time.perf_counter()
+        estimates = deepdb.cardinality_batch(queries)
+        latency = time.perf_counter() - start
+        for sql, estimate in zip(args.sql, estimates):
+            print(f"{sql}", file=out)
+            print(f"  estimated cardinality: {estimate:,.0f}", file=out)
+        print(f"batch of {len(queries)}: {latency * 1e3:.2f} ms total "
+              f"({latency * 1e3 / len(queries):.2f} ms/query)", file=out)
+        if args.truth:
+            executor = Executor(database)
+            for sql, query, estimate in zip(args.sql, queries, estimates):
+                truth = executor.cardinality(query)
+                print(f"{sql}: truth {truth:,.0f}, "
+                      f"q-error {q_error(truth, estimate):.3f}", file=out)
+        if args.explain:
+            for sql, query in zip(args.sql, queries):
+                print(deepdb.compiler.explain(query), file=out)
+        return 0
+    query = queries[0]
     start = time.perf_counter()
     estimate = deepdb.cardinality(query)
     latency = time.perf_counter() - start
@@ -88,13 +114,7 @@ def _cmd_estimate(args, out):
     return 0
 
 
-def _cmd_query(args, out):
-    database = _build_database(args)
-    deepdb = _load_model(args, database)
-    query = deepdb.parse(args.sql)
-    start = time.perf_counter()
-    answer = deepdb.approximate_with_confidence(query, confidence=args.confidence)
-    latency = time.perf_counter() - start
+def _print_answer(answer, confidence, out):
     if isinstance(answer, dict):
         for group, (value, (low, high)) in sorted(answer.items()):
             key = ", ".join(str(k) for k in group)
@@ -103,7 +123,38 @@ def _cmd_query(args, out):
     else:
         value, (low, high) = answer
         print(f"answer: {value:,.2f}  "
-              f"{args.confidence:.0%} CI [{low:,.2f}, {high:,.2f}]", file=out)
+              f"{confidence:.0%} CI [{low:,.2f}, {high:,.2f}]", file=out)
+
+
+def _cmd_query(args, out):
+    database = _build_database(args)
+    deepdb = _load_model(args, database)
+    queries = [deepdb.parse(sql) for sql in args.sql]
+    if len(queries) > 1:
+        start = time.perf_counter()
+        answers = deepdb.compiler.answer_with_confidence_batch(
+            queries, confidence=args.confidence
+        )
+        latency = time.perf_counter() - start
+        for sql, answer in zip(args.sql, answers):
+            print(f"{sql}", file=out)
+            if isinstance(answer, dict):
+                for group, (value, (low, high)) in sorted(answer.items()):
+                    key = ", ".join(str(k) for k in group)
+                    print(f"  {key}: {value:,.2f}  [{low:,.2f}, {high:,.2f}]",
+                          file=out)
+            else:
+                value, (low, high) = answer
+                print(f"  answer: {value:,.2f}  {args.confidence:.0%} CI "
+                      f"[{low:,.2f}, {high:,.2f}]", file=out)
+        print(f"batch of {len(queries)}: {latency * 1e3:.2f} ms total "
+              f"({latency * 1e3 / len(queries):.2f} ms/query)", file=out)
+        return 0
+    query = queries[0]
+    start = time.perf_counter()
+    answer = deepdb.approximate_with_confidence(query, confidence=args.confidence)
+    latency = time.perf_counter() - start
+    _print_answer(answer, args.confidence, out)
     print(f"latency: {latency * 1e3:.2f} ms", file=out)
     return 0
 
@@ -189,7 +240,9 @@ def build_parser():
     )
     _add_dataset_arguments(estimate)
     estimate.add_argument("--model", required=True)
-    estimate.add_argument("--sql", required=True)
+    estimate.add_argument("--sql", required=True, action="append",
+                          help="SQL query; repeat the flag to estimate a "
+                               "whole batch in one compiled sweep")
     estimate.add_argument("--truth", action="store_true",
                           help="also run the exact executor")
     estimate.add_argument("--explain", action="store_true",
@@ -201,7 +254,9 @@ def build_parser():
     )
     _add_dataset_arguments(query)
     query.add_argument("--model", required=True)
-    query.add_argument("--sql", required=True)
+    query.add_argument("--sql", required=True, action="append",
+                       help="SQL query; repeat the flag to answer a whole "
+                            "batch in one compiled sweep")
     query.add_argument("--confidence", type=float, default=0.95)
     query.set_defaults(handler=_cmd_query)
 

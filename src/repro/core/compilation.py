@@ -90,23 +90,51 @@ def _normalisation_edges(rspn, subset):
 
 @dataclass
 class _Expectation:
-    """One expectation over one RSPN: conditions plus factor transforms."""
+    """One expectation over one RSPN: conditions plus factor transforms.
+
+    The plain (un-squared) value is cached so that batched evaluation --
+    one :meth:`~repro.core.rspn.RSPN.expectation_batch` sweep priming
+    many expectations at once -- and the later scalar reads through
+    :class:`_Term` observe the same number.
+    """
 
     rspn: object
     conditions: dict = field(default_factory=dict)
     factors: list = field(default_factory=list)  # [(column, kind)]
+    _value: float | None = field(default=None, repr=False, compare=False)
+
+    def transform_map(self, squared=False, square_kinds=None):
+        """Per-column transform lists realising the factor product."""
+        transforms = {}
+        for column, kind in self.factors:
+            square = squared or (square_kinds is not None and kind in square_kinds)
+            transform = _FACTOR_TRANSFORMS[kind][1 if square else 0]
+            transforms.setdefault(column, []).append(transform)
+        return transforms
 
     def evaluate(self, squared=False, square_kinds=None):
         """E[T * 1_C]; ``squared`` squares the whole transform product,
         ``square_kinds`` squares only the named factor kinds (used for
         conditional second moments, where the tuple-factor weights define
         the measure and must stay un-squared)."""
-        transforms = {}
-        for column, kind in self.factors:
-            square = squared or (square_kinds is not None and kind in square_kinds)
-            transform = _FACTOR_TRANSFORMS[kind][1 if square else 0]
-            transforms.setdefault(column, []).append(transform)
-        return self.rspn.expectation(conditions=self.conditions, transforms=transforms)
+        plain = not squared and square_kinds is None
+        if plain and self._value is not None:
+            return self._value
+        value = self.rspn.expectation(
+            conditions=self.conditions,
+            transforms=self.transform_map(squared, square_kinds),
+        )
+        if plain:
+            self._value = value
+        return value
+
+    def prime(self, value):
+        """Store a batch-computed plain value."""
+        self._value = float(value)
+
+    @property
+    def is_primed(self):
+        return self._value is not None
 
     @property
     def has_factors(self):
@@ -156,12 +184,51 @@ class _Term:
         return self.scale * t1, self.scale**2 * variance
 
 
-@dataclass
 class Estimate:
-    """A compiled estimate: point value plus variance for CIs."""
+    """A compiled estimate: point value plus variance for CIs.
 
-    value: float
-    terms: list = field(default_factory=list)
+    The value is **lazy**: compilation only assembles the
+    :class:`_Term` structure, and the first ``.value`` read evaluates the
+    underlying expectations (each cached on its :class:`_Expectation`).
+    This split is what allows
+    :meth:`ProbabilisticQueryCompiler.evaluate_estimates` to collect the
+    expectations of many estimates and prime them with one batched sweep
+    per RSPN before any value is read.
+
+    ``parts`` optionally names sub-estimates whose values multiply into
+    this one (SUM = COUNT x AVG) -- kept as estimates rather than terms
+    so exact zeros (empty selections) survive the product.
+    """
+
+    def __init__(self, value=None, terms=None, parts=None):
+        self.terms = list(terms) if terms else []
+        self._parts = tuple(parts) if parts else None
+        self._value = value
+
+    @property
+    def value(self):
+        if self._value is None:
+            if self._parts is not None:
+                value = 1.0
+                for part in self._parts:
+                    value *= part.value
+            else:
+                value = 1.0
+                for term in self.terms:
+                    value *= term.value()
+            self._value = value
+        return self._value
+
+    def expectations(self):
+        """Every :class:`_Expectation` this estimate's value reads."""
+        if self._parts is not None:
+            for part in self._parts:
+                yield from part.expectations()
+            return
+        for term in self.terms:
+            yield term.nominator
+            if term.denominator is not None:
+                yield term.denominator
 
     def moments(self):
         if not self.terms:
@@ -172,6 +239,42 @@ class Estimate:
     def confidence_interval(self, confidence=0.95):
         mean, variance = self.moments()
         return ci.interval(mean, variance, confidence)
+
+
+class _MedianEstimate(Estimate):
+    """Median over several candidate compilations (Section 4.1).
+
+    All candidates' expectations are exposed for batching; forcing the
+    value picks the median and keeps the closest term for CI math.
+    """
+
+    def __init__(self, candidates):
+        super().__init__()
+        self.candidates = list(candidates)
+
+    @property
+    def value(self):
+        if self._value is None:
+            values = sorted(term.value() for term in self.candidates)
+            median = values[len(values) // 2]
+            if len(values) % 2 == 0:
+                median = (median + values[len(values) // 2 - 1]) / 2.0
+            # The CI follows the term whose estimate is closest to the
+            # median.
+            closest = min(self.candidates, key=lambda t: abs(t.value() - median))
+            self.terms = [closest]
+            self._value = median
+        return self._value
+
+    def expectations(self):
+        for term in self.candidates:
+            yield term.nominator
+            if term.denominator is not None:
+                yield term.denominator
+
+    def moments(self):
+        self.value  # noqa: B018 - force the median / closest-term choice
+        return super().moments()
 
 
 @dataclass
@@ -187,6 +290,10 @@ class SumEstimate:
     @property
     def value(self):
         return sum(sign * estimate.value for sign, estimate in self.components)
+
+    def expectations(self):
+        for _sign, estimate in self.components:
+            yield from estimate.expectations()
 
     def moments(self):
         mean, variance = 0.0, 0.0
@@ -214,6 +321,10 @@ class RatioEstimate:
         if denominator <= 0:
             return 0.0
         return self.nominator.value / denominator
+
+    def expectations(self):
+        yield from self.nominator.expectations()
+        yield from self.denominator.expectations()
 
     def moments(self):
         return ci.ratio_moments(self.nominator.moments(), self.denominator.moments())
@@ -265,6 +376,78 @@ class ProbabilisticQueryCompiler:
         """Cardinality estimate for the optimizer (clamped to >= 1)."""
         return max(self.estimate_count(query).value, 1.0)
 
+    def cardinality_batch(self, queries) -> list:
+        """Batched :meth:`cardinality`: one compiled sweep per RSPN.
+
+        All queries are compiled first (compilation never reads
+        expectation values), their expectation sub-queries are grouped
+        per RSPN and evaluated with one
+        :meth:`~repro.core.rspn.RSPN.expectation_batch` call each, and
+        only then are the per-query values assembled.
+        """
+        estimates = [self.estimate_count(query) for query in queries]
+        self.evaluate_estimates(estimates)
+        return [max(estimate.value, 1.0) for estimate in estimates]
+
+    def answer_batch(self, queries) -> list:
+        """Batched :meth:`answer`; scalar queries share one batch, each
+        GROUP BY query is internally batched over its groups."""
+        results = [None] * len(queries)
+        scalar = [
+            (i, self._estimate(query))
+            for i, query in enumerate(queries)
+            if not query.group_by
+        ]
+        self.evaluate_estimates([estimate for _, estimate in scalar])
+        for i, estimate in scalar:
+            results[i] = estimate.value
+        for i, query in enumerate(queries):
+            if query.group_by:
+                results[i] = self._answer_groups(query)
+        return results
+
+    def answer_with_confidence_batch(self, queries, confidence=0.95):
+        """Batched :meth:`answer_with_confidence`: point estimates share
+        one batched sweep per RSPN; the CI moments (squared-transform
+        expectations) are computed per query on top of the primed
+        values."""
+        results = [None] * len(queries)
+        scalar = [
+            (i, self._estimate(query))
+            for i, query in enumerate(queries)
+            if not query.group_by
+        ]
+        self.evaluate_estimates([estimate for _, estimate in scalar])
+        for i, estimate in scalar:
+            results[i] = (estimate.value, estimate.confidence_interval(confidence))
+        for i, query in enumerate(queries):
+            if query.group_by:
+                results[i] = self.answer_with_confidence(query, confidence)
+        return results
+
+    def evaluate_estimates(self, estimates):
+        """Prime every expectation behind ``estimates`` with one batched
+        bottom-up sweep per RSPN (Section 4's sub-queries, batched)."""
+        pending, seen = [], set()
+        for estimate in estimates:
+            for expectation in estimate.expectations():
+                if expectation.is_primed or id(expectation) in seen:
+                    continue
+                seen.add(id(expectation))
+                pending.append(expectation)
+        by_rspn = {}
+        for expectation in pending:
+            by_rspn.setdefault(id(expectation.rspn), []).append(expectation)
+        for group in by_rspn.values():
+            batch = getattr(group[0].rspn, "expectation_batch", None)
+            if batch is None:  # duck-typed model without a batch kernel
+                for expectation in group:
+                    expectation.evaluate()
+                continue
+            values = batch([(e.conditions, e.transform_map()) for e in group])
+            for expectation, value in zip(group, values):
+                expectation.prime(value)
+
     def estimate_count(self, query: Query):
         query = query.without_group_by()
         if query.has_disjunctions:
@@ -295,7 +478,7 @@ class ProbabilisticQueryCompiler:
             query.with_extra_predicates((self._aggregate_not_null(query),))
         )
         avg = self._compile_avg(query)
-        return Estimate(count.value * avg.value, terms=count.terms + avg.terms)
+        return Estimate(terms=count.terms + avg.terms, parts=(count, avg))
 
     @staticmethod
     def _aggregate_not_null(query):
@@ -451,6 +634,11 @@ class ProbabilisticQueryCompiler:
         filter only enumerates that category's brands.  HAVING conditions
         are applied on per-group aggregate *estimates*; ORDER/LIMIT sort
         and truncate by the estimated value.
+
+        Evaluation is staged so that every group shares one batched
+        sweep per RSPN: all group COUNTs first (they gate on
+        ``min_group_count``), then each HAVING aggregate across the
+        surviving groups, then the query aggregate itself.
         """
         per_column = [
             self._group_domain(table, column, query) for table, column in query.group_by
@@ -463,38 +651,58 @@ class ProbabilisticQueryCompiler:
                 f"group-by would enumerate {total} groups (> {_MAX_GROUPS})"
             )
         scalar = query.without_group_by()
-        results = []
+        groups = []
         for combo in itertools.product(*per_column):
             extra = tuple(
                 Predicate(t, c, "=", v)
                 for (t, c), v in zip(query.group_by, combo)
             )
-            grouped = scalar.with_extra_predicates(extra)
-            count = self.estimate_count(
-                grouped.with_aggregate(grouped.aggregate.count())
-            )
-            if count.value < self.min_group_count:
-                continue
-            if not self._having_accepts(query, grouped, count):
-                continue
-            if query.aggregate.function == "COUNT":
-                results.append((combo, count))
-            else:
-                results.append((combo, self._estimate(grouped)))
+            groups.append((combo, scalar.with_extra_predicates(extra)))
+        counts = [
+            self.estimate_count(grouped.with_aggregate(grouped.aggregate.count()))
+            for _, grouped in groups
+        ]
+        self.evaluate_estimates(counts)
+        survivors = [
+            (combo, grouped, count)
+            for (combo, grouped), count in zip(groups, counts)
+            if count.value >= self.min_group_count
+        ]
+        survivors = self._having_filter(query, survivors)
+        if query.aggregate.function == "COUNT":
+            results = [(combo, count) for combo, _, count in survivors]
+        else:
+            estimates = [
+                self._estimate(grouped) for _, grouped, _ in survivors
+            ]
+            self.evaluate_estimates(estimates)
+            results = [
+                (combo, estimate)
+                for (combo, _, _), estimate in zip(survivors, estimates)
+            ]
         return self._order_and_limit(results, query)
 
-    def _having_accepts(self, query, grouped, count_estimate):
-        """Evaluate HAVING clauses on per-group estimates."""
+    def _having_filter(self, query, survivors):
+        """Evaluate HAVING clauses on per-group estimates, one batched
+        clause at a time across all surviving groups."""
         for clause in query.having:
+            if not survivors:
+                break
             if clause.aggregate.function == "COUNT":
-                estimated = count_estimate.value
+                estimated = [count.value for _, _, count in survivors]
             else:
-                estimated = self._estimate(
-                    grouped.with_aggregate(clause.aggregate)
-                ).value
-            if not clause.accepts(estimated):
-                return False
-        return True
+                estimates = [
+                    self._estimate(grouped.with_aggregate(clause.aggregate))
+                    for _, grouped, _ in survivors
+                ]
+                self.evaluate_estimates(estimates)
+                estimated = [estimate.value for estimate in estimates]
+            survivors = [
+                entry
+                for entry, value in zip(survivors, estimated)
+                if clause.accepts(value)
+            ]
+        return survivors
 
     @staticmethod
     def _order_and_limit(results, query):
@@ -620,7 +828,7 @@ class ProbabilisticQueryCompiler:
                 )
             expectation = self._count_expectation(rspn, query_tables, conditions, query)
             term = _Term(expectation, scale=rspn.full_size)
-            return Estimate(term.value(), [term])
+            return Estimate(terms=[term])
         return self._compile_count_multi(query, conditions, query_tables)
 
     def _median_count(self, full_cover, query_tables, conditions, query) -> Estimate:
@@ -632,13 +840,7 @@ class ProbabilisticQueryCompiler:
                 rspn, query_tables, conditions, query
             )
             candidates.append(_Term(expectation, scale=rspn.full_size))
-        values = sorted(term.value() for term in candidates)
-        median = values[len(values) // 2]
-        if len(values) % 2 == 0:
-            median = (median + values[len(values) // 2 - 1]) / 2.0
-        # The CI follows the term whose estimate is closest to the median.
-        closest = min(candidates, key=lambda t: abs(t.value() - median))
-        return Estimate(median, [closest])
+        return _MedianEstimate(candidates)
 
     def _compile_count_multi(self, query, conditions, query_tables) -> Estimate:
         """Case 3: combine several RSPNs along the query's join tree."""
@@ -665,10 +867,7 @@ class ProbabilisticQueryCompiler:
             anchors[b] = nominator
             covered.add(b)
 
-        value = 1.0
-        for term in terms:
-            value *= term.value()
-        return Estimate(value, terms)
+        return Estimate(terms=terms)
 
     def _choose_anchor(self, conditions, query_tables):
         candidates = [
@@ -786,4 +985,4 @@ class ProbabilisticQueryCompiler:
             not_null if existing is None else existing.intersect(not_null)
         )
         term = _Term(nominator, denominator, conditional=True)
-        return Estimate(term.value(), [term])
+        return Estimate(terms=[term])

@@ -1,0 +1,258 @@
+"""Compiled flat-array RSPN inference with batched evaluation.
+
+The recursive tree walk of :mod:`repro.core.inference` evaluates one
+:class:`~repro.core.inference.EvaluationSpec` per call, paying Python
+dispatch for every node it visits.  DeepDB's runtime workload is the
+opposite shape: one SQL query compiles into *several* expectation
+sub-queries over the same RSPN, and a GROUP BY multiplies that by the
+number of groups (Section 4 of the paper).  This module lowers the node
+tree into flat NumPy arrays once and evaluates a whole batch of specs in
+a single bottom-up sweep.
+
+Lowering (:class:`CompiledRSPN`):
+
+- Nodes are laid out in **topological (post) order** -- every child
+  precedes its parent -- so one forward pass over the order is a valid
+  bottom-up evaluation.  The root is the last row.
+- Each internal node stores a contiguous *child range* into a flat
+  child-index array; sum nodes additionally bake their (cached) mixture
+  weights next to the child indices.
+- Internal nodes are grouped by **height** (leaves = 0, parent = 1 + max
+  child height).  All sums of one level become one ``np.add.reduceat``
+  over a ``(children_at_level, n_queries)`` matrix of weighted child
+  values; all products become one ``np.multiply.reduceat``.  The whole
+  tree evaluates in ``O(depth)`` NumPy calls instead of
+  ``O(nodes * queries)`` Python calls.
+- Leaves keep pointers to the live leaf objects: their histograms are
+  *not* baked, so leaf-level inserts/deletes never stale the compiled
+  form.  Only structure and sum-node weights are frozen, which is why
+  :func:`invalidate` must be called whenever sum counts change
+  (:mod:`repro.core.updates` does this).
+
+Batched evaluation (:meth:`CompiledRSPN.evaluate_batch`):
+
+- Untouched leaves contribute an exact ``1.0`` (the marginalisation
+  identity), so the values matrix is initialised to ones and only
+  touched ``(leaf, query)`` entries are filled.
+- Per leaf, the batch's ``(range, transform)`` pairs are **deduplicated**
+  before calling the leaf's vectorised
+  :meth:`~repro.core.leaves.DiscreteLeaf.evaluate_batch`; a GROUP BY over
+  ``k`` groups touches the grouped column with ``k`` distinct ranges but
+  every other predicate column with exactly one.
+- Large batches are evaluated in bounded-memory chunks.
+
+The compiled form is cached per root in a :class:`weakref` mapping; the
+owning :class:`~repro.core.rspn.RSPN` (and
+:func:`repro.core.updates.update_tuple`) call :func:`invalidate` after
+mutations that change sum-node weights.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.core.leaves import product_transform
+from repro.core.nodes import LeafNode, ProductNode, SumNode
+
+# Soft cap on the size (floats) of one values matrix; batches are split
+# into chunks of ``max(16, _CHUNK_BUDGET // n_nodes)`` queries.
+_CHUNK_BUDGET = 8_000_000
+
+
+class _Level:
+    """All internal nodes of one height, split by kind, as flat arrays."""
+
+    __slots__ = (
+        "sum_rows", "sum_starts", "sum_child_index", "sum_weights",
+        "prod_rows", "prod_starts", "prod_child_index",
+    )
+
+    def __init__(self, sums, products, index_of):
+        self.sum_rows = np.array([index_of[id(n)] for n in sums], dtype=np.intp)
+        self.prod_rows = np.array([index_of[id(n)] for n in products], dtype=np.intp)
+        sum_children, sum_starts, sum_weights = [], [], []
+        for node in sums:
+            sum_starts.append(len(sum_children))
+            sum_children.extend(index_of[id(c)] for c in node.children)
+            sum_weights.extend(node.weights)
+        self.sum_starts = np.array(sum_starts, dtype=np.intp)
+        self.sum_child_index = np.array(sum_children, dtype=np.intp)
+        self.sum_weights = np.array(sum_weights, dtype=float)
+        prod_children, prod_starts = [], []
+        for node in products:
+            prod_starts.append(len(prod_children))
+            prod_children.extend(index_of[id(c)] for c in node.children)
+        self.prod_starts = np.array(prod_starts, dtype=np.intp)
+        self.prod_child_index = np.array(prod_children, dtype=np.intp)
+
+
+class CompiledRSPN:
+    """A node tree lowered to topologically-ordered flat arrays."""
+
+    def __init__(self, root):
+        order = _post_order(root)
+        index_of = {id(node): i for i, node in enumerate(order)}
+        self.n_nodes = len(order)
+        self.root_row = index_of[id(root)]
+
+        heights = [0] * self.n_nodes
+        for i, node in enumerate(order):
+            if isinstance(node, (SumNode, ProductNode)):
+                heights[i] = 1 + max(heights[index_of[id(c)]] for c in node.children)
+
+        self._leaf_at = {
+            i: node for i, node in enumerate(order) if isinstance(node, LeafNode)
+        }
+        self.leaf_rows_by_scope: dict[int, tuple] = {}
+        for row, leaf in self._leaf_at.items():
+            self.leaf_rows_by_scope.setdefault(leaf.scope_index, []).append(row)
+        self.leaf_rows_by_scope = {
+            scope: tuple(rows) for scope, rows in self.leaf_rows_by_scope.items()
+        }
+
+        max_height = max(heights) if heights else 0
+        self.levels = []
+        for height in range(1, max_height + 1):
+            sums = [
+                order[i] for i in range(self.n_nodes)
+                if heights[i] == height and isinstance(order[i], SumNode)
+            ]
+            products = [
+                order[i] for i in range(self.n_nodes)
+                if heights[i] == height and isinstance(order[i], ProductNode)
+            ]
+            self.levels.append(_Level(sums, products, index_of))
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_batch(self, specs):
+        """Evaluate a batch of :class:`EvaluationSpec`-like objects.
+
+        Returns an array of ``len(specs)`` values
+        ``E[ prod_i h_i(X_i) * 1_{X_i in R_i} ]``, one per spec; specs
+        with an empty selection evaluate to exactly ``0.0``.
+        """
+        results = np.zeros(len(specs), dtype=float)
+        live = [
+            (col, spec)
+            for col, spec in enumerate(specs)
+            if not spec.is_empty_selection()
+        ]
+        if not live:
+            return results
+        chunk = max(16, _CHUNK_BUDGET // max(self.n_nodes, 1))
+        for start in range(0, len(live), chunk):
+            part = live[start:start + chunk]
+            values = self._sweep([spec for _, spec in part])
+            results[[col for col, _ in part]] = values
+        return results
+
+    def evaluate(self, spec):
+        """Scalar evaluation as a batch of one."""
+        return float(self.evaluate_batch([spec])[0])
+
+    def _sweep(self, specs):
+        """One bottom-up sweep; returns the root row for ``specs``."""
+        n_queries = len(specs)
+        values = np.ones((self.n_nodes, n_queries), dtype=float)
+        for row, qcols in self._touched_leaves(specs).items():
+            self._fill_leaf_row(values, row, qcols, specs)
+        for level in self.levels:
+            if level.prod_rows.size:
+                child = values[level.prod_child_index]
+                values[level.prod_rows] = np.multiply.reduceat(
+                    child, level.prod_starts, axis=0
+                )
+            if level.sum_rows.size:
+                child = values[level.sum_child_index] * level.sum_weights[:, None]
+                values[level.sum_rows] = np.add.reduceat(
+                    child, level.sum_starts, axis=0
+                )
+        return values[self.root_row]
+
+    def _touched_leaves(self, specs):
+        """Map ``row -> [query column, ...]`` of leaf entries to fill."""
+        pending: dict[int, list[int]] = {}
+        for qcol, spec in enumerate(specs):
+            for scope_index in set(spec.ranges) | set(spec.transforms):
+                for row in self.leaf_rows_by_scope.get(scope_index, ()):
+                    pending.setdefault(row, []).append(qcol)
+        return pending
+
+    def _fill_leaf_row(self, values, row, qcols, specs):
+        """Deduplicate the specs hitting one leaf and evaluate them."""
+        leaf = self._leaf_at[row]
+        scope = leaf.scope_index
+        slots: dict = {}
+        composed: dict = {}  # share one composed transform per id-tuple
+        ranges, transforms = [], []
+        assign = np.empty(len(qcols), dtype=np.intp)
+        for k, qcol in enumerate(qcols):
+            spec = specs[qcol]
+            rng = spec.ranges.get(scope)
+            transform_list = spec.transforms.get(scope)
+            transform_key = (
+                tuple(id(t) for t in transform_list) if transform_list else None
+            )
+            key = (rng, transform_key)
+            slot = slots.get(key)
+            if slot is None:
+                slot = len(ranges)
+                slots[key] = slot
+                ranges.append(rng)
+                if transform_list is None:
+                    transforms.append(None)
+                else:
+                    transform = composed.get(transform_key)
+                    if transform is None:
+                        transform = product_transform(transform_list)
+                        composed[transform_key] = transform
+                    transforms.append(transform)
+            assign[k] = slot
+        batch = getattr(leaf, "evaluate_batch", None)
+        if batch is not None:
+            distinct = np.asarray(batch(ranges, transforms), dtype=float)
+        else:  # generic leaf without a vectorised kernel
+            distinct = np.array(
+                [leaf.evaluate(r, t) for r, t in zip(ranges, transforms)],
+                dtype=float,
+            )
+        values[row, qcols] = distinct[assign]
+
+
+def _post_order(root):
+    """Iterative post-order: children always precede their parent."""
+    order, stack = [], [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded or isinstance(node, LeafNode):
+            order.append(node)
+            continue
+        stack.append((node, True))
+        for child in node.children:
+            stack.append((child, False))
+    return order
+
+
+# ----------------------------------------------------------------------
+# Per-root compilation cache
+# ----------------------------------------------------------------------
+_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def compiled_for(root) -> CompiledRSPN:
+    """The (cached) compiled form of a node tree."""
+    compiled = _CACHE.get(root)
+    if compiled is None:
+        compiled = CompiledRSPN(root)
+        _CACHE[root] = compiled
+    return compiled
+
+
+def invalidate(root):
+    """Drop the compiled form after a mutation of sum-node weights or
+    tree structure; the next evaluation re-lowers the tree."""
+    _CACHE.pop(root, None)

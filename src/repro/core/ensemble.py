@@ -79,6 +79,15 @@ class SPNEnsemble:
     def rdc_value(self, attr_a, attr_b):
         return self.attribute_rdc.get(frozenset((attr_a, attr_b)), 0.0)
 
+    def invalidate_compiled(self):
+        """Drop every RSPN's cached flat-array form.
+
+        Normal inserts/deletes invalidate per-RSPN automatically; this
+        is the blunt instrument for callers that mutate node trees
+        directly (drift repair, ablations)."""
+        for rspn in self.rspns:
+            rspn.invalidate_compiled()
+
     def describe(self):
         lines = [f"SPNEnsemble with {len(self.rspns)} RSPNs "
                  f"(training {self.training_seconds:.1f}s):"]

@@ -12,10 +12,20 @@ take the weighted average.  With indicator-only specs this computes
 ``P(C)``; with transforms it computes the mixed expectations the
 probabilistic query compiler needs, e.g. ``E[X * 1_C]`` or
 ``E[1/F' * 1_C * N_T]`` from Theorem 1.
+
+Evaluation is backed by the compiled flat-array representation of
+:mod:`repro.core.compiled`: :func:`evaluate_batch` lowers the tree once
+(cached per root) and answers a whole batch of specs in one vectorised
+bottom-up sweep, and the scalar :func:`evaluate` is a thin batch-of-one
+wrapper over it.  The original recursive walk is kept as
+:func:`evaluate_walk` -- it is the executable reference semantics the
+property tests compare the compiled path against, and the building
+block :mod:`repro.core.sampling` drives node-locally.
 """
 
 from __future__ import annotations
 
+from repro.core import compiled as compiled_mod
 from repro.core.leaves import Transform, product_transform
 from repro.core.nodes import LeafNode, ProductNode, SumNode
 from repro.core.ranges import Range
@@ -58,7 +68,24 @@ class EvaluationSpec:
 
 
 def evaluate(node, spec: EvaluationSpec):
-    """E[ prod_i h_i(X_i) * 1_{X_i in R_i} ] under the SPN distribution."""
+    """E[ prod_i h_i(X_i) * 1_{X_i in R_i} ] under the SPN distribution.
+
+    Thin batch-of-one wrapper over :func:`evaluate_batch`.
+    """
+    return float(evaluate_batch(node, (spec,))[0])
+
+
+def evaluate_batch(node, specs):
+    """Evaluate many specs in one compiled bottom-up sweep.
+
+    Returns an array of ``len(specs)`` floats; the compiled form of the
+    tree is built (and cached) on first use.
+    """
+    return compiled_mod.compiled_for(node).evaluate_batch(specs)
+
+
+def evaluate_walk(node, spec: EvaluationSpec):
+    """Reference implementation: the recursive per-query tree walk."""
     if spec.is_empty_selection():
         return 0.0
     touched = spec.touched

@@ -135,6 +135,48 @@ class DiscreteLeaf(LeafNode):
             weighted += self.null_count * transform.null_value
         return weighted / total
 
+    def evaluate_batch(self, ranges, transforms):
+        """Vectorised :meth:`evaluate` over parallel range/transform lists.
+
+        ``ranges[k]`` / ``transforms[k]`` follow the scalar convention
+        (``None`` meaning unconstrained / indicator-only).  Queries are
+        grouped per transform, the weighted histogram is turned into one
+        prefix-sum, and every interval of every range becomes two
+        ``np.searchsorted`` lookups -- ``O(log n)`` per interval instead
+        of an ``O(n)`` mask.  Agrees with the scalar path to ~1e-12
+        relative (prefix-sum rounding), well inside the 1e-9 contract.
+        """
+        out = np.zeros(len(ranges), dtype=float)
+        total = self.total
+        if total == 0 or not len(ranges):
+            return out
+        for group, transform in _transform_groups(transforms):
+            if transform is None:
+                weights = self.counts
+                null_mass = self.null_count
+            else:
+                weights = transform.fn(self.values) * self.counts
+                null_mass = self.null_count * transform.null_value
+            cum = np.concatenate(([0.0], np.cumsum(weights)))
+            lows, highs, low_inc, high_inc, k_idx, null_ks = _interval_arrays(
+                ranges, group
+            )
+            if k_idx.size:
+                left_a = np.searchsorted(self.values, lows, side="left")
+                left_b = np.searchsorted(self.values, lows, side="right")
+                right_a = np.searchsorted(self.values, highs, side="left")
+                right_b = np.searchsorted(self.values, highs, side="right")
+                left = np.where(low_inc, left_a, left_b)
+                # Clamp the index, not the mass: an empty interval (only
+                # possible when hand-constructed) must select exactly
+                # zero values, while masses themselves may be
+                # legitimately negative under sign-changing transforms.
+                right = np.maximum(np.where(high_inc, right_b, right_a), left)
+                np.add.at(out, k_idx, cum[right] - cum[left])
+            if null_ks.size:
+                out[null_ks] += null_mass
+        return out / total
+
     def update(self, value, sign):
         if value is None or (isinstance(value, float) and np.isnan(value)):
             self.null_count = max(0.0, self.null_count + sign)
@@ -243,6 +285,63 @@ class BinnedLeaf(LeafNode):
             weighted += self.null_count * transform.null_value
         return weighted / total
 
+    def evaluate_batch(self, ranges, transforms):
+        """Vectorised :meth:`evaluate` over parallel range/transform lists.
+
+        All intervals of all ranges are broadcast against the bin edges
+        at once, producing a ``(n_intervals, n_bins)`` coverage matrix
+        that is then summed per query and capped at full coverage --
+        identical per-element arithmetic to the scalar path.
+        """
+        out = np.zeros(len(ranges), dtype=float)
+        total = self.total
+        if total == 0 or not len(ranges):
+            return out
+        coverage, null_flags = self._coverage_batch(ranges)
+        for group, transform in _transform_groups(transforms):
+            if transform is None:
+                weights = self.counts
+                null_mass = self.null_count
+            else:
+                weights = transform.fn(self._bin_means()) * self.counts
+                null_mass = self.null_count * transform.null_value
+            out[group] = coverage[group] @ weights
+            out[group[null_flags[group]]] += null_mass
+        return out / total
+
+    def _coverage_batch(self, ranges):
+        """``(n_queries, n_bins)`` coverage fractions plus NULL flags."""
+        low_edges, high_edges = self.edges[:-1], self.edges[1:]
+        lows, highs, low_inc, high_inc, k_idx, null_ks = _interval_arrays(
+            ranges, np.arange(len(ranges))
+        )
+        coverage = np.zeros((len(ranges), self.counts.shape[0]), dtype=float)
+        if k_idx.size:
+            lows_m = lows[:, None]
+            highs_m = highs[:, None]
+            left = np.clip(lows_m, low_edges, high_edges)
+            right = np.clip(highs_m, low_edges, high_edges)
+            width = (high_edges - low_edges)[None, :]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                fraction = np.where(
+                    width > 0, (right - left) / np.where(width > 0, width, 1.0), 0.0
+                )
+            degenerate = (width == 0) & (lows_m <= low_edges) & (high_edges <= highs_m)
+            span = np.where(degenerate, 1.0, np.clip(fraction, 0.0, 1.0))
+            is_point = (lows == highs) & low_inc & high_inc
+            if is_point.any():
+                inside = (lows_m >= low_edges) & (
+                    (lows_m < high_edges)
+                    | ((lows_m <= high_edges) & (high_edges == self.edges[-1]))
+                )
+                point = np.where(inside, 1.0 / self.distinct[None, :], 0.0)
+                span = np.where(is_point[:, None], point, span)
+            np.add.at(coverage, k_idx, span)
+            np.minimum(coverage, 1.0, out=coverage)
+        null_flags = np.zeros(len(ranges), dtype=bool)
+        null_flags[null_ks] = True
+        return coverage, null_flags
+
     def update(self, value, sign):
         if value is None or (isinstance(value, float) and np.isnan(value)):
             self.null_count = max(0.0, self.null_count + sign)
@@ -260,6 +359,51 @@ class BinnedLeaf(LeafNode):
         if total == 0:
             return 0.0
         return float(self.sums.sum() / total)
+
+
+def _transform_groups(transforms):
+    """Group query indices by transform identity (``None`` = indicator).
+
+    Batched leaf kernels weight the histogram once per distinct
+    transform and reuse it for every query in the group.
+    """
+    by_key: dict = {}
+    for k, transform in enumerate(transforms):
+        key = id(transform) if transform is not None else None
+        entry = by_key.get(key)
+        if entry is None:
+            by_key[key] = entry = (transform, [])
+        entry[1].append(k)
+    for transform, ks in by_key.values():
+        yield np.asarray(ks, dtype=np.intp), transform
+
+
+def _interval_arrays(ranges, group):
+    """Flatten the intervals of ``ranges[k] for k in group`` into parallel
+    arrays ``(lows, highs, low_inc, high_inc, query_index)`` plus the
+    query indices whose range includes NULL.  ``None`` ranges follow the
+    scalar convention: everything, NULL included."""
+    lows, highs, low_inc, high_inc, k_idx, null_ks = [], [], [], [], [], []
+    for k in group:
+        rng = ranges[k]
+        if rng is None:
+            rng = Range.everything(include_null=True)
+        if rng.include_null:
+            null_ks.append(k)
+        for interval in rng.intervals:
+            k_idx.append(k)
+            lows.append(interval.low)
+            highs.append(interval.high)
+            low_inc.append(interval.low_inclusive)
+            high_inc.append(interval.high_inclusive)
+    return (
+        np.asarray(lows, dtype=float),
+        np.asarray(highs, dtype=float),
+        np.asarray(low_inc, dtype=bool),
+        np.asarray(high_inc, dtype=bool),
+        np.asarray(k_idx, dtype=np.intp),
+        np.asarray(null_ks, dtype=np.intp),
+    )
 
 
 def build_leaf(scope_index, attribute, column, discrete, max_distinct=512, n_bins=128):

@@ -39,13 +39,30 @@ class SumNode(Node):
         if self.counts.shape[0] != len(self.children):
             raise ValueError("one count per child required")
         self.kmeans = kmeans
+        self._weights = None
 
     @property
     def weights(self):
-        total = self.counts.sum()
-        if total <= 0:
-            return np.full(self.counts.shape[0], 1.0 / self.counts.shape[0])
-        return self.counts / total
+        """Normalised mixture weights, cached until the counts change.
+
+        Callers must treat the returned array as read-only; mutate the
+        counts through :meth:`adjust_count` so the cache (and any
+        compiled form of the tree) can be invalidated.
+        """
+        if self._weights is None:
+            total = self.counts.sum()
+            if total <= 0:
+                self._weights = np.full(
+                    self.counts.shape[0], 1.0 / self.counts.shape[0]
+                )
+            else:
+                self._weights = self.counts / total
+        return self._weights
+
+    def adjust_count(self, index, delta):
+        """Route ``delta`` tuples to child ``index`` (Algorithm 1)."""
+        self.counts[index] = max(0.0, self.counts[index] + delta)
+        self._weights = None
 
     def route(self, row_values):
         """Child index for an inserted/deleted tuple (Algorithm 1, line 5)."""

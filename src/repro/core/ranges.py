@@ -108,7 +108,10 @@ class Range:
             low, high = value
             if low is None or high is None:
                 return cls.nothing()
-            return cls((Interval(float(low), float(high)),))
+            interval = Interval(float(low), float(high))
+            if interval.is_empty():  # inverted bounds select nothing
+                return cls.nothing()
+            return cls((interval,),)
         if value is None:
             if op == "<>":
                 return cls((FULL_INTERVAL,), include_null=False)

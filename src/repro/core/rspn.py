@@ -188,6 +188,30 @@ class RSPN:
         spec = self._build_spec(conditions, transforms)
         return inference.evaluate(self.root, spec)
 
+    def expectation_batch(self, requests):
+        """Batched :meth:`expectation`: one compiled bottom-up sweep.
+
+        ``requests`` is a sequence of ``(conditions, transforms)`` pairs
+        (either element may be ``None``); returns an array of
+        ``len(requests)`` floats.  This is the entry point the
+        probabilistic query compiler uses to evaluate all expectation
+        sub-queries of one SQL query -- and all GROUP BY groups -- in a
+        single pass over this RSPN.
+        """
+        specs = [
+            self._build_spec(conditions, transforms)
+            for conditions, transforms in requests
+        ]
+        return inference.evaluate_batch(self.root, specs)
+
+    def invalidate_compiled(self):
+        """Drop the cached flat-array form after out-of-band tree
+        mutations.  :meth:`insert`/:meth:`delete` invalidate implicitly
+        through :func:`repro.core.updates.update_tuple`."""
+        from repro.core import compiled
+
+        compiled.invalidate(self.root)
+
     def probability(self, conditions):
         """P(conditions) under the model."""
         return self.expectation(conditions=conditions)

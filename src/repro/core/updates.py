@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import compiled
 from repro.core.nodes import LeafNode, ProductNode, SumNode
 
 
@@ -20,8 +21,11 @@ def update_tuple(node, row, sign=1):
 
     ``row`` is the full attribute vector indexed by scope index (NaN for
     NULL); only the slice covered by each node's scope is inspected.
+    Routing through sum nodes changes their mixture weights, so any
+    compiled flat-array form of the tree is invalidated.
     """
     row = np.asarray(row, dtype=float)
+    compiled.invalidate(node)
     _update(node, row, float(sign))
 
 
@@ -31,7 +35,7 @@ def _update(node, row, sign):
         return
     if isinstance(node, SumNode):
         nearest = node.route(row[np.asarray(node.scope)])
-        node.counts[nearest] = max(0.0, node.counts[nearest] + sign)
+        node.adjust_count(nearest, sign)
         _update(node.children[nearest], row, sign)
         return
     if isinstance(node, ProductNode):

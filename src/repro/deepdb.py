@@ -63,11 +63,27 @@ class DeepDB:
             query = self.parse(query)
         return self.compiler.cardinality(query)
 
+    def cardinality_batch(self, queries):
+        """Cardinality estimates for many queries in one batched pass.
+
+        Accepts SQL strings and/or parsed queries; all expectation
+        sub-queries are grouped per RSPN and answered with one compiled
+        bottom-up sweep each, which is substantially faster than calling
+        :meth:`cardinality` in a loop.
+        """
+        parsed = [self.parse(q) if isinstance(q, str) else q for q in queries]
+        return self.compiler.cardinality_batch(parsed)
+
     def approximate(self, query):
         """Approximate answer: scalar or ``{group: value}``."""
         if isinstance(query, str):
             query = self.parse(query)
         return self.compiler.answer(query)
+
+    def approximate_batch(self, queries):
+        """Approximate answers for many queries in one batched pass."""
+        parsed = [self.parse(q) if isinstance(q, str) else q for q in queries]
+        return self.compiler.answer_batch(parsed)
 
     def approximate_with_confidence(self, query, confidence=0.95):
         """Approximate answer plus confidence interval(s)."""
@@ -98,7 +114,10 @@ class DeepDB:
         ]
         if not candidates:
             raise KeyError(f"no RSPN models column {qualified!r}")
-        return min(candidates, key=lambda r: len(r.tables))
+        # Deterministic tie-break: prefer the smallest table set, then the
+        # lexicographically first, so regressor/classifier results never
+        # depend on ensemble insertion order.
+        return min(candidates, key=lambda r: (len(r.tables), sorted(r.tables)))
 
     # ------------------------------------------------------------------
     # Updates

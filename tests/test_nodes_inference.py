@@ -8,10 +8,23 @@ the paper derives P = 5% for young European customers and E(age | EU).
 import numpy as np
 import pytest
 
-from repro.core.inference import EvaluationSpec, evaluate, probability
-from repro.core.leaves import DiscreteLeaf, IDENTITY
+from repro.core.inference import (
+    EvaluationSpec,
+    evaluate,
+    evaluate_batch,
+    evaluate_walk,
+    probability,
+)
+from repro.core.leaves import (
+    BinnedLeaf,
+    DiscreteLeaf,
+    IDENTITY,
+    INVERSE_FACTOR,
+    SQUARE,
+)
 from repro.core.nodes import ProductNode, SumNode, count_nodes, iter_nodes
-from repro.core.ranges import Range
+from repro.core.ranges import Interval, Range
+from repro.core.updates import update_tuple
 
 EU, ASIA = 0.0, 1.0
 
@@ -147,3 +160,171 @@ class TestInference:
         duplicate = spec.copy()
         duplicate.condition(1, Range.point(20.0))
         assert 1 not in spec.ranges
+
+
+# ----------------------------------------------------------------------
+# Property tests: compiled batched evaluation vs the reference walk
+# ----------------------------------------------------------------------
+def _random_leaf(rng, scope_index):
+    if rng.random() < 0.4:
+        column = rng.normal(rng.uniform(-50.0, 50.0), rng.uniform(1.0, 30.0), 300)
+        column[rng.random(300) < 0.1] = np.nan
+        return BinnedLeaf.fit(scope_index, f"a{scope_index}", column, n_bins=8)
+    size = int(rng.integers(2, 9))
+    values = np.sort(
+        rng.choice(np.arange(-5.0, 15.0), size=size, replace=False)
+    )
+    counts = rng.integers(1, 50, size).astype(float)
+    return DiscreteLeaf(
+        scope_index, f"a{scope_index}", values, counts, float(rng.integers(0, 5))
+    )
+
+
+def _random_spn(rng, scope, depth):
+    scope = tuple(sorted(scope))
+    if len(scope) == 1:
+        if depth > 0 and rng.random() < 0.3:
+            children = [
+                _random_spn(rng, scope, depth - 1)
+                for _ in range(int(rng.integers(2, 4)))
+            ]
+            return SumNode(scope, children, rng.uniform(0.5, 100.0, len(children)))
+        return _random_leaf(rng, scope[0])
+    if depth <= 0:
+        return ProductNode(scope, [_random_leaf(rng, i) for i in scope])
+    if rng.random() < 0.5:
+        split = int(rng.integers(1, len(scope)))
+        shuffled = list(scope)
+        rng.shuffle(shuffled)
+        parts = [shuffled[:split], shuffled[split:]]
+        return ProductNode(
+            scope, [_random_spn(rng, tuple(p), depth - 1) for p in parts]
+        )
+    children = [
+        _random_spn(rng, scope, depth - 1) for _ in range(int(rng.integers(2, 4)))
+    ]
+    return SumNode(scope, children, rng.uniform(0.5, 100.0, len(children)))
+
+
+def _random_range(rng):
+    kind = rng.random()
+    if kind < 0.2:
+        return Range.point(float(rng.integers(-5, 15)))
+    if kind < 0.4:
+        low = float(rng.uniform(-60.0, 40.0))
+        interval = Interval(
+            low, low + float(rng.uniform(0.0, 60.0)),
+            bool(rng.random() < 0.5), bool(rng.random() < 0.5),
+        )
+        return Range((interval,), include_null=bool(rng.random() < 0.2))
+    if kind < 0.55:
+        points = rng.choice(np.arange(-5.0, 15.0), size=int(rng.integers(1, 4)),
+                            replace=False)
+        return Range.points([float(p) for p in points])
+    if kind < 0.7:
+        return Range.from_operator(
+            str(rng.choice(["<", "<=", ">", ">="])), float(rng.uniform(-20, 20))
+        )
+    if kind < 0.8:
+        return Range.from_operator("IS NULL", None)
+    if kind < 0.9:
+        return Range.from_operator("IS NOT NULL", None)
+    return Range.nothing() if rng.random() < 0.3 else Range.everything(True)
+
+
+def _random_spec(rng, scope):
+    spec = EvaluationSpec()
+    transforms = (IDENTITY, SQUARE, INVERSE_FACTOR)
+    for index in scope:
+        roll = rng.random()
+        if roll < 0.45:
+            continue
+        if roll < 0.85:
+            spec.condition(index, _random_range(rng))
+        if rng.random() < 0.35:
+            spec.transform(index, transforms[int(rng.integers(len(transforms)))])
+            if rng.random() < 0.3:  # composed transform on one attribute
+                spec.transform(
+                    index, transforms[int(rng.integers(len(transforms)))]
+                )
+    return spec
+
+
+def _assert_batch_matches_walk(spn, specs):
+    batched = evaluate_batch(spn, specs)
+    reference = np.array([evaluate_walk(spn, spec) for spec in specs])
+    np.testing.assert_allclose(batched, reference, rtol=1e-9, atol=1e-9)
+
+
+class TestCompiledAgainstWalk:
+    """Batched compiled inference must agree with the recursive walk."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_spns_random_specs(self, seed):
+        rng = np.random.default_rng(seed)
+        scope = tuple(range(int(rng.integers(1, 5))))
+        spn = _random_spn(rng, scope, depth=int(rng.integers(1, 4)))
+        specs = [_random_spec(rng, scope) for _ in range(17)]
+        _assert_batch_matches_walk(spn, specs)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_survives_insert_delete(self, seed):
+        """Updates re-route sum weights; the compiled form must be
+        invalidated and re-lowered, not serve stale weights."""
+        rng = np.random.default_rng(100 + seed)
+        scope = tuple(range(3))
+        spn = _random_spn(rng, scope, depth=2)
+        specs = [_random_spec(rng, scope) for _ in range(9)]
+        _assert_batch_matches_walk(spn, specs)  # builds + caches the form
+        for _ in range(5):
+            row = rng.uniform(-5.0, 15.0, len(scope))
+            update_tuple(spn, row, sign=+1)
+        _assert_batch_matches_walk(spn, specs)
+        update_tuple(spn, rng.uniform(-5.0, 15.0, len(scope)), sign=-1)
+        _assert_batch_matches_walk(spn, specs)
+
+    def test_scalar_is_batch_of_one(self):
+        spn = paper_figure3_spn()
+        spec = EvaluationSpec()
+        spec.condition(0, Range.point(EU))
+        spec.transform(1, IDENTITY)
+        assert evaluate(spn, spec) == evaluate_batch(spn, [spec])[0]
+
+    def test_batch_empty_selection_is_exact_zero(self):
+        spn = paper_figure3_spn()
+        empty = EvaluationSpec()
+        empty.condition(0, Range.nothing())
+        values = evaluate_batch(spn, [empty, EvaluationSpec()])
+        assert values[0] == 0.0
+        assert values[1] == pytest.approx(1.0)
+
+    def test_empty_interval_selects_exact_zero_mass(self):
+        """A hand-constructed empty interval (exclusive point) must give
+        0, not the negative prefix-sum difference of inverted indices."""
+        leaf = DiscreteLeaf(0, "x", [1.0, 2.0, 3.0], [5.0, 5.0, 5.0], 0.0)
+        empty = Range((Interval(2.0, 2.0, False, False),))
+        assert leaf.evaluate_batch([empty], [None])[0] == 0.0
+        assert leaf.evaluate_batch([empty], [IDENTITY])[0] == 0.0
+
+
+class TestSumWeightCache:
+    def test_adjust_count_invalidates_cache(self):
+        a = DiscreteLeaf(0, "x", [0.0], [1.0], 0.0)
+        b = DiscreteLeaf(0, "x", [1.0], [1.0], 0.0)
+        node = SumNode((0,), [a, b], counts=[1.0, 3.0])
+        assert np.allclose(node.weights, [0.25, 0.75])
+        node.adjust_count(0, 2.0)
+        assert np.allclose(node.weights, [0.5, 0.5])
+
+    def test_weights_cached_between_reads(self):
+        a = DiscreteLeaf(0, "x", [0.0], [1.0], 0.0)
+        b = DiscreteLeaf(0, "x", [1.0], [1.0], 0.0)
+        node = SumNode((0,), [a, b], counts=[2.0, 2.0])
+        assert node.weights is node.weights  # same cached array
+
+    def test_adjust_count_clamps_at_zero(self):
+        a = DiscreteLeaf(0, "x", [0.0], [1.0], 0.0)
+        node = SumNode((0,), [a], counts=[1.0])
+        node.adjust_count(0, -5.0)
+        assert node.counts[0] == 0.0
+        assert np.allclose(node.weights, [1.0])  # uniform fallback

@@ -76,6 +76,9 @@ class TestRangeOperators:
         assert rng.contains(2.0) and rng.contains(4.0)
         assert not rng.contains(4.5)
 
+    def test_inverted_between_is_empty(self):
+        assert Range.from_operator("BETWEEN", (4.0, 2.0)).is_empty()
+
     def test_is_null(self):
         rng = Range.from_operator("IS NULL", None)
         assert rng.contains(None)
