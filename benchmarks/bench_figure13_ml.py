@@ -5,6 +5,11 @@ regression tree (CART), a neural network (numpy MLP) and DeepDB's RSPN
 regressor.  The paper's claims: RSPN RMSEs are competitive with the
 trained models, and DeepDB's *additional* training time is zero -- the
 AQP ensemble already answers any regression task.
+
+``predict(rows)`` runs on the batched estimator surface (one compiled
+sweep per widen tier for all rows); ``test_ml_batched_throughput``
+measures that speedup against the scalar ``predict_one`` loop for both
+heads and records it into the perf trajectory.
 """
 
 import time
@@ -13,7 +18,7 @@ import numpy as np
 
 from repro.baselines.nn import MLPRegressor
 from repro.baselines.regression_tree import RegressionTree
-from repro.core.ml import RspnRegressor
+from repro.core.ml import RspnClassifier, RspnRegressor
 from repro.datasets.flights import NUMERIC_TARGETS, feature_matrix
 from repro.evaluation.metrics import rmse
 from repro.evaluation.report import Report
@@ -80,3 +85,94 @@ def test_figure13_ml(benchmark, flights_env):
     test_rows, _x, _y, names = _feature_table(env.database, target, 16, seed=3)
     regressor = RspnRegressor(rspn, f"flights.{target}", names)
     benchmark(lambda: regressor.predict_one(test_rows[0]))
+
+
+def test_ml_batched_throughput(flights_env, best_of, record_optimizer_timing):
+    """ML heads on the batched estimator surface.
+
+    ``predict(rows)`` must agree with the scalar ``predict_one`` loop to
+    1e-9 and run >= 3x faster for both the regressor and the classifier;
+    both trajectories land in the perf records.
+    """
+    env = flights_env
+    rspn = max(env.ensemble.rspns, key=lambda r: len(r.column_names))
+    target = NUMERIC_TARGETS[0]
+    test_rows, _x, _y, names = _feature_table(
+        env.database, target, TEST_ROWS, seed=5
+    )
+
+    regressor = RspnRegressor(rspn, f"flights.{target}", names)
+    scalar = [regressor.predict_one(row) for row in test_rows]  # warm-up
+    batched = regressor.predict(test_rows)
+    assert np.allclose(batched, scalar, rtol=1e-9, atol=1e-9)
+    regressor_scalar_seconds = best_of(
+        lambda: [regressor.predict_one(row) for row in test_rows]
+    )
+    regressor_batch_seconds = best_of(lambda: regressor.predict(test_rows))
+    regressor_speedup = regressor_scalar_seconds / regressor_batch_seconds
+
+    classifier_target = "flights.day_of_week"
+    features = [n for n in names if n != classifier_target]
+    classifier = RspnClassifier(rspn, classifier_target, features)
+
+    def serial_class_predict(rows):
+        """The pre-refactor path: one scalar ``probability()`` call for
+        the evidence and one per candidate class, per row and tier.
+        (``predict_one`` itself now batches a row's classes into one
+        sweep, so it is no longer the serial reference.)"""
+        out = []
+        for row in rows:
+            probabilities = None
+            for widen in classifier._widen_tiers:
+                conditions = classifier._conditions(row, widen)
+                evidence = classifier.rspn.probability(conditions)
+                if evidence <= 0.0:
+                    continue
+                probabilities = {}
+                for value, class_range in zip(
+                    classifier._classes, classifier._class_ranges
+                ):
+                    joint = dict(conditions)
+                    joint[classifier.target] = class_range
+                    probabilities[value] = (
+                        classifier.rspn.probability(joint) / evidence
+                    )
+                break
+            if probabilities is None:
+                n = max(len(classifier._classes), 1)
+                probabilities = {v: 1.0 / n for v in classifier._classes}
+            out.append(max(probabilities, key=probabilities.get))
+        return out
+
+    scalar_classes = serial_class_predict(test_rows)  # warm-up
+    batched_classes = classifier.predict(test_rows)
+    assert batched_classes == scalar_classes
+    assert batched_classes == [classifier.predict_one(row) for row in test_rows]
+    classifier_scalar_seconds = best_of(lambda: serial_class_predict(test_rows))
+    classifier_batch_seconds = best_of(lambda: classifier.predict(test_rows))
+    classifier_speedup = classifier_scalar_seconds / classifier_batch_seconds
+
+    report = Report(
+        f"ML heads: serial scalar loop vs batched predict ({len(test_rows)} rows)",
+        ["head", "serial s", "batched s", "speedup", "rows/s batched"],
+    )
+    report.add("RspnRegressor", regressor_scalar_seconds,
+               regressor_batch_seconds, regressor_speedup,
+               len(test_rows) / regressor_batch_seconds)
+    report.add("RspnClassifier", classifier_scalar_seconds,
+               classifier_batch_seconds, classifier_speedup,
+               len(test_rows) / classifier_batch_seconds)
+    report.print()
+
+    for name, seconds, extra in (
+        ("ml_regressor_scalar_200rows", regressor_scalar_seconds, {}),
+        ("ml_regressor_batched_200rows", regressor_batch_seconds,
+         {"speedup": regressor_speedup}),
+        ("ml_classifier_scalar_200rows", classifier_scalar_seconds, {}),
+        ("ml_classifier_batched_200rows", classifier_batch_seconds,
+         {"speedup": classifier_speedup}),
+    ):
+        record_optimizer_timing(name, seconds, rows=len(test_rows), **extra)
+
+    assert regressor_speedup >= 3.0, f"regressor only {regressor_speedup:.2f}x"
+    assert classifier_speedup >= 3.0, f"classifier only {classifier_speedup:.2f}x"

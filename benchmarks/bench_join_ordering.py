@@ -12,13 +12,21 @@ true cost) and the share of exactly-optimal plans.
 Expected shape: DeepDB's plans sit near 1.0x (its sub-join estimates are
 tight), while the independence-assumption estimator is pushed into
 plans with bloated intermediates on the correlated IMDb data.
+
+Since the batched-estimator refactor, every optimisation answers all of
+its sub-plan estimates from **one** ``cardinality_batch`` call (one
+compiled flat-array sweep per RSPN for the DeepDB path);
+``test_batched_enumeration_speedup`` measures that optimizer-loop
+speedup against the serial memoised oracle and records both into
+``BENCH_optimizer.json``.
 """
 
 import numpy as np
+import pytest
 
 from repro.datasets import workloads
 from repro.evaluation.report import Report
-from repro.optimizer import plan_suboptimality
+from repro.optimizer import SubqueryCardinalities, optimal_plan, plan_suboptimality
 
 
 def _plan_workload(database, n_queries=60, seed=23):
@@ -74,3 +82,74 @@ def test_join_ordering_plan_quality(benchmark, imdb_env):
             query, imdb_env.database.schema, imdb_env.compiler, imdb_env.executor
         )
     )
+
+
+def test_batched_enumeration_speedup(imdb_env, best_of, record_optimizer_timing):
+    """Optimizer loop on the batched estimator protocol.
+
+    Enumerates 5-6-way JOB-light-style joins twice -- once with the
+    batched prefetch (one ``cardinality_batch`` call per query), once
+    with the serial memoised oracle -- asserting identical plans,
+    identical sub-query estimates (1e-9) and a >= 2x speedup, and
+    records both trajectories into ``BENCH_optimizer.json``.
+    """
+    queries = [
+        named.query
+        for named in workloads.imdb_workload(
+            imdb_env.database, 25, table_range=(5, 6),
+            predicate_range=(1, 4), seed=29,
+        )
+    ]
+    compiler = imdb_env.compiler
+    schema = imdb_env.database.schema
+
+    def enumerate_all(batch):
+        plans, oracles = [], []
+        for query in queries:
+            oracle = SubqueryCardinalities(compiler, query, batch=batch)
+            plan, _cost = optimal_plan(query, schema, oracle)
+            plans.append(plan)
+            oracles.append(oracle)
+        return plans, oracles
+
+    batched_plans, batched_oracles = enumerate_all(batch=True)  # warm-up
+    serial_plans, serial_oracles = enumerate_all(batch=False)
+
+    # One batched estimator call per query; identical plans + estimates.
+    assert all(oracle.batch_calls == 1 for oracle in batched_oracles)
+    for batched_plan, serial_plan in zip(batched_plans, serial_plans):
+        assert batched_plan.describe() == serial_plan.describe()
+    for batched, serial in zip(batched_oracles, serial_oracles):
+        assert batched.estimates.keys() == serial.estimates.keys()
+        for key, value in serial.estimates.items():
+            assert batched.estimates[key] == pytest.approx(
+                value, rel=1e-9, abs=1e-9
+            )
+
+    serial_seconds = best_of(lambda: enumerate_all(batch=False))
+    batched_seconds = best_of(lambda: enumerate_all(batch=True))
+    speedup = serial_seconds / batched_seconds
+    subqueries = sum(oracle.calls for oracle in serial_oracles)
+
+    report = Report(
+        "Join enumeration: serial oracle vs batched prefetch "
+        f"({len(queries)} queries, {subqueries} sub-queries)",
+        ["path", "seconds", "estimator calls", "queries/s"],
+    )
+    report.add("serial memoised", serial_seconds, subqueries,
+               len(queries) / serial_seconds)
+    report.add("batched prefetch", batched_seconds, len(queries),
+               len(queries) / batched_seconds)
+    report.print()
+
+    record_optimizer_timing(
+        "job_light_enumeration_serial_5_6way", serial_seconds,
+        queries=len(queries), subqueries=subqueries,
+        estimator_batches=0,
+    )
+    record_optimizer_timing(
+        "job_light_enumeration_batched_5_6way", batched_seconds,
+        queries=len(queries), subqueries=subqueries,
+        estimator_batches=len(queries), speedup=speedup,
+    )
+    assert speedup >= 2.0, f"batched enumeration speedup only {speedup:.2f}x"

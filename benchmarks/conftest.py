@@ -61,16 +61,27 @@ def timed(fn, *args, **kwargs):
 
 
 # ----------------------------------------------------------------------
-# Perf-trajectory records (BENCH_inference.json)
+# Perf-trajectory records (BENCH_inference.json / BENCH_optimizer.json)
 # ----------------------------------------------------------------------
 _TIMING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_inference.json")
+_OPTIMIZER_PATH = os.path.join(os.path.dirname(__file__), "BENCH_optimizer.json")
 _MANUAL_RECORDS: list[dict] = []
+_OPTIMIZER_RECORDS: list[dict] = []
 
 
 def record_timing(name, seconds, **extra):
     """Register one named timing for the session's BENCH_inference.json
     run record (used by benches for scalar-vs-batched comparisons)."""
     _MANUAL_RECORDS.append({"name": name, "seconds": float(seconds), **extra})
+
+
+def record_optimizer_timing(name, seconds, **extra):
+    """Register one named timing for BENCH_optimizer.json: the
+    optimizer-loop trajectory (enumeration wall-clock and estimator
+    calls, batched vs serial)."""
+    _OPTIMIZER_RECORDS.append(
+        {"name": name, "seconds": float(seconds), **extra}
+    )
 
 
 def best_of(fn, repeats=3):
@@ -95,6 +106,13 @@ def record_inference_timing():
     return record_timing
 
 
+@pytest.fixture(scope="session", name="record_optimizer_timing")
+def record_optimizer_timing_fixture():
+    """Fixture handing benches the :func:`record_optimizer_timing`
+    recorder (BENCH_optimizer.json)."""
+    return record_optimizer_timing
+
+
 def _benchmark_records(session):
     bench_session = getattr(session.config, "_benchmarksession", None)
     if bench_session is None:
@@ -117,19 +135,9 @@ def _benchmark_records(session):
     return records
 
 
-def pytest_sessionfinish(session, exitstatus):
-    """Append this session's timing records to BENCH_inference.json."""
-    records = _benchmark_records(session)
-    if not records and not _MANUAL_RECORDS:
-        return
-    run = {
-        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
-        "scale": SCALE,
-        "benchmarks": records,
-        "timings": list(_MANUAL_RECORDS),
-    }
+def _append_run(path, run):
     try:
-        with open(_TIMING_PATH) as handle:
+        with open(path) as handle:
             history = json.load(handle)
         if not isinstance(history, list):
             history = []
@@ -137,10 +145,29 @@ def pytest_sessionfinish(session, exitstatus):
         history = []
     history.append(run)
     try:
-        with open(_TIMING_PATH, "w") as handle:
+        with open(path, "w") as handle:
             json.dump(history, handle, indent=2)
     except OSError:
         pass  # recording must never fail the bench run
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's timing records to the trajectory files."""
+    timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat()
+    records = _benchmark_records(session)
+    if records or _MANUAL_RECORDS:
+        _append_run(_TIMING_PATH, {
+            "timestamp": timestamp,
+            "scale": SCALE,
+            "benchmarks": records,
+            "timings": list(_MANUAL_RECORDS),
+        })
+    if _OPTIMIZER_RECORDS:
+        _append_run(_OPTIMIZER_PATH, {
+            "timestamp": timestamp,
+            "scale": SCALE,
+            "timings": list(_OPTIMIZER_RECORDS),
+        })
 
 
 # ----------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""30-second inference smoke check for CI.
+"""30-second inference + optimizer + ML smoke check for CI.
 
 Learns a small flights ensemble, answers a 40-query workload through the
 scalar path and the batched compiled path, and verifies that
@@ -7,10 +7,21 @@ scalar path and the batched compiled path, and verifies that
 - the batched path is not slower than the scalar loop,
 - per-query latency stays in the milliseconds.
 
+It then smokes the two consumer layers of the batched estimator
+protocol:
+
+- **ML heads**: ``RspnRegressor.predict`` / ``RspnClassifier.predict``
+  on the flights ensemble must agree with the scalar ``predict_one``
+  loop to 1e-9,
+- **join ordering**: a 5-6-way IMDb join optimised with the batched
+  prefetch must pick the same plan (and the same sub-query estimates)
+  as the serial memoised oracle, from exactly one ``cardinality_batch``
+  call.
+
 This is deliberately tiny (it must finish well inside CI's 30-second
-budget); the full scalar-vs-batched comparison with the 3x throughput
-assertion lives in ``bench_single_table_selectivity.py`` and
-``bench_table1_job_light.py``.
+budget); the full comparisons with throughput assertions live in
+``bench_single_table_selectivity.py``, ``bench_table1_job_light.py``,
+``bench_join_ordering.py`` and ``bench_figure13_ml.py``.
 
 Run with ``PYTHONPATH=src python benchmarks/smoke_inference.py``.
 """
@@ -84,6 +95,87 @@ def main():
         return 1
     print(f"OK: batched speedup {scalar_seconds / batch_seconds:.1f}x, "
           "estimates agree to 1e-9")
+
+    if _smoke_ml_heads(database, ensemble):
+        return 1
+    if _smoke_join_ordering():
+        return 1
+    return 0
+
+
+def _smoke_ml_heads(database, ensemble, n_rows=12):
+    """Batched ML prediction smoke: ``predict`` == scalar loop to 1e-9."""
+    from repro.core.ml import RspnClassifier, RspnRegressor
+    from repro.datasets.flights import feature_matrix
+
+    start = time.perf_counter()
+    rspn = max(ensemble.rspns, key=lambda r: len(r.column_names))
+    rows, _targets, names = feature_matrix(
+        database, "arr_delay", n_rows=n_rows, seed=3
+    )
+    regressor = RspnRegressor(rspn, "flights.arr_delay", names)
+    batched = regressor.predict(rows)
+    scalar = [regressor.predict_one(row) for row in rows]
+    if not np.allclose(batched, scalar, rtol=1e-9, atol=1e-9):
+        print("FAIL: batched regressor disagrees with predict_one")
+        return 1
+    classifier = RspnClassifier(
+        rspn, "flights.day_of_week",
+        [n for n in names if n != "flights.day_of_week"],
+    )
+    if classifier.predict(rows) != [classifier.predict_one(r) for r in rows]:
+        print("FAIL: batched classifier disagrees with predict_one")
+        return 1
+    print(f"OK: batched ML heads match the scalar loop on {len(rows)} rows "
+          f"({time.perf_counter() - start:.1f}s)")
+    return 0
+
+
+def _smoke_join_ordering():
+    """Batched join-ordering smoke: the prefetched oracle must pick the
+    serial oracle's plan from exactly one ``cardinality_batch`` call."""
+    from repro.core.ensemble import EnsembleConfig, learn_ensemble
+    from repro.datasets import imdb, workloads
+    from repro.optimizer import SubqueryCardinalities, optimal_plan
+
+    start = time.perf_counter()
+    database = imdb.generate(scale=0.01, seed=0)
+    ensemble = learn_ensemble(
+        database,
+        EnsembleConfig(sample_size=4_000, max_join_tables=2,
+                       rspn=RspnConfig(min_instances_fraction=0.02)),
+    )
+    compiler = ProbabilisticQueryCompiler(ensemble)
+    named = workloads.imdb_workload(
+        database, 2, table_range=(5, 6), predicate_range=(1, 3), seed=13
+    )
+    for entry in named:
+        batched_oracle = SubqueryCardinalities(compiler, entry.query)
+        batched_plan, _ = optimal_plan(
+            entry.query, database.schema, batched_oracle
+        )
+        serial_oracle = SubqueryCardinalities(compiler, entry.query, batch=False)
+        serial_plan, _ = optimal_plan(entry.query, database.schema, serial_oracle)
+        if batched_oracle.batch_calls != 1:
+            print(f"FAIL: expected 1 batched estimator call, "
+                  f"saw {batched_oracle.batch_calls}")
+            return 1
+        if batched_plan.describe() != serial_plan.describe():
+            print("FAIL: batched prefetch picked a different plan than the "
+                  "serial oracle")
+            return 1
+        estimates = batched_oracle.estimates
+        reference = serial_oracle.estimates
+        if estimates.keys() != reference.keys() or not all(
+            np.isclose(estimates[k], reference[k], rtol=1e-9, atol=1e-9)
+            for k in reference
+        ):
+            print("FAIL: batched sub-query estimates disagree with serial")
+            return 1
+    tables = max(len(entry.query.tables) for entry in named)
+    print(f"OK: batched join ordering matches the serial oracle on "
+          f"{len(named)} queries (up to {tables}-way, one batch call each, "
+          f"{time.perf_counter() - start:.1f}s)")
     return 0
 
 

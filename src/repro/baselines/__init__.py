@@ -22,6 +22,12 @@ ML tasks (Figure 13):
 
 - :mod:`repro.baselines.regression_tree` -- CART,
 - :mod:`repro.baselines.nn` -- a small MLP regressor (shared with MCSN).
+
+Every cardinality estimator here conforms to the batched estimator
+protocol (:mod:`repro.estimator`): they inherit
+:class:`~repro.estimator.CardinalityEstimator`, so
+``cardinality_batch(queries)`` works on all of them (as a serial loop)
+and any of them can drive the batched join-order optimizer.
 """
 
 from repro.baselines.ibjs import IndexBasedJoinSampling

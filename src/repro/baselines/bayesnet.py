@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ranges import Range
+from repro.estimator import CardinalityEstimator
 
 _SMOOTHING = 0.1
 
@@ -189,7 +190,7 @@ class _TableNetwork:
         return float(np.dot(self.prior[self.root], message(self.root)))
 
 
-class ChowLiuEstimator:
+class ChowLiuEstimator(CardinalityEstimator):
     """Per-table Chow-Liu BNs + System-R join formulas.
 
     Exposes the estimator interface shared by every cardinality

@@ -16,9 +16,10 @@ import numpy as np
 from repro.engine.filters import conjunction_mask
 from repro.engine.indexes import JoinIndex
 from repro.engine.join import JoinPlan
+from repro.estimator import CardinalityEstimator
 
 
-class IndexBasedJoinSampling:
+class IndexBasedJoinSampling(CardinalityEstimator):
     """IBJS cardinality estimator with a fixed per-query walk budget."""
 
     def __init__(self, database, n_walks=1_000, seed=0):

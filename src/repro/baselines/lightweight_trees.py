@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.regression_tree import RegressionTree
+from repro.estimator import CardinalityEstimator
 
 _MIN_SELECTIVITY = 1e-7
 
@@ -72,7 +73,7 @@ class GradientBoostedTrees:
         return len(self._trees)
 
 
-class LightweightSelectivityModel:
+class LightweightSelectivityModel(CardinalityEstimator):
     """Per-table range-selectivity model with log-transformed labels.
 
     ``fit`` takes training queries (single-table, conjunctive) with their

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.nn import MLP, Adam
+from repro.estimator import CardinalityEstimator
 
 _OPS = ("=", "<>", "<", "<=", ">", ">=", "IN")
 
@@ -115,7 +116,7 @@ class _SetModule:
         return self.mlp.layers
 
 
-class MCSN:
+class MCSN(CardinalityEstimator):
     """Multi-set convolutional network cardinality estimator."""
 
     def __init__(self, database, hidden=64, epochs=40, lr=1e-3, seed=0):
@@ -192,3 +193,7 @@ class MCSN:
         normalised = self._forward(self.featurizer.featurise(query))
         log_card = normalised * (self._log_max - self._log_min) + self._log_min
         return float(max(np.exp(log_card), 1.0))
+
+    def cardinality(self, query):
+        """Protocol alias so MCSN can drive the join optimizer too."""
+        return self.predict(query)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.estimator import CardinalityEstimator
+
 _DEFAULT_EQ_SELECTIVITY = 0.005
 _DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
 
@@ -73,7 +75,7 @@ class _ColumnStats:
         return float(min(mcv_mass + self.rest_frac * fraction, 1.0))
 
 
-class PostgresEstimator:
+class PostgresEstimator(CardinalityEstimator):
     """Cardinality estimator with per-column stats and independence."""
 
     def __init__(self, database, n_mcv=100, n_histogram=100, seed=0):

@@ -15,9 +15,10 @@ import numpy as np
 from repro.engine.executor import Executor
 from repro.engine.query import Query
 from repro.engine.table import Database
+from repro.estimator import CardinalityEstimator
 
 
-class RandomSamplingEstimator:
+class RandomSamplingEstimator(CardinalityEstimator):
     """Per-query independent table samples of ``sample_rows`` rows each."""
 
     def __init__(self, database, sample_rows=1_000, seed=0):

@@ -160,20 +160,32 @@ def _cmd_query(args, out):
 
 
 def _cmd_plan(args, out):
-    from repro.optimizer import SubqueryCardinalities, optimal_plan
     from repro.optimizer.cost import intermediate_sizes
 
     database = _build_database(args)
     deepdb = _load_model(args, database)
     query = deepdb.parse(args.sql)
-    oracle = SubqueryCardinalities(deepdb.compiler, query)
-    plan, cost = optimal_plan(query, database.schema, oracle,
-                              linear=args.left_deep)
+    start = time.perf_counter()
+    plan, cost, oracle = deepdb.plan(query, linear=args.left_deep)
+    latency = time.perf_counter() - start
     print(f"plan : {plan.describe()}", file=out)
     print(f"C_out: {cost:,.0f} (estimated)", file=out)
+    print(f"enumeration: {latency * 1e3:.2f} ms, "
+          f"{oracle.calls} sub-queries in {oracle.batch_calls} batched "
+          "estimator call(s)", file=out)
     print("estimated intermediates:", file=out)
     for tables, size in intermediate_sizes(plan, oracle):
         print(f"  {' ⨝ '.join(tables):<50s} {size:>14,.0f}", file=out)
+    if args.execute:
+        from repro.optimizer import execute_plan
+
+        execution = execute_plan(plan, database, query)
+        print("realised intermediates:", file=out)
+        for tables, size in execution.intermediates:
+            print(f"  {' ⨝ '.join(tables):<50s} {size:>14,.0f}", file=out)
+        gap = execution.total_intermediate_rows / cost if cost > 0 else 1.0
+        print(f"C_out: {execution.total_intermediate_rows:,.0f} (realised, "
+              f"{gap:.2f}x the estimate)", file=out)
     return 0
 
 
@@ -268,6 +280,9 @@ def build_parser():
     plan.add_argument("--sql", required=True)
     plan.add_argument("--left-deep", action="store_true",
                       help="restrict the enumeration to left-deep plans")
+    plan.add_argument("--execute", action="store_true",
+                      help="run the chosen plan with real hash joins and "
+                           "report the realised intermediate sizes")
     plan.set_defaults(handler=_cmd_plan)
 
     inspect = commands.add_parser(

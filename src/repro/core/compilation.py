@@ -43,6 +43,7 @@ from repro.core.leaves import (
 from repro.core.ranges import Range
 from repro.engine.join import factor_qualified_name, indicator_qualified_name
 from repro.engine.query import INNER, Predicate, Query
+from repro.estimator import CardinalityEstimator
 
 _FACTOR_TRANSFORMS = {
     "identity": (IDENTITY, SQUARE),
@@ -345,7 +346,7 @@ def _format_constant(value):
     return repr(str(value))
 
 
-class ProbabilisticQueryCompiler:
+class ProbabilisticQueryCompiler(CardinalityEstimator):
     """Compiles queries against an :class:`~repro.core.ensemble.SPNEnsemble`.
 
     ``strategy`` selects how the compiler picks among several applicable

@@ -8,6 +8,15 @@ explanation for a single target variable).
 The key selling point reproduced here is that *no additional training*
 is needed: the same RSPN learned for AQP answers regression and
 classification for any feature/target combination.
+
+Both heads run on the batched estimator surface: for every widen tier
+the (conditions, transforms) requests of all still-unresolved rows --
+and, for classification, all candidate classes -- are materialised and
+answered through :meth:`~repro.core.rspn.RSPN.expectation_batch`, one
+compiled bottom-up sweep per tier, instead of one scalar
+``probability()``/``expectation()`` call per row and per class.
+``predict_one`` stays the scalar reference path the property tests
+compare the batch against.
 """
 
 from __future__ import annotations
@@ -17,6 +26,28 @@ import numpy as np
 from repro.core.leaves import IDENTITY
 from repro.core.nodes import LeafNode, iter_nodes
 from repro.core.ranges import Interval, Range
+
+
+def _row_conditions(features, spans, row, widen=0.0):
+    """Per-feature evidence ranges for one row (shared by both heads).
+
+    Point evidence for ``widen == 0``; otherwise an interval of
+    ``+- widen * span(feature)`` around the value.  Missing / NaN
+    features contribute no condition (they are marginalised).
+    """
+    conditions = {}
+    for name in features:
+        value = row.get(name)
+        if value is None or (isinstance(value, float) and np.isnan(value)):
+            continue
+        if widen > 0.0:
+            half = widen * spans.get(name, 1.0)
+            conditions[name] = Range(
+                (Interval(value - half, value + half),)
+            )
+        else:
+            conditions[name] = Range.point(value)
+    return conditions
 
 
 class RspnRegressor:
@@ -33,43 +64,73 @@ class RspnRegressor:
             features = [c for c in rspn.column_names if c != target]
         self.features = list(features)
         self.widen_fraction = widen_fraction
+        self._widen_tiers = (0.0, widen_fraction, 4 * widen_fraction)
         self._spans = _column_spans(rspn)
+        self._transforms = {target: [IDENTITY]}
         self._fallback = _unconditional_mean(rspn, target)
 
     def _conditions(self, row, widen=0.0):
-        conditions = {}
-        for name in self.features:
-            value = row.get(name)
-            if value is None or (isinstance(value, float) and np.isnan(value)):
-                continue
-            if widen > 0.0:
-                half = widen * self._spans.get(name, 1.0)
-                conditions[name] = Range(
-                    (Interval(value - half, value + half),)
-                )
-            else:
-                conditions[name] = Range.point(value)
-        return conditions
+        return _row_conditions(self.features, self._spans, row, widen)
+
+    def _requests(self, row, widen):
+        """The (denominator, numerator) expectation requests of one row:
+        ``P(C, Y not NULL)`` and ``E[Y * 1_C]``."""
+        conditions = self._conditions(row, widen)
+        not_null = dict(conditions)
+        not_null[self.target] = Range.from_operator("IS NOT NULL", None)
+        return (not_null, None), (conditions, self._transforms)
 
     def predict_one(self, row: dict) -> float:
         """E[target | features]; falls back to widened ranges, then the
-        unconditional mean, when the point evidence has zero mass."""
-        for widen in (0.0, self.widen_fraction, 4 * self.widen_fraction):
-            conditions = self._conditions(row, widen)
-            denominator = self.rspn.probability(conditions)
+        unconditional mean, when the evidence has zero mass.
+
+        Only the IS-NOT-NULL denominator is evaluated: it lower-bounds
+        the plain evidence probability, so a positive value already
+        implies the evidence is satisfiable and the ratio well-defined.
+        """
+        for widen in self._widen_tiers:
+            denominator_request, numerator_request = self._requests(row, widen)
+            denominator = self.rspn.expectation(conditions=denominator_request[0])
             if denominator > 0.0:
                 numerator = self.rspn.expectation(
-                    conditions=conditions, transforms={self.target: [IDENTITY]}
+                    conditions=numerator_request[0],
+                    transforms=numerator_request[1],
                 )
-                not_null = dict(conditions)
-                not_null[self.target] = Range.from_operator("IS NOT NULL", None)
-                denominator = self.rspn.probability(not_null)
-                if denominator > 0.0:
-                    return numerator / denominator
+                return numerator / denominator
         return self._fallback
 
     def predict(self, rows) -> np.ndarray:
-        return np.array([self.predict_one(row) for row in rows])
+        """Batched :meth:`predict_one`: one compiled sweep per widen tier.
+
+        All still-unresolved rows contribute their denominator and
+        numerator requests to one
+        :meth:`~repro.core.rspn.RSPN.expectation_batch` call; rows whose
+        denominator stays zero fall through to the next tier and finally
+        to the unconditional mean.
+        """
+        rows = list(rows)
+        results = np.full(len(rows), self._fallback, dtype=float)
+        pending = list(range(len(rows)))
+        for widen in self._widen_tiers:
+            if not pending:
+                break
+            requests = []
+            for i in pending:
+                denominator_request, numerator_request = self._requests(
+                    rows[i], widen
+                )
+                requests.append(denominator_request)
+                requests.append(numerator_request)
+            values = self.rspn.expectation_batch(requests)
+            unresolved = []
+            for j, i in enumerate(pending):
+                denominator = values[2 * j]
+                if denominator > 0.0:
+                    results[i] = values[2 * j + 1] / denominator
+                else:
+                    unresolved.append(i)
+            pending = unresolved
+        return results
 
 
 class RspnClassifier:
@@ -82,38 +143,76 @@ class RspnClassifier:
             features = [c for c in rspn.column_names if c != target]
         self.features = list(features)
         self.widen_fraction = widen_fraction
+        self._widen_tiers = (0.0, widen_fraction, 4 * widen_fraction)
         self._classes = _domain_values(rspn, target)
+        self._class_ranges = [Range.point(value) for value in self._classes]
         self._spans = _column_spans(rspn)
+
+    def _conditions(self, row, widen=0.0):
+        return _row_conditions(self.features, self._spans, row, widen)
+
+    def _requests(self, row, widen):
+        """Evidence plus per-class joint-probability requests of one row."""
+        conditions = self._conditions(row, widen)
+        requests = [(conditions, None)]
+        existing = conditions.get(self.target)
+        for class_range in self._class_ranges:
+            joint = dict(conditions)
+            joint[self.target] = (
+                class_range if existing is None else existing.intersect(class_range)
+            )
+            requests.append((joint, None))
+        return requests
+
+    def _uniform(self):
+        uniform = 1.0 / max(len(self._classes), 1)
+        return {value: uniform for value in self._classes}
 
     def class_probabilities(self, row: dict) -> dict:
         """P(target = v | features) for every value v of the target."""
-        regressor = RspnRegressor(
-            self.rspn, self.target, self.features, self.widen_fraction
-        )
-        for widen in (0.0, self.widen_fraction, 4 * self.widen_fraction):
-            conditions = regressor._conditions(row, widen)
-            evidence = self.rspn.probability(conditions)
-            if evidence <= 0.0:
-                continue
-            probabilities = {}
-            for value in self._classes:
-                joint = dict(conditions)
-                target_range = Range.point(value)
-                existing = joint.get(self.target)
-                joint[self.target] = (
-                    target_range if existing is None else existing.intersect(target_range)
-                )
-                probabilities[value] = self.rspn.probability(joint) / evidence
-            return probabilities
-        uniform = 1.0 / max(len(self._classes), 1)
-        return {value: uniform for value in self._classes}
+        return self.class_probabilities_batch([row])[0]
+
+    def class_probabilities_batch(self, rows) -> list:
+        """Batched :meth:`class_probabilities`: the evidence and every
+        candidate class of every unresolved row share one compiled sweep
+        per widen tier.  Rows with zero evidence at all tiers get the
+        uniform distribution."""
+        rows = list(rows)
+        results = [None] * len(rows)
+        pending = list(range(len(rows)))
+        stride = 1 + len(self._classes)
+        for widen in self._widen_tiers:
+            if not pending:
+                break
+            requests = []
+            for i in pending:
+                requests.extend(self._requests(rows[i], widen))
+            values = self.rspn.expectation_batch(requests)
+            unresolved = []
+            for j, i in enumerate(pending):
+                evidence = values[j * stride]
+                if evidence <= 0.0:
+                    unresolved.append(i)
+                    continue
+                joints = values[j * stride + 1 : (j + 1) * stride]
+                results[i] = {
+                    value: joint / evidence
+                    for value, joint in zip(self._classes, joints)
+                }
+            pending = unresolved
+        for i in pending:
+            results[i] = self._uniform()
+        return results
 
     def predict_one(self, row: dict):
         probabilities = self.class_probabilities(row)
         return max(probabilities, key=probabilities.get)
 
     def predict(self, rows):
-        return [self.predict_one(row) for row in rows]
+        return [
+            max(probabilities, key=probabilities.get)
+            for probabilities in self.class_probabilities_batch(rows)
+        ]
 
 
 def _column_spans(rspn):

@@ -5,6 +5,8 @@ computed, table correlations measured, and the RSPN ensemble learned.
 The resulting object serves the runtime tasks:
 
 - :meth:`DeepDB.cardinality` -- cardinality estimation for an optimizer,
+- :meth:`DeepDB.plan` / :meth:`DeepDB.optimize_and_execute` -- join-order
+  optimization driven by the batched estimator protocol,
 - :meth:`DeepDB.approximate` / :meth:`DeepDB.approximate_with_confidence`
   -- approximate query processing with optional confidence intervals,
 - :meth:`DeepDB.regressor` / :meth:`DeepDB.classifier` -- ML tasks,
@@ -73,6 +75,37 @@ class DeepDB:
         """
         parsed = [self.parse(q) if isinstance(q, str) else q for q in queries]
         return self.compiler.cardinality_batch(parsed)
+
+    def plan(self, query, linear=False):
+        """Join order for ``query`` under batched DeepDB cardinalities.
+
+        Every sub-plan estimate of the System-R enumeration is answered
+        from one :meth:`cardinality_batch`-style prefetch (a single
+        compiled sweep per RSPN).  Returns ``(plan, estimated C_out,
+        oracle)`` -- the oracle exposes the per-subset estimates and the
+        ``batch_calls`` / ``estimator_calls`` counters.
+        """
+        from repro.optimizer import SubqueryCardinalities, optimal_plan
+
+        if isinstance(query, str):
+            query = self.parse(query)
+        oracle = SubqueryCardinalities(self.compiler, query)
+        plan, cost = optimal_plan(
+            query, self.database.schema, oracle, linear=linear
+        )
+        return plan, cost, oracle
+
+    def optimize_and_execute(self, query, linear=False):
+        """Optimise ``query`` with batched estimates, then run the plan
+        with real hash joins.  Returns an
+        :class:`~repro.optimizer.execution.OptimizedExecution`."""
+        from repro.optimizer import optimize_and_execute
+
+        if isinstance(query, str):
+            query = self.parse(query)
+        return optimize_and_execute(
+            query, self.database, self.compiler, linear=linear
+        )
 
     def approximate(self, query):
         """Approximate answer: scalar or ``{group: value}``."""

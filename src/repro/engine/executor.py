@@ -22,10 +22,17 @@ from repro.engine import join as join_ops
 from repro.engine.filters import conjunction_mask
 from repro.engine.query import INNER, LEFT_OUTER, Query
 from repro.engine.table import Database
+from repro.estimator import CardinalityEstimator
 
 
-class Executor:
-    """Exact executor over a :class:`~repro.engine.table.Database`."""
+class Executor(CardinalityEstimator):
+    """Exact executor over a :class:`~repro.engine.table.Database`.
+
+    Conforms to the batched estimator protocol (it *is* the ground-truth
+    cardinality oracle of the plan-quality harness); the batched entry
+    point is the protocol's serial loop, since exact counting has no
+    shared work to amortise across queries.
+    """
 
     def __init__(self, database: Database, max_rows=30_000_000):
         self.database = database

@@ -1,0 +1,62 @@
+"""The batched estimator protocol shared by every consumer layer.
+
+The paper's central claim is that *one* set of learned RSPNs serves
+cardinality estimation, AQP and ML tasks alike.  On the systems side the
+equivalent claim is that one **estimator surface** serves every consumer
+-- the join-order enumerator, the plan-quality harness, the benchmark
+suite and the CLI -- regardless of whether the estimator underneath is
+the compiled DeepDB ensemble, a baseline, or the exact executor.
+
+The protocol is two methods:
+
+- ``cardinality(query) -> float`` -- one estimate, clamped semantics up
+  to the implementation;
+- ``cardinality_batch(queries) -> list[float]`` -- many estimates in one
+  call, positionally aligned with ``queries``.
+
+:class:`CardinalityEstimator` supplies ``cardinality_batch`` as a plain
+loop over ``cardinality``, so every scalar estimator conforms for free;
+implementations with a real batch kernel (the probabilistic query
+compiler's one-compiled-sweep-per-RSPN path) override it.  Callers that
+cannot assume conformance (duck-typed third-party estimators) go through
+the module-level :func:`cardinality_batch`, which falls back to the same
+serial loop when the estimator exposes no batch entry point.
+"""
+
+from __future__ import annotations
+
+
+class CardinalityEstimator:
+    """Base class / mixin of the batched cardinality-estimator protocol.
+
+    Subclasses implement ``cardinality(query)``; the batched entry point
+    defaults to a serial loop so that conformance costs nothing.  The
+    contract for overrides: ``cardinality_batch(queries)`` returns one
+    float per query, positionally, and agrees with the scalar path.
+    """
+
+    def cardinality(self, query) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def cardinality_batch(self, queries) -> list:
+        """Estimates for many queries; default is the serial loop."""
+        return [float(self.cardinality(query)) for query in queries]
+
+
+def cardinality_batch(estimator, queries) -> list:
+    """Batched estimates from any estimator, conformant or not.
+
+    Uses the estimator's own ``cardinality_batch`` when present (one
+    call -- the whole point of the protocol) and falls back to a serial
+    ``cardinality`` loop for duck-typed estimators without one.
+    """
+    queries = list(queries)
+    batch = getattr(estimator, "cardinality_batch", None)
+    if batch is None:
+        return [float(estimator.cardinality(query)) for query in queries]
+    return [float(value) for value in batch(queries)]
+
+
+def supports_batch(estimator) -> bool:
+    """Whether the estimator exposes a batched entry point at all."""
+    return callable(getattr(estimator, "cardinality_batch", None))

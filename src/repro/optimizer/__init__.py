@@ -11,16 +11,25 @@ plans (Leis et al., "How good are query optimizers, really?").
 Modules
 -------
 - :mod:`repro.optimizer.plans` -- join-tree plan representation,
-- :mod:`repro.optimizer.cardinality` -- estimator adapters (true /
-  DeepDB / Postgres / sampling) with sub-query memoisation,
+- :mod:`repro.optimizer.cardinality` -- the sub-query oracle over any
+  estimator of the batched protocol (:mod:`repro.estimator`), with a
+  one-``cardinality_batch``-call prefetch of every connected subset
+  (serial memoisation kept as the reference mode),
 - :mod:`repro.optimizer.cost` -- the C_out cost model,
 - :mod:`repro.optimizer.enumeration` -- bushy and left-deep DP,
-- :mod:`repro.optimizer.quality` -- plan suboptimality scoring.
+- :mod:`repro.optimizer.quality` -- plan suboptimality scoring,
+- :mod:`repro.optimizer.execution` -- hash-join plan execution and the
+  optimise-then-execute entry point sharing the same oracle.
 """
 
 from repro.optimizer.cardinality import SubqueryCardinalities
 from repro.optimizer.cost import cout_cost
 from repro.optimizer.enumeration import OptimizationError, optimal_plan
+from repro.optimizer.execution import (
+    OptimizedExecution,
+    execute_plan,
+    optimize_and_execute,
+)
 from repro.optimizer.plans import BaseRelation, Join, plan_joins
 from repro.optimizer.quality import plan_suboptimality
 
@@ -28,9 +37,12 @@ __all__ = [
     "BaseRelation",
     "Join",
     "OptimizationError",
+    "OptimizedExecution",
     "SubqueryCardinalities",
     "cout_cost",
+    "execute_plan",
     "optimal_plan",
+    "optimize_and_execute",
     "plan_joins",
     "plan_suboptimality",
 ]

@@ -98,6 +98,12 @@ def optimal_plan(query, schema, cardinality, linear=False, cost=cout_cost):
     :class:`~repro.optimizer.cardinality.SubqueryCardinalities`);
     ``cost`` defaults to C_out.  Raises :class:`OptimizationError` when
     the query's tables are not connected by FK edges.
+
+    Oracles exposing ``prefetch(schema)`` (the batched
+    :class:`~repro.optimizer.cardinality.SubqueryCardinalities`) are
+    prefetched before the DP runs, so every sub-plan estimate of the
+    enumeration is answered from one ``cardinality_batch`` call; plain
+    callables are consumed one subset at a time as before.
     """
     tables = sorted(set(query.tables))
     if len(tables) == 1:
@@ -105,6 +111,9 @@ def optimal_plan(query, schema, cardinality, linear=False, cost=cout_cost):
     adjacency = _adjacency(schema, tables)
     if not _is_connected(tables, adjacency):
         raise OptimizationError(f"tables {tables} are not connected by FK edges")
+    prefetch = getattr(cardinality, "prefetch", None)
+    if prefetch is not None:
+        prefetch(schema)
 
     best: dict[frozenset, tuple] = {
         frozenset((t,)): (BaseRelation(t), 0.0) for t in tables

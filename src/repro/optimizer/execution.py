@@ -102,6 +102,46 @@ def _hash_join(database, left, right, fk, parent_on_left):
     return _Relation(rows)
 
 
+@dataclass
+class OptimizedExecution:
+    """Outcome of :func:`optimize_and_execute`: the chosen plan, its
+    estimated C_out, the (prefetched) oracle behind the choice, and the
+    realised execution with true intermediate sizes."""
+
+    plan: object
+    estimated_cost: float
+    oracle: object
+    execution: "PlanExecution"
+
+    @property
+    def estimation_gap(self):
+        """Realised C_out / estimated C_out (1.0 = perfectly estimated)."""
+        if self.estimated_cost <= 0:
+            return 1.0
+        return self.execution.total_intermediate_rows / self.estimated_cost
+
+
+def optimize_and_execute(query, database, estimator, linear=False, batch=True):
+    """Optimise ``query`` under ``estimator`` and run the chosen plan.
+
+    The estimator is wrapped in the same batched
+    :class:`~repro.optimizer.cardinality.SubqueryCardinalities` oracle
+    the plan-quality harness uses: one ``cardinality_batch`` call
+    answers every sub-plan estimate of the enumeration (``batch=False``
+    restores the serial memoised path), then the plan is executed with
+    real hash joins.  Returns an :class:`OptimizedExecution`.
+    """
+    from repro.optimizer.cardinality import SubqueryCardinalities
+    from repro.optimizer.enumeration import optimal_plan
+
+    oracle = SubqueryCardinalities(estimator, query, batch=batch)
+    plan, cost = optimal_plan(query, database.schema, oracle, linear=linear)
+    execution = execute_plan(plan, database, query)
+    return OptimizedExecution(
+        plan=plan, estimated_cost=cost, oracle=oracle, execution=execution
+    )
+
+
 def execute_plan(plan, database, query):
     """Run ``plan`` for ``query`` and return a :class:`PlanExecution`.
 

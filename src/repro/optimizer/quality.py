@@ -42,15 +42,19 @@ class PlanComparison:
         return self.suboptimality <= 1.0 + 1e-9
 
 
-def plan_suboptimality(query, schema, estimator, executor, linear=False):
+def plan_suboptimality(query, schema, estimator, executor, linear=False,
+                       batch=True):
     """Compare the plan chosen under ``estimator`` to the true optimum.
 
-    ``estimator`` and ``executor`` both expose ``cardinality(query)``;
-    the executor is treated as ground truth.  Returns a
-    :class:`PlanComparison`.
+    ``estimator`` and ``executor`` both expose ``cardinality(query)``
+    (see :mod:`repro.estimator`); the executor is treated as ground
+    truth.  Both oracles run the batched prefetch by default -- all
+    sub-plan estimates of one optimisation are answered from a single
+    ``cardinality_batch`` call; ``batch=False`` restores the serial
+    memoised path.  Returns a :class:`PlanComparison`.
     """
-    estimated = SubqueryCardinalities(estimator, query)
-    true = SubqueryCardinalities(executor, query)
+    estimated = SubqueryCardinalities(estimator, query, batch=batch)
+    true = SubqueryCardinalities(executor, query, batch=batch)
     chosen, _ = optimal_plan(query, schema, estimated, linear=linear)
     best, optimal_cost = optimal_plan(query, schema, true, linear=linear)
     chosen_cost = cout_cost(chosen, true)

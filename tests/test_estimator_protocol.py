@@ -1,0 +1,119 @@
+"""Tests for the batched estimator protocol (:mod:`repro.estimator`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bayesnet import ChowLiuEstimator
+from repro.baselines.ibjs import IndexBasedJoinSampling
+from repro.baselines.lightweight_trees import LightweightSelectivityModel
+from repro.baselines.mcsn import MCSN
+from repro.baselines.postgres_estimator import PostgresEstimator
+from repro.baselines.sampling import RandomSamplingEstimator
+from repro.core.compilation import ProbabilisticQueryCompiler
+from repro.engine.executor import Executor
+from repro.engine.query import Predicate, count_query
+from repro.estimator import CardinalityEstimator, cardinality_batch, supports_batch
+
+
+def _workload(tables=("customer", "orders")):
+    return [
+        count_query(["customer"], predicates=(Predicate("customer", "age", ">=", 40),)),
+        count_query(
+            list(tables),
+            predicates=(Predicate("customer", "region", "=", "EU"),),
+        ),
+        count_query(list(tables)),
+    ]
+
+
+class TestConformance:
+    def test_every_cardinality_estimator_conforms(self):
+        """Every baseline with a ``cardinality`` method rides the mixin."""
+        for cls in (
+            ChowLiuEstimator,
+            Executor,
+            IndexBasedJoinSampling,
+            LightweightSelectivityModel,
+            MCSN,
+            PostgresEstimator,
+            ProbabilisticQueryCompiler,
+            RandomSamplingEstimator,
+        ):
+            assert issubclass(cls, CardinalityEstimator), cls.__name__
+
+    def test_compiler_overrides_the_batch_kernel(self):
+        assert (
+            ProbabilisticQueryCompiler.cardinality_batch
+            is not CardinalityEstimator.cardinality_batch
+        )
+
+    def test_executor_inherits_the_loop_fallback(self):
+        assert (
+            Executor.cardinality_batch is CardinalityEstimator.cardinality_batch
+        )
+
+
+class TestLoopFallback:
+    def test_mixin_batch_equals_scalar_loop(self, customer_orders_db):
+        estimator = PostgresEstimator(customer_orders_db)
+        queries = _workload()
+        batched = estimator.cardinality_batch(queries)
+        assert batched == [estimator.cardinality(q) for q in queries]
+
+    def test_executor_batch_is_exact(self, customer_orders_db):
+        executor = Executor(customer_orders_db)
+        queries = _workload()
+        batched = executor.cardinality_batch(queries)
+        assert batched == [executor.cardinality(q) for q in queries]
+
+    def test_module_helper_uses_native_batch(self, customer_orders_db):
+        class _Spy(PostgresEstimator):
+            batch_calls = 0
+
+            def cardinality_batch(self, queries):
+                self.batch_calls += 1
+                return super().cardinality_batch(queries)
+
+        spy = _Spy(customer_orders_db)
+        values = cardinality_batch(spy, _workload())
+        assert spy.batch_calls == 1
+        assert len(values) == 3
+
+    def test_module_helper_falls_back_without_batch(self, customer_orders_db):
+        class _DuckTyped:
+            """Third-party estimator: scalar only, no mixin."""
+
+            def __init__(self, database):
+                self._inner = PostgresEstimator(database)
+
+            def cardinality(self, query):
+                return self._inner.cardinality(query)
+
+        duck = _DuckTyped(customer_orders_db)
+        assert not supports_batch(duck)
+        values = cardinality_batch(duck, _workload())
+        reference = [duck.cardinality(q) for q in _workload()]
+        assert values == pytest.approx(reference)
+
+    def test_sampling_batch_matches_scalar_determinism(self, customer_orders_db):
+        """The sampling estimator is stateful (per-query RNG); the batch
+        loop must consume queries in order so that a batch of n queries
+        draws the same samples as n scalar calls."""
+        queries = _workload()
+        batched = RandomSamplingEstimator(
+            customer_orders_db, sample_rows=500, seed=5
+        ).cardinality_batch(queries)
+        scalar_estimator = RandomSamplingEstimator(
+            customer_orders_db, sample_rows=500, seed=5
+        )
+        assert batched == [scalar_estimator.cardinality(q) for q in queries]
+
+    def test_batch_results_are_floats_and_aligned(self, customer_orders_db):
+        estimator = PostgresEstimator(customer_orders_db)
+        queries = _workload()
+        values = cardinality_batch(estimator, queries)
+        assert all(isinstance(v, float) for v in values)
+        assert np.all(np.asarray(values) >= 1.0)
+        assert len(values) == len(queries)

@@ -135,3 +135,70 @@ class TestMLPRegressor:
         y = x.sum(axis=1)
         model = MLPRegressor(hidden=(8,), epochs=5).fit(x, y)
         assert model.predict(x).shape == (100,)
+
+
+class TestBatchedHeads:
+    """predict(rows) must equal [predict_one(r) ...] for both heads,
+    including widen-tier fallback and zero-evidence rows."""
+
+    def _rows(self, seed=7, n=60):
+        data = clustered_dataset(seed=seed)[:n]
+        rows = [{"t.cluster": r[0], "t.x": r[1]} for r in data]
+        rows.append({"t.x": 10_000.0})        # resolved only by widening
+        rows.append({"t.x": np.nan})          # NaN evidence is marginalised
+        rows.append({})                       # no evidence at all
+        rows.append({"t.x": None})            # None evidence is marginalised
+        return rows
+
+    def test_regressor_batch_matches_scalar(self, rspn):
+        regressor = RspnRegressor(rspn, "t.y")
+        rows = self._rows()
+        batched = regressor.predict(rows)
+        scalar = np.array([regressor.predict_one(row) for row in rows])
+        assert np.allclose(batched, scalar, rtol=1e-9, atol=1e-9)
+
+    def test_regressor_zero_evidence_uses_fallback(self, rspn):
+        regressor = RspnRegressor(rspn, "t.y", ["t.x"])
+        impossible = {"t.x": 1e12}
+        batched = regressor.predict([impossible, {"t.x": 0.0}])
+        assert batched[0] == pytest.approx(regressor._fallback)
+        assert batched[0] == pytest.approx(regressor.predict_one(impossible))
+
+    def test_classifier_batch_matches_scalar(self, rspn):
+        classifier = RspnClassifier(rspn, "t.cluster", ["t.x"])
+        rows = self._rows()
+        assert classifier.predict(rows) == [
+            classifier.predict_one(row) for row in rows
+        ]
+
+    def test_class_probabilities_batch_matches_scalar(self, rspn):
+        classifier = RspnClassifier(rspn, "t.cluster", ["t.x"])
+        rows = self._rows(seed=11, n=25)
+        batched = classifier.class_probabilities_batch(rows)
+        for row, probabilities in zip(rows, batched):
+            reference = classifier.class_probabilities(row)
+            assert probabilities.keys() == reference.keys()
+            for value, p in reference.items():
+                assert probabilities[value] == pytest.approx(p, rel=1e-9, abs=1e-12)
+
+    def test_classifier_zero_evidence_is_uniform(self, rspn):
+        classifier = RspnClassifier(rspn, "t.cluster", ["t.x"])
+        probabilities = classifier.class_probabilities({"t.x": 1e12})
+        assert len(probabilities) == 3
+        for p in probabilities.values():
+            assert p == pytest.approx(1.0 / 3.0)
+
+    def test_empty_batch(self, rspn):
+        regressor = RspnRegressor(rspn, "t.y")
+        classifier = RspnClassifier(rspn, "t.cluster", ["t.x"])
+        assert regressor.predict([]).shape == (0,)
+        assert classifier.predict([]) == []
+        assert classifier.class_probabilities_batch([]) == []
+
+    def test_classifier_no_longer_rebuilds_a_regressor(self, rspn):
+        """Condition-building is shared; class ranges are cached on the
+        classifier instead of being rebuilt per row."""
+        classifier = RspnClassifier(rspn, "t.cluster", ["t.x"])
+        first = classifier._class_ranges
+        classifier.predict([{"t.x": 0.0}, {"t.x": 10.0}])
+        assert classifier._class_ranges is first

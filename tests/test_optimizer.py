@@ -366,3 +366,247 @@ class TestPlanSuboptimality:
             query, schema, _Static(lying_values), _Static(true_values)
         )
         assert comparison.suboptimality > 1.0
+
+
+# ----------------------------------------------------------------------
+# Batched prefetch: the protocol-driven optimizer loop
+# ----------------------------------------------------------------------
+from repro.estimator import CardinalityEstimator  # noqa: E402
+from repro.optimizer import optimize_and_execute  # noqa: E402
+
+
+class _RecordingEstimator(CardinalityEstimator):
+    """Protocol-conformant wrapper over a subset oracle, counting calls."""
+
+    def __init__(self, oracle):
+        self.oracle = oracle
+        self.scalar_calls = 0
+        self.batches = []
+
+    def cardinality(self, query):
+        self.scalar_calls += 1
+        return self.oracle(query.tables)
+
+    def cardinality_batch(self, queries):
+        queries = list(queries)
+        self.batches.append(queries)
+        return [self.oracle(q.tables) for q in queries]
+
+
+def _optimize(schema, query, estimator, batch):
+    oracle = SubqueryCardinalities(estimator, query, batch=batch)
+    plan, cost = optimal_plan(query, schema, oracle)
+    return plan, cost, oracle
+
+
+class TestBatchedPrefetch:
+    def test_one_batch_call_per_optimization(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        estimator = _RecordingEstimator(
+            _TableOracle({"a": 10, "b": 200, "c": 30, "d": 400})
+        )
+        query = count_query(["a", "b", "c", "d"])
+        _plan, _cost, oracle = _optimize(schema, query, estimator, batch=True)
+        assert len(estimator.batches) == 1
+        assert estimator.scalar_calls == 0
+        assert oracle.batch_calls == 1
+
+    def test_prefetch_covers_exactly_the_connected_subsets(self):
+        schema = star_schema()
+        tables = ("f", "d1", "d2", "d3")
+        estimator = _RecordingEstimator(
+            _TableOracle({"f": 1000, "d1": 10, "d2": 20, "d3": 30})
+        )
+        query = count_query(tables)
+        _optimize(schema, query, estimator, batch=True)
+        prefetched = {frozenset(q.tables) for q in estimator.batches[0]}
+        by_size = connected_subsets(schema, tables)
+        expected = {
+            subset for size in range(2, 5) for subset in by_size[size]
+        }
+        assert prefetched == expected
+
+    def test_prefetch_pushes_predicates_down(self):
+        schema = chain_schema(("a", "b", "c"))
+        estimator = _RecordingEstimator(_TableOracle({"a": 10, "b": 20, "c": 30}))
+        query = count_query(
+            ["a", "b", "c"], predicates=(Predicate("a", "x", ">=", 1.0),)
+        )
+        _optimize(schema, query, estimator, batch=True)
+        for sub in estimator.batches[0]:
+            expected = tuple(p for p in query.predicates if p.table in sub.tables)
+            assert sub.predicates == expected
+
+    def test_serial_mode_issues_no_batches(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        estimator = _RecordingEstimator(
+            _TableOracle({"a": 10, "b": 200, "c": 30, "d": 400})
+        )
+        query = count_query(["a", "b", "c", "d"])
+        _plan, _cost, oracle = _optimize(schema, query, estimator, batch=False)
+        assert estimator.batches == []
+        assert estimator.scalar_calls == oracle.calls > 0
+        assert oracle.batch_calls == 0
+
+    def test_reoptimizing_reuses_the_prefetched_cache(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        estimator = _RecordingEstimator(
+            _TableOracle({"a": 10, "b": 200, "c": 30, "d": 400})
+        )
+        query = count_query(["a", "b", "c", "d"])
+        oracle = SubqueryCardinalities(estimator, query)
+        optimal_plan(query, schema, oracle)
+        optimal_plan(query, schema, oracle, linear=True)
+        assert len(estimator.batches) == 1  # second run: cache only
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=10_000), min_size=4, max_size=4
+        ),
+        dampening=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_batched_equals_serial_on_chain(self, sizes, dampening):
+        names = ("a", "b", "c", "d")
+        schema = chain_schema(names)
+        table_oracle = _TableOracle(dict(zip(names, sizes)), dampening)
+        query = count_query(names)
+        batched_plan, batched_cost, batched = _optimize(
+            schema, query, _RecordingEstimator(table_oracle), batch=True
+        )
+        serial_plan, serial_cost, serial = _optimize(
+            schema, query, _RecordingEstimator(table_oracle), batch=False
+        )
+        assert batched_plan.describe() == serial_plan.describe()
+        assert batched_cost == pytest.approx(serial_cost, rel=1e-12)
+        assert batched.estimates.keys() == serial.estimates.keys()
+        for key, value in serial.estimates.items():
+            assert batched.estimates[key] == pytest.approx(value, rel=1e-12)
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=10_000), min_size=4, max_size=4
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_batched_equals_serial_on_star(self, sizes):
+        """JOB-light shape: star joins around a fact table."""
+        names = ("f", "d1", "d2", "d3")
+        schema = star_schema()
+        table_oracle = _TableOracle(dict(zip(names, sizes)), dampening=0.05)
+        query = count_query(names)
+        batched_plan, batched_cost, batched = _optimize(
+            schema, query, _RecordingEstimator(table_oracle), batch=True
+        )
+        serial_plan, serial_cost, serial = _optimize(
+            schema, query, _RecordingEstimator(table_oracle), batch=False
+        )
+        assert batched_plan.describe() == serial_plan.describe()
+        assert batched_cost == pytest.approx(serial_cost, rel=1e-12)
+        assert batched.estimates == serial.estimates
+
+
+class _SpyEstimator(CardinalityEstimator):
+    """Counts protocol traffic in front of a real estimator."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.scalar_calls = 0
+        self.batch_calls = 0
+
+    def cardinality(self, query):
+        self.scalar_calls += 1
+        return self.inner.cardinality(query)
+
+    def cardinality_batch(self, queries):
+        self.batch_calls += 1
+        return self.inner.cardinality_batch(queries)
+
+
+@pytest.fixture(scope="module")
+def three_table_compiler(three_table_db):
+    from repro.core.compilation import ProbabilisticQueryCompiler
+    from repro.core.ensemble import EnsembleConfig, learn_ensemble
+
+    ensemble = learn_ensemble(three_table_db, EnsembleConfig(sample_size=10_000))
+    return ProbabilisticQueryCompiler(ensemble)
+
+
+class TestBatchedPrefetchEndToEnd:
+    """The batched oracle against the real compiled DeepDB estimator."""
+
+    def _query(self):
+        return count_query(
+            ["customer", "orders", "orderline"],
+            predicates=(
+                Predicate("customer", "region", "=", "EU"),
+                Predicate("orders", "channel", "=", "ONLINE"),
+            ),
+        )
+
+    def test_one_compiled_batch_per_query(self, three_table_db, three_table_compiler):
+        spy = _SpyEstimator(three_table_compiler)
+        query = self._query()
+        oracle = SubqueryCardinalities(spy, query)
+        optimal_plan(query, three_table_db.schema, oracle)
+        assert spy.batch_calls == 1
+        assert spy.scalar_calls == 0
+
+    def test_batched_plan_and_estimates_match_serial(
+        self, three_table_db, three_table_compiler
+    ):
+        query = self._query()
+        batched_plan, batched_cost, batched = _optimize(
+            three_table_db.schema, query, three_table_compiler, batch=True
+        )
+        serial_plan, serial_cost, serial = _optimize(
+            three_table_db.schema, query, three_table_compiler, batch=False
+        )
+        assert batched_plan.describe() == serial_plan.describe()
+        assert batched_cost == pytest.approx(serial_cost, rel=1e-9)
+        assert batched.estimates.keys() == serial.estimates.keys()
+        for key, value in serial.estimates.items():
+            assert batched.estimates[key] == pytest.approx(value, rel=1e-9)
+
+    def test_plan_suboptimality_batched_matches_serial(
+        self, three_table_db, three_table_compiler
+    ):
+        from repro.engine.executor import Executor
+
+        executor = Executor(three_table_db)
+        query = self._query()
+        batched = plan_suboptimality(
+            query, three_table_db.schema, three_table_compiler, executor
+        )
+        serial = plan_suboptimality(
+            query, three_table_db.schema, three_table_compiler, executor,
+            batch=False,
+        )
+        assert batched.chosen_plan.describe() == serial.chosen_plan.describe()
+        assert batched.suboptimality == pytest.approx(
+            serial.suboptimality, rel=1e-9
+        )
+
+    def test_optimize_and_execute_closes_the_loop(self, three_table_db):
+        """Under the exact oracle the estimated C_out must equal the
+        realised intermediate rows of the executed plan."""
+        from repro.engine.executor import Executor
+
+        run = optimize_and_execute(
+            self._query(), three_table_db, Executor(three_table_db)
+        )
+        assert run.oracle.batch_calls == 1
+        assert run.execution.total_intermediate_rows == pytest.approx(
+            run.estimated_cost
+        )
+        assert run.estimation_gap == pytest.approx(1.0)
+
+    def test_optimize_and_execute_with_learned_estimates(
+        self, three_table_db, three_table_compiler
+    ):
+        run = optimize_and_execute(
+            self._query(), three_table_db, three_table_compiler
+        )
+        assert run.plan.tables == frozenset(("customer", "orders", "orderline"))
+        assert run.execution.result_rows >= 0
+        assert run.estimated_cost > 0
