@@ -65,23 +65,28 @@ def timed(fn, *args, **kwargs):
 # ----------------------------------------------------------------------
 _TIMING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_inference.json")
 _OPTIMIZER_PATH = os.path.join(os.path.dirname(__file__), "BENCH_optimizer.json")
-_MANUAL_RECORDS: list[dict] = []
-_OPTIMIZER_RECORDS: list[dict] = []
+_SERVING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serving.json")
+# path -> the session's named timing records destined for that file.
+_TRAJECTORIES: dict = {}
 
 
-def record_timing(name, seconds, **extra):
-    """Register one named timing for the session's BENCH_inference.json
-    run record (used by benches for scalar-vs-batched comparisons)."""
-    _MANUAL_RECORDS.append({"name": name, "seconds": float(seconds), **extra})
+def _recorder(path):
+    """A ``record(name, seconds, **extra)`` appending to ``path``'s
+    session records (flushed in :func:`pytest_sessionfinish`)."""
+    records = _TRAJECTORIES.setdefault(path, [])
+
+    def record(name, seconds, **extra):
+        records.append({"name": name, "seconds": float(seconds), **extra})
+
+    return record
 
 
-def record_optimizer_timing(name, seconds, **extra):
-    """Register one named timing for BENCH_optimizer.json: the
-    optimizer-loop trajectory (enumeration wall-clock and estimator
-    calls, batched vs serial)."""
-    _OPTIMIZER_RECORDS.append(
-        {"name": name, "seconds": float(seconds), **extra}
-    )
+# BENCH_inference.json: scalar-vs-batched inference comparisons.
+record_timing = _recorder(_TIMING_PATH)
+# BENCH_optimizer.json: optimizer-loop / ML-head trajectory.
+record_optimizer_timing = _recorder(_OPTIMIZER_PATH)
+# BENCH_serving.json: serving front-end closed-loop throughput.
+record_serving_timing = _recorder(_SERVING_PATH)
 
 
 def best_of(fn, repeats=3):
@@ -111,6 +116,13 @@ def record_optimizer_timing_fixture():
     """Fixture handing benches the :func:`record_optimizer_timing`
     recorder (BENCH_optimizer.json)."""
     return record_optimizer_timing
+
+
+@pytest.fixture(scope="session", name="record_serving_timing")
+def record_serving_timing_fixture():
+    """Fixture handing benches the :func:`record_serving_timing`
+    recorder (BENCH_serving.json)."""
+    return record_serving_timing
 
 
 def _benchmark_records(session):
@@ -154,20 +166,20 @@ def _append_run(path, run):
 def pytest_sessionfinish(session, exitstatus):
     """Append this session's timing records to the trajectory files."""
     timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat()
-    records = _benchmark_records(session)
-    if records or _MANUAL_RECORDS:
-        _append_run(_TIMING_PATH, {
+    benchmarks = _benchmark_records(session)
+    for path, timings in _TRAJECTORIES.items():
+        run = {
             "timestamp": timestamp,
             "scale": SCALE,
-            "benchmarks": records,
-            "timings": list(_MANUAL_RECORDS),
-        })
-    if _OPTIMIZER_RECORDS:
-        _append_run(_OPTIMIZER_PATH, {
-            "timestamp": timestamp,
-            "scale": SCALE,
-            "timings": list(_OPTIMIZER_RECORDS),
-        })
+            "timings": list(timings),
+        }
+        if path == _TIMING_PATH:  # also carries benchmark-fixture stats
+            run["benchmarks"] = benchmarks
+            if not (timings or benchmarks):
+                continue
+        elif not timings:
+            continue
+        _append_run(path, run)
 
 
 # ----------------------------------------------------------------------

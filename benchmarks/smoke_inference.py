@@ -1,4 +1,4 @@
-"""30-second inference + optimizer + ML smoke check for CI.
+"""30-second inference + serving + optimizer + ML smoke check for CI.
 
 Learns a small flights ensemble, answers a 40-query workload through the
 scalar path and the batched compiled path, and verifies that
@@ -7,9 +7,11 @@ scalar path and the batched compiled path, and verifies that
 - the batched path is not slower than the scalar loop,
 - per-query latency stays in the milliseconds.
 
-It then smokes the two consumer layers of the batched estimator
-protocol:
+It then smokes the consumer layers of the batched estimator protocol:
 
+- **serving**: 8 concurrent closed-loop clients through the in-process
+  ``AsyncDeepDB`` facade must be coalesced into multi-request flushes
+  whose answers match the scalar loop to 1e-9,
 - **ML heads**: ``RspnRegressor.predict`` / ``RspnClassifier.predict``
   on the flights ensemble must agree with the scalar ``predict_one``
   loop to 1e-9,
@@ -21,7 +23,8 @@ protocol:
 This is deliberately tiny (it must finish well inside CI's 30-second
 budget); the full comparisons with throughput assertions live in
 ``bench_single_table_selectivity.py``, ``bench_table1_job_light.py``,
-``bench_join_ordering.py`` and ``bench_figure13_ml.py``.
+``bench_join_ordering.py``, ``bench_figure13_ml.py`` and
+``bench_serving.py``.
 
 Run with ``PYTHONPATH=src python benchmarks/smoke_inference.py``.
 """
@@ -96,10 +99,71 @@ def main():
     print(f"OK: batched speedup {scalar_seconds / batch_seconds:.1f}x, "
           "estimates agree to 1e-9")
 
+    if _smoke_serving(database, ensemble):
+        return 1
     if _smoke_ml_heads(database, ensemble):
         return 1
     if _smoke_join_ordering():
         return 1
+    return 0
+
+
+def _smoke_serving(database, ensemble, n_clients=8, rounds=3):
+    """Serving smoke: concurrent clients must coalesce and agree.
+
+    Spins up the in-process async facade over the already-learned
+    flights ensemble, drives ``n_clients`` closed-loop clients through
+    it, and checks that the coalescer actually formed batches and that
+    every coalesced answer matches the scalar loop to 1e-9.
+    """
+    import asyncio
+
+    from repro.deepdb import DeepDB
+    from repro.serving import AsyncDeepDB
+
+    start = time.perf_counter()
+    deepdb = DeepDB(database, ensemble)
+    rng = np.random.default_rng(29)
+    distances = database.table("flights").columns["distance"]
+    finite = distances[~np.isnan(distances)]
+    sqls = [
+        "SELECT COUNT(*) FROM flights WHERE flights.distance >= "
+        f"{low:.6f} AND flights.distance <= {low + width:.6f}"
+        for low, width in zip(
+            rng.uniform(finite.min(), finite.mean(), n_clients * rounds),
+            rng.uniform(50, 800, n_clients * rounds),
+        )
+    ]
+    scalar = [deepdb.cardinality(sql) for sql in sqls]
+
+    async_db = AsyncDeepDB(
+        deepdb, max_batch_size=n_clients, max_wait_ms=2.0, cache_size=0
+    )
+    answers = [None] * len(sqls)
+
+    async def client(c):
+        for r in range(rounds):
+            index = c * rounds + r
+            answers[index] = await async_db.cardinality(sqls[index])
+
+    async def closed_loop():
+        await asyncio.gather(*(client(c) for c in range(n_clients)))
+
+    asyncio.run(closed_loop())
+
+    if not np.allclose(answers, scalar, rtol=1e-9, atol=1e-9):
+        print("FAIL: coalesced serving answers disagree with the scalar loop")
+        return 1
+    stats = async_db.stats()["coalescers"]["default"]
+    if stats["max_occupancy"] < 2:
+        print(f"FAIL: no coalescing occurred ({n_clients} concurrent "
+              f"clients, max occupancy {stats['max_occupancy']})")
+        return 1
+    print(f"OK: {n_clients} concurrent clients coalesced into "
+          f"{stats['flushes']} flushes (mean occupancy "
+          f"{stats['mean_occupancy']:.1f}, max {stats['max_occupancy']}), "
+          f"answers match the scalar loop "
+          f"({time.perf_counter() - start:.1f}s)")
     return 0
 
 

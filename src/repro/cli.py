@@ -16,6 +16,22 @@ session.  Typical flow::
 ``estimate`` and ``query`` accept ``--sql`` several times; multi-query
 invocations are answered through the batched compiled-inference path
 (one bottom-up sweep per RSPN for the whole batch).
+
+The serving pair exposes the same model to concurrent clients::
+
+    python -m repro.cli serve  --dataset imdb --scale 0.05 --model model.json \
+        --port 8080
+    python -m repro.cli client --url http://127.0.0.1:8080 \
+        --sql "SELECT COUNT(*) FROM title WHERE title.production_year > 2005" \
+        --sql "SELECT COUNT(*) FROM title WHERE title.kind_id = 0" --stats
+
+``serve`` starts the HTTP/JSON front-end of :mod:`repro.serving`:
+concurrent client queries are coalesced into single batched estimator
+calls (micro-batching), results are cached per normalized query text
+with generation-based invalidation, and ``GET /stats`` reports
+latency/throughput/batch-occupancy.  ``client`` fires its ``--sql``
+queries concurrently so a single invocation already exercises
+coalescing.
 """
 
 from __future__ import annotations
@@ -189,6 +205,118 @@ def _cmd_plan(args, out):
     return 0
 
 
+def _cmd_serve(args, out):
+    from repro.serving import ModelRegistry, ServingServer
+
+    database = _build_database(args)
+    deepdb = _load_model(args, database)
+    registry = ModelRegistry()
+    name = args.name or args.dataset
+    registry.register(name, deepdb, cache_size=args.cache_size)
+    server = ServingServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_inflight=args.max_inflight,
+    )
+    print(f"serving model {name!r} at {server.url}", file=out)
+    print("endpoints: POST /query, POST /update, GET /stats, GET /models",
+          file=out)
+    print(f"coalescing: batches of up to {args.max_batch_size} every "
+          f"{args.max_wait_ms:g} ms; admission cap {args.max_inflight} "
+          "in-flight", file=out)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        server.close()
+    return 0
+
+
+def _http_json(url, payload=None, timeout=60.0):
+    import urllib.request
+
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _cmd_client(args, out):
+    import concurrent.futures
+    import urllib.error
+
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    if args.concurrency < 1:
+        print("error: --concurrency must be >= 1", file=sys.stderr)
+        return 2
+    url = args.url.rstrip("/")
+    bodies = [
+        {"sql": sql, "kind": args.kind, "database": args.database}
+        for sql in args.sql
+        for _ in range(args.repeat)
+    ]
+
+    def one(body):
+        try:
+            return _http_json(url + "/query", body, timeout=args.timeout)
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            return {"error": f"HTTP {error.code}: {detail}"}
+        except (urllib.error.URLError, OSError, TimeoutError) as error:
+            return {"error": f"transport: {error}"}
+
+    start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(
+        max_workers=min(len(bodies), args.concurrency)
+    ) as pool:
+        payloads = list(pool.map(one, bodies))
+    elapsed = time.perf_counter() - start
+
+    failed = 0
+    for body, payload in zip(bodies, payloads):
+        if "error" in payload:
+            failed += 1
+            print(f"{body['sql']}\n  error: {payload['error']}", file=out)
+        elif "groups" in payload:
+            print(f"{body['sql']}", file=out)
+            for group in payload["groups"]:
+                key = ", ".join(str(k) for k in group["key"])
+                print(f"  {key}: {group['value']:,.2f}", file=out)
+        else:
+            print(f"{body['sql']}\n  {args.kind}: {payload['value']}", file=out)
+    print(f"{len(bodies)} requests in {elapsed * 1e3:.1f} ms "
+          f"({len(bodies) / elapsed:,.0f} req/s, {failed} failed)", file=out)
+    if args.stats:
+        stats = _http_json(url + "/stats", timeout=args.timeout)
+        for name, coalescer in stats["serving"]["coalescers"].items():
+            print(f"server coalescer {name!r}: "
+                  f"{coalescer['requests']} requests in "
+                  f"{coalescer['flushes']} flushes "
+                  f"(mean occupancy {coalescer['mean_occupancy']:.1f}, "
+                  f"max {coalescer['max_occupancy']})", file=out)
+        for path, endpoint in stats["endpoints"].items():
+            print(f"server endpoint {path}: {endpoint['requests']} requests, "
+                  f"mean {endpoint['mean_latency_ms']:.2f} ms, "
+                  f"{endpoint['throughput_rps']:.1f} req/s", file=out)
+    return 1 if failed else 0
+
+
 def _cmd_inspect(args, out):
     with open(args.model) as handle:
         document = json.load(handle)
@@ -284,6 +412,48 @@ def build_parser():
                       help="run the chosen plan with real hash joins and "
                            "report the realised intermediate sizes")
     plan.set_defaults(handler=_cmd_plan)
+
+    serve = commands.add_parser(
+        "serve", help="HTTP serving front-end with micro-batching"
+    )
+    _add_dataset_arguments(serve)
+    serve.add_argument("--model", required=True)
+    serve.add_argument("--name", default=None,
+                       help="model name in the registry (default: dataset)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--max-batch-size", type=int, default=32,
+                       help="coalescer flush size (default 32)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="coalescer flush deadline in ms (default 2)")
+    serve.add_argument("--max-inflight", type=int, default=1024,
+                       help="admission-control cap on in-flight requests")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="LRU result-cache entries (0 disables)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    client = commands.add_parser(
+        "client", help="fire concurrent queries at a serving front-end"
+    )
+    client.add_argument("--url", required=True,
+                        help="server base URL, e.g. http://127.0.0.1:8080")
+    client.add_argument("--sql", required=True, action="append",
+                        help="SQL query; repeat the flag to send several "
+                             "concurrently (they coalesce server-side)")
+    client.add_argument("--kind", default="cardinality",
+                        choices=("cardinality", "approximate", "plan"))
+    client.add_argument("--database", default=None,
+                        help="model name to route to (default: the server's "
+                             "only model)")
+    client.add_argument("--repeat", type=int, default=1,
+                        help="send each query this many times")
+    client.add_argument("--concurrency", type=int, default=32,
+                        help="client thread cap (default 32)")
+    client.add_argument("--timeout", type=float, default=60.0)
+    client.add_argument("--stats", action="store_true",
+                        help="print server-side coalescing/latency stats")
+    client.set_defaults(handler=_cmd_client)
 
     inspect = commands.add_parser(
         "inspect", help="summarise a persisted ensemble file"

@@ -96,6 +96,9 @@ class CompiledRSPN:
         index_of = {id(node): i for i, node in enumerate(order)}
         self.n_nodes = len(order)
         self.root_row = index_of[id(root)]
+        # Root generation this form was lowered at; maintained by
+        # :func:`compiled_for` for its staleness check.
+        self.generation = 0
 
         heights = [0] * self.n_nodes
         for i, node in enumerate(order):
@@ -238,21 +241,44 @@ def _post_order(root):
 
 
 # ----------------------------------------------------------------------
-# Per-root compilation cache
+# Per-root compilation cache, guarded by a generation counter
 # ----------------------------------------------------------------------
+# Mutations never pop the cache directly; they bump the root's
+# *generation* and the next ``compiled_for`` notices the mismatch and
+# re-lowers.  The same counter is the invalidation hook the serving
+# layer's result cache rides (surfaced as ``RSPN.generation`` and
+# ``SPNEnsemble.generation``), so one mechanism answers both "is this
+# compiled form stale?" and "are cached query results stale?".
 _CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_GENERATIONS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def generation(root) -> int:
+    """Monotonic mutation counter of a node tree (0 for untouched)."""
+    return _GENERATIONS.get(root, 0)
 
 
 def compiled_for(root) -> CompiledRSPN:
-    """The (cached) compiled form of a node tree."""
+    """The (cached) compiled form of a node tree.
+
+    Stale forms are detected by comparing the cache entry's recorded
+    generation against the root's current one, so out-of-date entries
+    are replaced lazily on the next evaluation.
+    """
     compiled = _CACHE.get(root)
-    if compiled is None:
+    current = generation(root)
+    if compiled is None or compiled.generation != current:
         compiled = CompiledRSPN(root)
+        compiled.generation = current
         _CACHE[root] = compiled
     return compiled
 
 
 def invalidate(root):
-    """Drop the compiled form after a mutation of sum-node weights or
-    tree structure; the next evaluation re-lowers the tree."""
+    """Mark the compiled form stale after a mutation of sum-node weights
+    or tree structure by bumping the root's generation; the next
+    evaluation re-lowers the tree.  The stale entry is dropped eagerly
+    so write-heavy phases don't retain dead flat arrays; the generation
+    check in :func:`compiled_for` stays as the correctness backstop."""
+    _GENERATIONS[root] = generation(root) + 1
     _CACHE.pop(root, None)

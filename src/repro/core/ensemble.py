@@ -61,12 +61,31 @@ class SPNEnsemble:
         self.table_dependency: dict[frozenset, float] = {}
         self.training_seconds: float = 0.0
         self.rspn_training_seconds: list[float] = []
+        self._structure_generation = 0
 
     def add(self, rspn, seconds=0.0):
         self.rspns.append(rspn)
         self.rspn_training_seconds.append(seconds)
         self.training_seconds += seconds
+        self._structure_generation += 1
         return rspn
+
+    @property
+    def generation(self):
+        """Monotonic change counter: the single invalidation hook.
+
+        Moves whenever any member RSPN absorbs an insert/delete (or is
+        invalidated out-of-band) and whenever the ensemble itself gains
+        an RSPN.  Anything caching results derived from this ensemble --
+        the serving layer's LRU result cache in particular -- records
+        the generation it computed under and drops its entries when the
+        current value differs, instead of guessing which update paths
+        exist.  The compiled flat-array forms ride the same per-RSPN
+        counters (:attr:`~repro.core.rspn.RSPN.generation`).
+        """
+        return self._structure_generation + sum(
+            rspn.generation for rspn in self.rspns
+        )
 
     def covering(self, tables):
         """RSPNs whose table set contains all of ``tables``."""

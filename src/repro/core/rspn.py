@@ -205,12 +205,27 @@ class RSPN:
         return inference.evaluate_batch(self.root, specs)
 
     def invalidate_compiled(self):
-        """Drop the cached flat-array form after out-of-band tree
-        mutations.  :meth:`insert`/:meth:`delete` invalidate implicitly
-        through :func:`repro.core.updates.update_tuple`."""
+        """Mark the cached flat-array form stale after out-of-band tree
+        mutations by bumping :attr:`generation`.
+        :meth:`insert`/:meth:`delete` invalidate implicitly through
+        :func:`repro.core.updates.update_tuple`."""
         from repro.core import compiled
 
         compiled.invalidate(self.root)
+
+    @property
+    def generation(self):
+        """Monotonic mutation counter of this model (0 when untouched).
+
+        Every :meth:`insert`/:meth:`delete` (and any out-of-band
+        :meth:`invalidate_compiled`) bumps it.  Consumers that cache
+        anything derived from this RSPN -- the compiled flat-array form,
+        a serving-layer result cache -- compare generations instead of
+        guessing when to invalidate.
+        """
+        from repro.core import compiled
+
+        return compiled.generation(self.root)
 
     def probability(self, conditions):
         """P(conditions) under the model."""

@@ -155,18 +155,35 @@ class DeepDB:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
+    @property
+    def generation(self):
+        """Monotonic change counter of the underlying ensemble.
+
+        This is the **single invalidation hook** for anything caching
+        results computed from this model: record the generation a result
+        was computed under, and treat the result as stale once
+        ``deepdb.generation`` differs.  Every :meth:`insert` /
+        :meth:`delete` moves it (as does out-of-band tree maintenance),
+        which is how the serving layer's LRU result cache and the
+        compiled flat-array cache stay correct without knowing about
+        individual update paths.
+        """
+        return self.ensemble.generation
+
     def insert(self, table, row: dict):
         """Insert one tuple into every RSPN covering ``table``.
 
         ``row`` maps column names to *raw* values; they are encoded with
         the table's vocabularies.  Join RSPNs receive the tuple with the
         join-partner columns NULL-extended, matching how a fresh tuple
-        without partners enters the full outer join.
+        without partners enters the full outer join.  Bumps
+        :attr:`generation`, invalidating dependent caches.
         """
         self._apply_update(table, row, insert=True)
 
     def delete(self, table, row: dict):
-        """Delete one tuple from every RSPN covering ``table``."""
+        """Delete one tuple from every RSPN covering ``table``.
+        Bumps :attr:`generation`, invalidating dependent caches."""
         self._apply_update(table, row, insert=False)
 
     def _apply_update(self, table, row, insert):

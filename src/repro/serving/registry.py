@@ -1,0 +1,91 @@
+"""Model registry: named DeepDB instances routed by database name.
+
+One serving process can hold several learned models (one per database,
+or several ensembles of one database under different names).  The
+registry maps names to :class:`~repro.serving.session.ModelSession`
+objects; every front-end request carries an optional ``database`` field
+that routes it to the session of that name.  A registry holding exactly
+one model serves unnamed requests from it, so single-model deployments
+need no routing ceremony.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving.session import ModelSession
+
+
+class ModelRegistry:
+    """Thread-safe name -> :class:`ModelSession` mapping."""
+
+    def __init__(self):
+        self._sessions: dict[str, ModelSession] = {}
+        self._lock = threading.Lock()
+
+    def register(self, name, deepdb, cache_size=256) -> ModelSession:
+        """Wrap ``deepdb`` in a serving session registered under ``name``.
+
+        One session per model: registering the same underlying ensemble
+        under a second name is refused, because each session guards its
+        model with its own read-write lock -- two sessions over one
+        ensemble would let a write through one bypass the other's
+        snapshot reads.
+        """
+        with self._lock:
+            if name in self._sessions:
+                raise ValueError(f"model {name!r} is already registered")
+            for existing in self._sessions.values():
+                if existing.deepdb.ensemble is deepdb.ensemble:
+                    raise ValueError(
+                        f"this model is already registered as "
+                        f"{existing.name!r}; route by that name (one "
+                        "session per model keeps snapshot isolation)"
+                    )
+            session = ModelSession(name, deepdb, cache_size=cache_size)
+            self._sessions[name] = session
+            return session
+
+    def unregister(self, name) -> ModelSession:
+        with self._lock:
+            try:
+                return self._sessions.pop(name)
+            except KeyError:
+                raise LookupError(
+                    f"no model named {name!r}; registered: {sorted(self._sessions)}"
+                ) from None
+
+    def session(self, name=None) -> ModelSession:
+        """The session for ``name``; ``None`` routes to the only model."""
+        with self._lock:
+            if name is None:
+                if len(self._sessions) == 1:
+                    return next(iter(self._sessions.values()))
+                raise LookupError(
+                    f"registry holds {len(self._sessions)} models; name one "
+                    f"of {sorted(self._sessions)}"
+                )
+            try:
+                return self._sessions[name]
+            except KeyError:
+                raise LookupError(
+                    f"no model named {name!r}; registered: {sorted(self._sessions)}"
+                ) from None
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, name):
+        with self._lock:
+            return name in self._sessions
+
+    def snapshot(self) -> dict:
+        """Per-model serving state (generation, cache counters)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return {session.name: session.snapshot() for session in sessions}

@@ -1,0 +1,166 @@
+"""Coalescer flush policy: size/deadline triggers and error isolation."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving import MicroBatchCoalescer
+
+
+class RecordingRunner:
+    """Flush callable that records every batch it receives."""
+
+    def __init__(self, fail_items=(), fail_batch=False, wrong_length=False):
+        self.batches = []
+        self.fail_items = set(fail_items)
+        self.fail_batch = fail_batch
+        self.wrong_length = wrong_length
+
+    def __call__(self, items):
+        self.batches.append(list(items))
+        if self.fail_batch:
+            raise RuntimeError("batch runner down")
+        results = [
+            ValueError(f"bad item {item}") if item in self.fail_items
+            else item * 10
+            for item in items
+        ]
+        return results[:-1] if self.wrong_length else results
+
+
+async def submit_all(coalescer, items):
+    return await asyncio.gather(
+        *(coalescer.submit(item) for item in items), return_exceptions=True
+    )
+
+
+class TestFlushTriggers:
+    def test_size_flush_fires_before_the_deadline(self):
+        runner = RecordingRunner()
+        # A deadline no test run ever reaches: only the size trigger can
+        # flush, so finishing at all proves the early size flush.
+        coalescer = MicroBatchCoalescer(
+            runner, max_batch_size=4, max_wait_ms=600_000
+        )
+        results = asyncio.run(submit_all(coalescer, [1, 2, 3, 4]))
+        assert results == [10, 20, 30, 40]
+        assert runner.batches == [[1, 2, 3, 4]]
+        assert coalescer.stats.size_flushes == 1
+        assert coalescer.stats.timeout_flushes == 0
+
+    def test_timeout_flush_delivers_a_partial_batch(self):
+        runner = RecordingRunner()
+        coalescer = MicroBatchCoalescer(
+            runner, max_batch_size=100, max_wait_ms=10
+        )
+        results = asyncio.run(submit_all(coalescer, [1, 2, 3]))
+        assert results == [10, 20, 30]
+        assert runner.batches == [[1, 2, 3]]
+        assert coalescer.stats.timeout_flushes == 1
+        assert coalescer.stats.size_flushes == 0
+        assert coalescer.stats.max_occupancy == 3
+
+    def test_overflow_splits_into_size_then_timeout_flushes(self):
+        runner = RecordingRunner()
+        coalescer = MicroBatchCoalescer(
+            runner, max_batch_size=4, max_wait_ms=10
+        )
+        results = asyncio.run(submit_all(coalescer, list(range(10))))
+        assert results == [i * 10 for i in range(10)]
+        assert [len(batch) for batch in runner.batches] == [4, 4, 2]
+        assert coalescer.stats.size_flushes == 2
+        assert coalescer.stats.timeout_flushes == 1
+        assert coalescer.stats.mean_occupancy == pytest.approx(10 / 3)
+
+    def test_closed_loop_rounds_form_one_batch_per_round(self):
+        runner = RecordingRunner()
+        coalescer = MicroBatchCoalescer(
+            runner, max_batch_size=3, max_wait_ms=50
+        )
+
+        async def client(base):
+            first = await coalescer.submit(base)
+            second = await coalescer.submit(base + 1)
+            return first, second
+
+        async def scenario():
+            return await asyncio.gather(client(0), client(10), client(20))
+
+        results = asyncio.run(scenario())
+        assert results == [(0, 10), (100, 110), (200, 210)]
+        # Round 1 coalesces all three clients; so does round 2.
+        assert [sorted(batch) for batch in runner.batches] == [
+            [0, 10, 20], [1, 11, 21],
+        ]
+
+    def test_drain_flushes_pending_without_waiting(self):
+        runner = RecordingRunner()
+        coalescer = MicroBatchCoalescer(
+            runner, max_batch_size=100, max_wait_ms=600_000
+        )
+
+        async def scenario():
+            tasks = [
+                asyncio.ensure_future(coalescer.submit(i)) for i in (1, 2)
+            ]
+            await asyncio.sleep(0)  # let the submissions enqueue
+            assert coalescer.pending == 2
+            await coalescer.drain()
+            return await asyncio.gather(*tasks)
+
+        assert asyncio.run(scenario()) == [10, 20]
+        assert coalescer.stats.drain_flushes == 1
+        assert coalescer.pending == 0
+
+
+class TestErrorIsolation:
+    def test_one_failing_item_spares_its_batchmates(self):
+        runner = RecordingRunner(fail_items={2})
+        coalescer = MicroBatchCoalescer(
+            runner, max_batch_size=3, max_wait_ms=600_000
+        )
+        results = asyncio.run(submit_all(coalescer, [1, 2, 3]))
+        assert results[0] == 10
+        assert isinstance(results[1], ValueError)
+        assert "bad item 2" in str(results[1])
+        assert results[2] == 30
+        assert runner.batches == [[1, 2, 3]]  # still ONE batch
+        assert coalescer.stats.failed_requests == 1
+
+    def test_runner_exception_fails_the_whole_batch(self):
+        runner = RecordingRunner(fail_batch=True)
+        coalescer = MicroBatchCoalescer(
+            runner, max_batch_size=2, max_wait_ms=600_000
+        )
+        results = asyncio.run(submit_all(coalescer, [1, 2]))
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert coalescer.stats.failed_requests == 2
+
+    def test_result_length_mismatch_is_surfaced(self):
+        runner = RecordingRunner(wrong_length=True)
+        coalescer = MicroBatchCoalescer(
+            runner, max_batch_size=2, max_wait_ms=600_000
+        )
+        results = asyncio.run(submit_all(coalescer, [1, 2]))
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert "2 items" in str(results[0])
+
+
+class TestConfiguration:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatchCoalescer(lambda items: items, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatchCoalescer(lambda items: items, max_wait_ms=-1)
+
+    def test_stats_snapshot_shape(self):
+        runner = RecordingRunner()
+        coalescer = MicroBatchCoalescer(runner, max_batch_size=2)
+        asyncio.run(submit_all(coalescer, [1, 2]))
+        snapshot = coalescer.stats.snapshot()
+        assert snapshot["requests"] == 2
+        assert snapshot["flushes"] == 1
+        assert snapshot["mean_occupancy"] == 2.0
+        assert snapshot["flush_seconds"] >= 0.0
