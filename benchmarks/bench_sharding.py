@@ -1,0 +1,150 @@
+"""Values-matrix sharding: 4 worker processes vs the single-process sweep.
+
+The ISSUE-4 acceptance benchmark.  A large batch of expectation
+requests over the flights RSPN is evaluated twice through
+``RSPN.expectation_batch`` -- once with the in-process compiled sweep,
+once fanned out across a 4-worker
+:class:`~repro.core.sharding.ShardedEvaluator` -- and the bench asserts
+
+- sharded answers are **bit-identical** (``==``, not ``allclose``) to
+  the serial sweep, with zero fallbacks, across >= 2 worker processes;
+- on hosts with >= 4 usable CPUs, sharded throughput is >= **1.5x** the
+  single-process sweep on the large batch.  On smaller hosts (CI
+  containers pinned to 1-2 cores) the speedup is *recorded* but the
+  throughput assertion is skipped -- process fan-out cannot beat one
+  core time-sharing itself, and pretending otherwise would just make
+  the bench flaky.
+
+It also scans batch sizes to report the **crossover**: the smallest
+batch at which sharding wins over serial (below it, IPC overhead
+dominates and the serial sweep is the right default -- which is why
+``ShardedEvaluator.min_shard_size`` exists).  Results are appended to
+``benchmarks/BENCH_sharding.json``.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_sharding.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.leaves import IDENTITY
+from repro.core.ranges import Range
+from repro.core.sharding import ShardedEvaluator
+
+N_WORKERS = 4
+N_QUERIES = 1024
+CROSSOVER_SIZES = (8, 32, 128, 512, N_QUERIES)
+_NUMERIC = ("distance", "dep_delay", "taxi_out", "air_time", "arr_delay")
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _requests(database, rspn, n_queries, seed):
+    """Distinct 1-3-column range-condition expectation requests (with an
+    occasional IDENTITY transform, as AVG/SUM numerators produce)."""
+    rng = np.random.default_rng(seed)
+    table = database.table("flights")
+    numeric = [f"flights.{c}" for c in _NUMERIC if f"flights.{c}" in rspn.column_index]
+    requests = []
+    while len(requests) < n_queries:
+        columns = rng.choice(numeric, size=rng.integers(1, 4), replace=False)
+        conditions = {}
+        for column in columns:
+            values = table.columns[column.split(".", 1)[1]]
+            finite = values[~np.isnan(values)]
+            span = finite.max() - finite.min()
+            width = span * rng.uniform(0.05, 0.3)
+            low = rng.uniform(finite.min(), finite.max() - width)
+            conditions[column] = Range.from_operator(
+                ">=", float(low)
+            ).intersect(Range.from_operator("<=", float(low + width)))
+        transforms = (
+            {columns[0]: [IDENTITY]} if rng.random() < 0.3 else None
+        )
+        requests.append((conditions, transforms))
+    return requests
+
+
+def test_sharded_sweep_speedup(flights_env, best_of, record_sharding_timing):
+    rspn = max(flights_env.ensemble.rspns, key=lambda r: len(r.column_names))
+    requests = _requests(flights_env.database, rspn, N_QUERIES, seed=41)
+
+    serial = np.asarray(rspn.expectation_batch(requests))  # warm the compile
+    serial_seconds = best_of(lambda: rspn.expectation_batch(requests))
+
+    cpus = _usable_cpus()
+    with ShardedEvaluator(n_workers=N_WORKERS, min_shard_size=1) as evaluator:
+        # Warm-up ships the tree to the pool; steady state is measured.
+        sharded = np.asarray(
+            rspn.expectation_batch(requests, executor=evaluator)
+        )
+        assert (sharded == serial).all()  # bit-identical, not allclose
+        sharded_seconds = best_of(
+            lambda: rspn.expectation_batch(requests, executor=evaluator)
+        )
+
+        # Crossover scan: where does sharding start to win?
+        crossover = None
+        sizes = []
+        for size in CROSSOVER_SIZES:
+            part = requests[:size]
+            serial_s = best_of(lambda: rspn.expectation_batch(part))
+            sharded_s = best_of(
+                lambda: rspn.expectation_batch(part, executor=evaluator)
+            )
+            sizes.append(
+                {"batch": size, "serial_s": serial_s, "sharded_s": sharded_s,
+                 "speedup": serial_s / sharded_s}
+            )
+            if crossover is None and sharded_s <= serial_s:
+                crossover = size
+
+        stats = evaluator.stats()
+
+    speedup = serial_seconds / sharded_seconds
+    assert_speedup = cpus >= N_WORKERS
+
+    print(f"\nsharded sweep, batch of {N_QUERIES} "
+          f"({N_WORKERS} workers, {cpus} usable CPUs)")
+    print(f"  serial  : {serial_seconds * 1e3:8.1f} ms "
+          f"({N_QUERIES / serial_seconds:8.0f} specs/s)")
+    print(f"  sharded : {sharded_seconds * 1e3:8.1f} ms "
+          f"({N_QUERIES / sharded_seconds:8.0f} specs/s)")
+    print(f"  speedup : {speedup:.2f}x across "
+          f"{stats['distinct_worker_pids']} worker processes; "
+          f"crossover batch ~{crossover}")
+    for row in sizes:
+        print(f"    batch {row['batch']:>5}: serial {row['serial_s']*1e3:7.2f} ms, "
+              f"sharded {row['sharded_s']*1e3:7.2f} ms "
+              f"({row['speedup']:.2f}x)")
+    if not assert_speedup:
+        print(f"  NOTE: only {cpus} usable CPUs -- the >= 1.5x assertion "
+              f"needs {N_WORKERS}; recording the measurement only")
+
+    record_sharding_timing(
+        "sharded_sweep", sharded_seconds,
+        serial_seconds=serial_seconds,
+        n_queries=N_QUERIES,
+        n_workers=N_WORKERS,
+        usable_cpus=cpus,
+        speedup=speedup,
+        speedup_asserted=assert_speedup,
+        crossover_batch=crossover,
+        batch_scan=sizes,
+        distinct_worker_pids=stats["distinct_worker_pids"],
+        tree_shipments=stats["tree_shipments"],
+        serial_fallbacks=stats["serial_fallbacks"],
+    )
+
+    assert stats["serial_fallbacks"] == 0
+    assert stats["distinct_worker_pids"] >= 2
+    if assert_speedup:
+        assert speedup >= 1.5

@@ -66,6 +66,7 @@ def timed(fn, *args, **kwargs):
 _TIMING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_inference.json")
 _OPTIMIZER_PATH = os.path.join(os.path.dirname(__file__), "BENCH_optimizer.json")
 _SERVING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serving.json")
+_SHARDING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_sharding.json")
 # path -> the session's named timing records destined for that file.
 _TRAJECTORIES: dict = {}
 
@@ -87,6 +88,8 @@ record_timing = _recorder(_TIMING_PATH)
 record_optimizer_timing = _recorder(_OPTIMIZER_PATH)
 # BENCH_serving.json: serving front-end closed-loop throughput.
 record_serving_timing = _recorder(_SERVING_PATH)
+# BENCH_sharding.json: values-matrix sharding across worker processes.
+record_sharding_timing = _recorder(_SHARDING_PATH)
 
 
 def best_of(fn, repeats=3):
@@ -123,6 +126,13 @@ def record_serving_timing_fixture():
     """Fixture handing benches the :func:`record_serving_timing`
     recorder (BENCH_serving.json)."""
     return record_serving_timing
+
+
+@pytest.fixture(scope="session", name="record_sharding_timing")
+def record_sharding_timing_fixture():
+    """Fixture handing benches the :func:`record_sharding_timing`
+    recorder (BENCH_sharding.json)."""
+    return record_sharding_timing
 
 
 def _benchmark_records(session):

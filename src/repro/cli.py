@@ -60,10 +60,19 @@ def _build_database(args):
     return generator.generate(scale=args.scale, seed=args.seed)
 
 
+def _add_shards_argument(parser):
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="fan batched compiled sweeps across N worker processes "
+             "(0 = in-process; answers are bit-identical either way)",
+    )
+
+
 def _load_model(args, database):
     from repro.deepdb import DeepDB
 
-    return DeepDB.load(args.model, database)
+    shards = getattr(args, "shards", 0)
+    return DeepDB.load(args.model, database, shards=shards or None)
 
 
 def _cmd_train(args, out):
@@ -93,6 +102,13 @@ def _cmd_estimate(args, out):
 
     database = _build_database(args)
     deepdb = _load_model(args, database)
+    try:
+        return _run_estimate(args, out, database, deepdb, Executor, q_error)
+    finally:
+        deepdb.close()
+
+
+def _run_estimate(args, out, database, deepdb, Executor, q_error):
     queries = [deepdb.parse(sql) for sql in args.sql]
     if len(queries) > 1:
         # Batched path: all expectation sub-queries share one compiled
@@ -145,6 +161,13 @@ def _print_answer(answer, confidence, out):
 def _cmd_query(args, out):
     database = _build_database(args)
     deepdb = _load_model(args, database)
+    try:
+        return _run_query(args, out, deepdb)
+    finally:
+        deepdb.close()
+
+
+def _run_query(args, out, deepdb):
     queries = [deepdb.parse(sql) for sql in args.sql]
     if len(queries) > 1:
         start = time.perf_counter()
@@ -180,6 +203,13 @@ def _cmd_plan(args, out):
 
     database = _build_database(args)
     deepdb = _load_model(args, database)
+    try:
+        return _run_plan(args, out, database, deepdb, intermediate_sizes)
+    finally:
+        deepdb.close()
+
+
+def _run_plan(args, out, database, deepdb, intermediate_sizes):
     query = deepdb.parse(args.sql)
     start = time.perf_counter()
     plan, cost, oracle = deepdb.plan(query, linear=args.left_deep)
@@ -227,12 +257,17 @@ def _cmd_serve(args, out):
     print(f"coalescing: batches of up to {args.max_batch_size} every "
           f"{args.max_wait_ms:g} ms; admission cap {args.max_inflight} "
           "in-flight", file=out)
+    if deepdb.evaluator is not None:
+        print(f"sharding: coalesced flushes of >= "
+              f"{deepdb.evaluator.min_shard_size} specs fan out across "
+              f"{deepdb.evaluator.n_workers} worker processes", file=out)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=out)
     finally:
         server.close()
+        deepdb.close()
     return 0
 
 
@@ -387,6 +422,7 @@ def build_parser():
                           help="also run the exact executor")
     estimate.add_argument("--explain", action="store_true",
                           help="print the probabilistic query compilation")
+    _add_shards_argument(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
 
     query = commands.add_parser(
@@ -398,6 +434,7 @@ def build_parser():
                        help="SQL query; repeat the flag to answer a whole "
                             "batch in one compiled sweep")
     query.add_argument("--confidence", type=float, default=0.95)
+    _add_shards_argument(query)
     query.set_defaults(handler=_cmd_query)
 
     plan = commands.add_parser(
@@ -411,6 +448,7 @@ def build_parser():
     plan.add_argument("--execute", action="store_true",
                       help="run the chosen plan with real hash joins and "
                            "report the realised intermediate sizes")
+    _add_shards_argument(plan)
     plan.set_defaults(handler=_cmd_plan)
 
     serve = commands.add_parser(
@@ -431,6 +469,7 @@ def build_parser():
                        help="admission-control cap on in-flight requests")
     serve.add_argument("--cache-size", type=int, default=256,
                        help="LRU result-cache entries (0 disables)")
+    _add_shards_argument(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     client = commands.add_parser(

@@ -99,6 +99,10 @@ class CompiledRSPN:
         # Root generation this form was lowered at; maintained by
         # :func:`compiled_for` for its staleness check.
         self.generation = 0
+        # Weak back-reference to the live tree: the sharded evaluator
+        # needs the root (to serialize it for worker processes) and must
+        # not keep it alive past its owner.
+        self.root_ref = weakref.ref(root)
 
         heights = [0] * self.n_nodes
         for i, node in enumerate(order):
@@ -131,13 +135,24 @@ class CompiledRSPN:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def evaluate_batch(self, specs):
+    def evaluate_batch(self, specs, executor=None):
         """Evaluate a batch of :class:`EvaluationSpec`-like objects.
 
         Returns an array of ``len(specs)`` values
         ``E[ prod_i h_i(X_i) * 1_{X_i in R_i} ]``, one per spec; specs
         with an empty selection evaluate to exactly ``0.0``.
+
+        ``executor`` plugs in a batch executor such as
+        :class:`repro.core.sharding.ShardedEvaluator`: batches of at
+        least its ``min_shard_size`` are split into per-worker column
+        slices of the values matrix and evaluated by worker processes
+        (per-query columns are independent, so sharding is
+        bit-identical to this serial sweep).  ``None`` -- and any
+        executor failure, which falls back internally -- evaluates
+        in-process.
         """
+        if executor is not None and executor.should_shard(len(specs)):
+            return executor.evaluate_batch(self, specs)
         results = np.zeros(len(specs), dtype=float)
         live = [
             (col, spec)

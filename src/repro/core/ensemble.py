@@ -62,13 +62,30 @@ class SPNEnsemble:
         self.training_seconds: float = 0.0
         self.rspn_training_seconds: list[float] = []
         self._structure_generation = 0
+        self.evaluator = None
 
     def add(self, rspn, seconds=0.0):
         self.rspns.append(rspn)
         self.rspn_training_seconds.append(seconds)
         self.training_seconds += seconds
         self._structure_generation += 1
+        rspn.evaluator = self.evaluator
         return rspn
+
+    def set_evaluator(self, evaluator):
+        """Attach (or detach, with ``None``) a shared batch executor.
+
+        Every member RSPN's ``expectation_batch`` -- and with it every
+        batched consumer: ``cardinality_batch``, the plan prefetch, the
+        ML heads, each coalesced serving flush -- then shards its
+        compiled sweeps through ``evaluator``
+        (:class:`repro.core.sharding.ShardedEvaluator`).  One evaluator
+        (one process pool) is shared across the whole ensemble.
+        """
+        self.evaluator = evaluator
+        for rspn in self.rspns:
+            rspn.evaluator = evaluator
+        return evaluator
 
     @property
     def generation(self):

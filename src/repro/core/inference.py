@@ -75,13 +75,16 @@ def evaluate(node, spec: EvaluationSpec):
     return float(evaluate_batch(node, (spec,))[0])
 
 
-def evaluate_batch(node, specs):
+def evaluate_batch(node, specs, executor=None):
     """Evaluate many specs in one compiled bottom-up sweep.
 
     Returns an array of ``len(specs)`` floats; the compiled form of the
-    tree is built (and cached) on first use.
+    tree is built (and cached) on first use.  ``executor`` optionally
+    shards the sweep across worker processes
+    (:class:`repro.core.sharding.ShardedEvaluator`); results are
+    bit-identical to the serial in-process sweep.
     """
-    return compiled_mod.compiled_for(node).evaluate_batch(specs)
+    return compiled_mod.compiled_for(node).evaluate_batch(specs, executor=executor)
 
 
 def evaluate_walk(node, spec: EvaluationSpec):

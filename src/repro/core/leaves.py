@@ -44,6 +44,18 @@ class Transform:
     def __repr__(self):
         return f"Transform({self.label})"
 
+    def __reduce_ex__(self, protocol):
+        # The module-level transforms below pickle *by name*, so a spec
+        # shipped to a sharding worker resolves to the worker's own
+        # singletons and identity-based dedup/grouping keeps working.
+        # Ad-hoc transforms fall through to the default behaviour:
+        # ``copy.deepcopy`` still works (functions copy atomically), and
+        # ``pickle`` fails on the lambda -- the sharded evaluator treats
+        # that as "not shippable" and falls back to the in-process sweep.
+        if _WELL_KNOWN.get(self.label) is self:
+            return (_well_known_transform, (self.label,))
+        return super().__reduce_ex__(protocol)
+
 
 IDENTITY = Transform(lambda v: v, 0.0, "x")
 SQUARE = Transform(lambda v: v * v, 0.0, "x^2")
@@ -56,6 +68,21 @@ INVERSE_FACTOR_SQUARE = Transform(
 # outer join" (Section 4.2).
 FACTOR_OUTER = Transform(lambda v: np.maximum(v, 1.0), 1.0, "max(x,1)")
 FACTOR_OUTER_SQUARE = Transform(lambda v: np.maximum(v, 1.0) ** 2, 1.0, "max(x,1)^2")
+
+# label -> singleton, the pickle-by-name registry for sharded evaluation.
+_WELL_KNOWN = {
+    t.label: t
+    for t in (
+        IDENTITY, SQUARE,
+        INVERSE_FACTOR, INVERSE_FACTOR_SQUARE,
+        FACTOR_OUTER, FACTOR_OUTER_SQUARE,
+    )
+}
+
+
+def _well_known_transform(label):
+    """Unpickle hook resolving a well-known transform by its label."""
+    return _WELL_KNOWN[label]
 
 
 def product_transform(transforms):
@@ -305,7 +332,14 @@ class BinnedLeaf(LeafNode):
             else:
                 weights = transform.fn(self._bin_means()) * self.counts
                 null_mass = self.null_count * transform.null_value
-            out[group] = coverage[group] @ weights
+            # Row-wise reduction, NOT ``coverage[group] @ weights``: the
+            # BLAS matvec picks different accumulation kernels depending
+            # on the number of rows, so one query's result could change
+            # with its batchmates.  ``sum(axis=1)`` reduces each row
+            # independently, keeping every query bit-identical across
+            # batch compositions -- the invariance chunked evaluation
+            # and process-sharding rely on.
+            out[group] = (coverage[group] * weights).sum(axis=1)
             out[group[null_flags[group]]] += null_mass
         return out / total
 

@@ -96,6 +96,10 @@ class RSPN:
             fd.dependent: fd for fd in functional_dependencies
         }
         self.config = config or RspnConfig()
+        # Shared batch executor (e.g. a ShardedEvaluator) used by
+        # :meth:`expectation_batch` when no explicit one is passed;
+        # attached via :meth:`repro.core.ensemble.SPNEnsemble.set_evaluator`.
+        self.evaluator = None
 
     # ------------------------------------------------------------------
     # Learning
@@ -188,7 +192,7 @@ class RSPN:
         spec = self._build_spec(conditions, transforms)
         return inference.evaluate(self.root, spec)
 
-    def expectation_batch(self, requests):
+    def expectation_batch(self, requests, executor=None):
         """Batched :meth:`expectation`: one compiled bottom-up sweep.
 
         ``requests`` is a sequence of ``(conditions, transforms)`` pairs
@@ -197,12 +201,20 @@ class RSPN:
         probabilistic query compiler uses to evaluate all expectation
         sub-queries of one SQL query -- and all GROUP BY groups -- in a
         single pass over this RSPN.
+
+        ``executor`` shards the sweep across worker processes; when
+        omitted the ensemble-attached :attr:`evaluator` (if any)
+        applies, so consumers that batch -- the compiler, the ML heads,
+        each coalesced serving flush -- fan out without signature
+        changes.  Sharded results are bit-identical to serial.
         """
         specs = [
             self._build_spec(conditions, transforms)
             for conditions, transforms in requests
         ]
-        return inference.evaluate_batch(self.root, specs)
+        if executor is None:
+            executor = self.evaluator
+        return inference.evaluate_batch(self.root, specs, executor=executor)
 
     def invalidate_compiled(self):
         """Mark the cached flat-array form stale after out-of-band tree

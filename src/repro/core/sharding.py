@@ -1,0 +1,359 @@
+"""Shard the compiled values matrix across worker processes.
+
+The batched bottom-up sweep of :mod:`repro.core.compiled` evaluates one
+``(n_nodes x n_queries)`` values matrix per batch.  Every per-query
+column of that matrix is computed independently -- leaf kernels fill
+columns per spec, the level-wise ``reduceat`` sweeps reduce along the
+node axis only -- so the matrix can be split by *query columns* and
+evaluated by several worker processes, then concatenated in original
+order.  That is pure parallelism with no semantic risk: the model is
+read-only at query time, and shard-of-N results are **bit-identical**
+to the serial sweep (the same batch-size invariance the batch-of-1 ==
+batch-of-N property tests already pin down).
+
+:class:`ShardedEvaluator` is the pluggable executor
+:meth:`~repro.core.compiled.CompiledRSPN.evaluate_batch` accepts:
+
+- a **persistent process pool** (``spawn`` by default -- safe to start
+  from threaded servers; tests use ``fork`` for speed) evaluates
+  contiguous spec slices;
+- workers **cache the deserialized tree** keyed on
+  ``(model key, generation)`` -- the same generation counter that
+  stale-checks the compiled-form and serving result caches -- so
+  ``insert``/``delete`` transparently re-ship the tree on the next
+  sweep.  A worker that does not hold the current generation raises
+  :class:`_StaleModel` and the parent retries that slice with the
+  serialized tree attached;
+- **any failure falls back to the in-process sweep** with a logged
+  warning -- a worker crash (``BrokenProcessPool``), a pickling failure
+  (ad-hoc transforms), a timeout -- never a wrong answer.  A broken
+  pool is discarded and lazily rebuilt on the next call (self-healing).
+
+Attach a shared evaluator with
+:meth:`repro.core.ensemble.SPNEnsemble.set_evaluator` (which
+``DeepDB(shards=N)`` and the CLI ``--shards`` flag do for you): every
+``expectation_batch`` sweep -- including each coalesced serving flush
+through ``ModelSession.run_batch`` -- then fans out across the pool.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import logging
+import os
+import pickle
+import threading
+import time
+import weakref
+from collections import OrderedDict
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+
+import numpy as np
+
+logger = logging.getLogger(__name__)
+
+# Parent-side identity of a node tree, stable for the tree's lifetime
+# (``id()`` alone could be recycled after garbage collection).
+_MODEL_KEYS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_MODEL_KEY_COUNTER = itertools.count(1)
+_MODEL_KEY_LOCK = threading.Lock()
+
+
+def model_key(root) -> int:
+    """A process-unique, non-recycled key for a node tree."""
+    with _MODEL_KEY_LOCK:
+        key = _MODEL_KEYS.get(root)
+        if key is None:
+            key = next(_MODEL_KEY_COUNTER)
+            _MODEL_KEYS[root] = key
+        return key
+
+
+class _StaleModel(Exception):
+    """A worker does not hold ``(model key, generation)`` and no tree
+    was shipped with the task; the parent retries with the tree."""
+
+    def __init__(self, key, generation):
+        super().__init__(key, generation)
+        self.key = key
+        self.generation = generation
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+# model key -> (generation, CompiledRSPN); a small LRU per worker.  The
+# parent-side pickled-tree cache uses the same cap so neither side
+# retains serialized trees of models that stopped being queried.
+_WORKER_MODELS: OrderedDict = OrderedDict()
+_WORKER_MODEL_CAP = 8
+
+
+def _worker_evaluate(key, generation, tree_blob, specs):
+    """Evaluate one spec slice against the worker's cached model.
+
+    Returns ``(pid, values)`` -- the pid lets callers verify that a
+    batch really fanned out across several processes.
+    """
+    from repro.core.compiled import CompiledRSPN
+
+    entry = _WORKER_MODELS.get(key)
+    if entry is None or entry[0] != generation:
+        if tree_blob is None:
+            raise _StaleModel(key, generation)
+        root = pickle.loads(tree_blob)
+        entry = (generation, CompiledRSPN(root))
+        _WORKER_MODELS[key] = entry
+        while len(_WORKER_MODELS) > _WORKER_MODEL_CAP:
+            _WORKER_MODELS.popitem(last=False)
+    _WORKER_MODELS.move_to_end(key)
+    return os.getpid(), entry[1].evaluate_batch(specs)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class ShardedEvaluator:
+    """Fan compiled batch sweeps out across a persistent process pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Pool size (default: ``os.cpu_count()``).
+    min_shard_size:
+        Smallest batch worth sharding; below it the serial in-process
+        sweep wins on IPC overhead (``bench_sharding.py`` measures the
+        crossover).
+    mp_context:
+        ``multiprocessing`` start method.  ``"spawn"`` (default) is safe
+        to initialise from threaded servers; ``"fork"`` starts faster.
+    result_timeout_s:
+        Per-slice wait cap; a hung worker triggers the serial fallback
+        and a pool rebuild instead of stalling the caller forever.
+    """
+
+    def __init__(self, n_workers=None, min_shard_size=32,
+                 mp_context="spawn", result_timeout_s=120.0):
+        self.n_workers = max(1, int(n_workers or (os.cpu_count() or 1)))
+        self.min_shard_size = max(1, int(min_shard_size))
+        self.result_timeout_s = result_timeout_s
+        self._mp_context = get_context(mp_context)
+        self._lock = threading.Lock()
+        self._pool = None
+        self._closed = False
+        # model key -> generation every pool worker is believed to hold.
+        self._shipped: dict[int, int] = {}
+        # model key -> (generation, pickled tree); an LRU holding the
+        # current blob only, capped like the worker-side model cache.
+        self._blobs: OrderedDict = OrderedDict()
+        # Telemetry (advisory; read through :meth:`stats`).
+        self.sharded_batches = 0
+        self.sharded_specs = 0
+        self.serial_fallbacks = 0
+        self.tree_shipments = 0
+        self.reships = 0
+        self.pool_restarts = 0
+        self.worker_pids: set[int] = set()
+        self.last_worker_pids: tuple = ()
+
+    # ------------------------------------------------------------------
+    # Executor protocol
+    # ------------------------------------------------------------------
+    def should_shard(self, n_specs) -> bool:
+        """Whether a batch of ``n_specs`` goes through the pool."""
+        return not self._closed and n_specs >= self.min_shard_size
+
+    def evaluate_batch(self, compiled, specs):
+        """Evaluate ``specs`` against ``compiled`` across the pool.
+
+        Never raises and never returns a wrong answer: any failure --
+        worker crash, pickling error, timeout, garbage-collected root --
+        logs a warning and falls back to the in-process serial sweep.
+        """
+        root = compiled.root_ref()
+        if root is None:
+            return self._fallback(compiled, specs, "root tree was garbage-collected")
+        try:
+            return self._evaluate_sharded(root, compiled, specs)
+        except Exception as error:  # noqa: BLE001 - fallback, never a wrong answer
+            self._heal(error)
+            return self._fallback(
+                compiled, specs, f"{type(error).__name__}: {error}"
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        """Shut the pool down; further batches evaluate in-process."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+            self._shipped.clear()
+            self._blobs.clear()
+        if pool is not None:
+            _shutdown_pool(pool, grace_s=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter may be tearing down
+            pass
+
+    def stats(self) -> dict:
+        """Counters for benches, the smoke check and ``/stats``."""
+        with self._lock:
+            return {
+                "workers": self.n_workers,
+                "min_shard_size": self.min_shard_size,
+                "pool_alive": self._pool is not None,
+                "sharded_batches": self.sharded_batches,
+                "sharded_specs": self.sharded_specs,
+                "serial_fallbacks": self.serial_fallbacks,
+                "tree_shipments": self.tree_shipments,
+                "reships": self.reships,
+                "pool_restarts": self.pool_restarts,
+                "distinct_worker_pids": len(self.worker_pids),
+                "last_worker_pids": list(self.last_worker_pids),
+            }
+
+    # ------------------------------------------------------------------
+    # Sharded evaluation
+    # ------------------------------------------------------------------
+    def _evaluate_sharded(self, root, compiled, specs):
+        key = model_key(root)
+        generation = compiled.generation
+        slices = [
+            s for s in np.array_split(np.arange(len(specs)), self.n_workers)
+            if s.size
+        ]
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("evaluator is closed")
+            pool = self._ensure_pool()
+            blob = None
+            if self._shipped.get(key) != generation:
+                blob = self._tree_blob(root, key, generation)
+        futures = [
+            pool.submit(
+                _worker_evaluate, key, generation, blob,
+                [specs[i] for i in indices],
+            )
+            for indices in slices
+        ]
+        results = np.zeros(len(specs), dtype=float)
+        pids = []
+        for indices, future in zip(slices, futures):
+            try:
+                pid, values = future.result(timeout=self.result_timeout_s)
+            except _StaleModel:
+                # A worker that never saw this (model, generation) --
+                # e.g. it sat out the batch that shipped the tree.
+                # Retry just that slice with the tree attached.
+                with self._lock:
+                    retry_blob = self._tree_blob(root, key, generation)
+                    self.reships += 1
+                pid, values = pool.submit(
+                    _worker_evaluate, key, generation, retry_blob,
+                    [specs[i] for i in indices],
+                ).result(timeout=self.result_timeout_s)
+            results[indices] = values
+            pids.append(pid)
+        with self._lock:
+            self._shipped[key] = generation
+            self.sharded_batches += 1
+            self.sharded_specs += len(specs)
+            self.worker_pids.update(pids)
+            if len(self.worker_pids) > 256:  # bound across pool restarts
+                self.worker_pids = set(pids)
+            self.last_worker_pids = tuple(pids)
+        return results
+
+    def _ensure_pool(self):
+        """The live pool, created lazily (callers hold ``_lock``)."""
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=self._mp_context
+            )
+            # A fresh pool holds no models: force re-shipping.
+            self._shipped.clear()
+        return self._pool
+
+    def _tree_blob(self, root, key, generation):
+        """The pickled tree for ``generation`` (callers hold ``_lock``).
+
+        Cached per model so retries and multi-batch shipping do not
+        re-serialize; mutations (a new generation) replace the entry.
+        """
+        cached = self._blobs.get(key)
+        if cached is not None and cached[0] == generation:
+            self._blobs.move_to_end(key)
+            return cached[1]
+        blob = pickle.dumps(root, protocol=pickle.HIGHEST_PROTOCOL)
+        self._blobs[key] = (generation, blob)
+        self._blobs.move_to_end(key)
+        while len(self._blobs) > _WORKER_MODEL_CAP:
+            self._blobs.popitem(last=False)
+        self.tree_shipments += 1
+        return blob
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _heal(self, error):
+        """Discard a broken/hung pool so the next call rebuilds it."""
+        if not isinstance(
+            error, (BrokenProcessPool, concurrent.futures.TimeoutError, OSError)
+        ):
+            return  # e.g. a pickling error: the pool itself is fine
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._shipped.clear()
+            if pool is not None:
+                self.pool_restarts += 1
+        if pool is not None:
+            # No grace: the pool is broken or hung; surviving workers
+            # are terminated so they cannot wedge interpreter exit.
+            _shutdown_pool(pool, grace_s=0.0)
+
+    def _fallback(self, compiled, specs, reason):
+        with self._lock:
+            self.serial_fallbacks += 1
+        logger.warning(
+            "sharded evaluation failed (%s); falling back to the "
+            "in-process sweep for this batch of %d specs", reason, len(specs)
+        )
+        return compiled.evaluate_batch(specs)
+
+
+def _shutdown_pool(pool, grace_s):
+    """Shut a worker pool down without ever blocking indefinitely.
+
+    ``ProcessPoolExecutor.shutdown(wait=True)`` -- and the interpreter's
+    own atexit join -- wait forever on a worker that is deadlocked or
+    wedged (e.g. a ``fork`` child that inherited a held lock).  This
+    sends the regular shutdown sentinels, grants the workers ``grace_s``
+    seconds to drain, then terminates (and finally kills) survivors so
+    neither :meth:`ShardedEvaluator.close` nor process exit can hang.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    deadline = time.monotonic() + grace_s
+    for process in processes:
+        process.join(max(0.0, deadline - time.monotonic()))
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        if process.is_alive():
+            process.join(1.0)
+            if process.is_alive():
+                process.kill()

@@ -23,18 +23,51 @@ from repro.engine.parser import parse_query
 
 
 class DeepDB:
-    """An RSPN ensemble plus probabilistic query compilation."""
+    """An RSPN ensemble plus probabilistic query compilation.
 
-    def __init__(self, database, ensemble):
+    ``shards=N`` fans every batched compiled sweep out across ``N``
+    worker processes (:class:`~repro.core.sharding.ShardedEvaluator`):
+    large ``cardinality_batch``/``approximate_batch`` calls, the plan
+    prefetch, the ML heads and each coalesced serving flush all ride
+    the same shared pool.  Sharded answers are bit-identical to the
+    in-process sweep, and any pool failure falls back to it, so
+    ``shards`` is purely a throughput knob.  Pass a prebuilt
+    ``evaluator`` instead to share one pool across several models;
+    call :meth:`close` to shut the pool down.
+    """
+
+    def __init__(self, database, ensemble, shards=None, evaluator=None):
         self.database = database
         self.ensemble = ensemble
         self.compiler = ProbabilisticQueryCompiler(ensemble)
+        self._owns_evaluator = False
+        if evaluator is None and shards:
+            from repro.core.sharding import ShardedEvaluator
+
+            evaluator = ShardedEvaluator(n_workers=int(shards))
+            self._owns_evaluator = True
+        self.evaluator = evaluator
+        if evaluator is not None:
+            ensemble.set_evaluator(evaluator)
 
     @classmethod
-    def learn(cls, database, config: EnsembleConfig | None = None):
+    def learn(cls, database, config: EnsembleConfig | None = None, shards=None):
         """Offline learning phase: build the RSPN ensemble for a database."""
         ensemble = learn_ensemble(database, config)
-        return cls(database, ensemble)
+        return cls(database, ensemble, shards=shards)
+
+    def close(self):
+        """Detach this model from its evaluator; afterwards its batches
+        evaluate in-process (answers are unchanged).  The worker pool
+        itself is only shut down when this instance created it
+        (``shards=N``) -- a caller-supplied shared evaluator keeps
+        serving its other models and is the caller's to close."""
+        if self.evaluator is not None:
+            self.ensemble.set_evaluator(None)
+            if self._owns_evaluator:
+                self.evaluator.close()
+            self.evaluator = None
+            self._owns_evaluator = False
 
     # ------------------------------------------------------------------
     # Persistence
@@ -46,11 +79,11 @@ class DeepDB:
         save_ensemble(self.ensemble, path)
 
     @classmethod
-    def load(cls, path, database):
+    def load(cls, path, database, shards=None):
         """Re-open a persisted ensemble against its database."""
         from repro.core.serialization import load_ensemble
 
-        return cls(database, load_ensemble(path, database))
+        return cls(database, load_ensemble(path, database), shards=shards)
 
     # ------------------------------------------------------------------
     # Runtime tasks

@@ -17,7 +17,10 @@ instance with the state the serving layer needs around it:
   fails only that request), deduplicates identical request texts,
   serves cache hits, and answers the rest through the batched estimator
   protocol -- ``cardinality_batch`` / ``answer_batch`` and the
-  prefetching plan oracle.
+  prefetching plan oracle.  When the model carries a sharded evaluator
+  (``DeepDB(shards=N)`` / ``repro serve --shards N``), each flushed
+  batch's compiled sweeps fan out across the evaluator's worker
+  processes -- the coalescer builds the batch, the pool executes it.
 """
 
 from __future__ import annotations
@@ -310,11 +313,15 @@ class ModelSession:
     # Introspection
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "name": self.name,
             "generation": self.deepdb.generation,
             "cache": self._cache.snapshot(),
         }
+        evaluator = getattr(self.deepdb, "evaluator", None)
+        if evaluator is not None:
+            snap["sharding"] = evaluator.stats()
+        return snap
 
     def __repr__(self):
         return (f"ModelSession({self.name!r}, "

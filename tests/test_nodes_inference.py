@@ -306,6 +306,27 @@ class TestCompiledAgainstWalk:
         assert leaf.evaluate_batch([empty], [None])[0] == 0.0
         assert leaf.evaluate_batch([empty], [IDENTITY])[0] == 0.0
 
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chunked_batch_is_bit_identical_to_unchunked(self, seed, monkeypatch):
+        """A batch straddling the ``_CHUNK_BUDGET`` split must agree
+        **bit-for-bit** with the single-sweep evaluation: per-query
+        columns of the values matrix are independent, so where the
+        chunk boundary falls cannot matter.  (This is the same
+        batch-composition invariance the process-sharding of
+        ``repro.core.sharding`` relies on.)"""
+        from repro.core import compiled as compiled_mod
+
+        rng = np.random.default_rng(700 + seed)
+        scope = tuple(range(3))
+        spn = _random_spn(rng, scope, depth=2)
+        specs = [_random_spec(rng, scope) for _ in range(40)]
+        unchunked = evaluate_batch(spn, specs)
+        # The chunk size floors at 16 queries, so a budget of 1 forces
+        # ceil(40 / 16) = 3 chunks including a ragged tail.
+        monkeypatch.setattr(compiled_mod, "_CHUNK_BUDGET", 1)
+        chunked = evaluate_batch(spn, specs)
+        assert list(chunked) == list(unchunked)
+
 
 class TestSumWeightCache:
     def test_adjust_count_invalidates_cache(self):
