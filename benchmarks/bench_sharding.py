@@ -1,24 +1,27 @@
-"""Values-matrix sharding: 4 worker processes vs the single-process sweep.
+"""Values-matrix sharding: worker processes vs the single-process sweep,
+under both spec transports.
 
-The ISSUE-4 acceptance benchmark.  A large batch of expectation
-requests over the flights RSPN is evaluated twice through
-``RSPN.expectation_batch`` -- once with the in-process compiled sweep,
-once fanned out across a 4-worker
-:class:`~repro.core.sharding.ShardedEvaluator` -- and the bench asserts
+The ISSUE-4/ISSUE-5 acceptance benchmark.  A large batch of expectation
+requests over the flights RSPN is evaluated through
+``RSPN.expectation_batch`` three ways -- the in-process compiled sweep,
+and a 4-worker :class:`~repro.core.sharding.ShardedEvaluator` under
+each transport (``shm``: zero-copy shared-memory segments; ``pickle``:
+the portability fallback) -- and the bench asserts
 
 - sharded answers are **bit-identical** (``==``, not ``allclose``) to
-  the serial sweep, with zero fallbacks, across >= 2 worker processes;
+  the serial sweep, with zero fallbacks, under *every* transport;
 - on hosts with >= 4 usable CPUs, sharded throughput is >= **1.5x** the
-  single-process sweep on the large batch.  On smaller hosts (CI
-  containers pinned to 1-2 cores) the speedup is *recorded* but the
-  throughput assertion is skipped -- process fan-out cannot beat one
-  core time-sharing itself, and pretending otherwise would just make
-  the bench flaky.
+  single-process sweep on the large batch (asserted for the default
+  ``shm`` transport).  On smaller hosts (CI containers pinned to 1-2
+  cores) the speedup is *recorded* but the throughput assertion is
+  skipped -- process fan-out cannot beat one core time-sharing itself,
+  and pretending otherwise would just make the bench flaky.
 
-It also scans batch sizes to report the **crossover**: the smallest
-batch at which sharding wins over serial (below it, IPC overhead
-dominates and the serial sweep is the right default -- which is why
-``ShardedEvaluator.min_shard_size`` exists).  Results are appended to
+Per transport it records what ISSUE 5 asks for: **bytes shipped** per
+flush (spec payload + tree publications) and the **per-flush
+serialization/publish overhead** (seconds the parent spends packing or
+pickling before workers can start), plus the crossover batch size where
+sharding starts to win over serial.  Results are appended to
 ``benchmarks/BENCH_sharding.json``.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_sharding.py -q -s``.
@@ -32,7 +35,7 @@ import numpy as np
 
 from repro.core.leaves import IDENTITY
 from repro.core.ranges import Range
-from repro.core.sharding import ShardedEvaluator
+from repro.core.sharding import ShardedEvaluator, shm_available
 
 N_WORKERS = 4
 N_QUERIES = 1024
@@ -73,16 +76,13 @@ def _requests(database, rspn, n_queries, seed):
     return requests
 
 
-def test_sharded_sweep_speedup(flights_env, best_of, record_sharding_timing):
-    rspn = max(flights_env.ensemble.rspns, key=lambda r: len(r.column_names))
-    requests = _requests(flights_env.database, rspn, N_QUERIES, seed=41)
-
-    serial = np.asarray(rspn.expectation_batch(requests))  # warm the compile
-    serial_seconds = best_of(lambda: rspn.expectation_batch(requests))
-
-    cpus = _usable_cpus()
-    with ShardedEvaluator(n_workers=N_WORKERS, min_shard_size=1) as evaluator:
-        # Warm-up ships the tree to the pool; steady state is measured.
+def _measure_transport(rspn, requests, serial, transport, best_of):
+    """One transport's full measurement: identity, speedup, crossover,
+    bytes shipped and per-flush publish overhead."""
+    with ShardedEvaluator(
+        n_workers=N_WORKERS, min_shard_size=1, transport=transport
+    ) as evaluator:
+        # Warm-up publishes the tree to the pool; steady state is measured.
         sharded = np.asarray(
             rspn.expectation_batch(requests, executor=evaluator)
         )
@@ -108,43 +108,105 @@ def test_sharded_sweep_speedup(flights_env, best_of, record_sharding_timing):
                 crossover = size
 
         stats = evaluator.stats()
+    tstats = stats["transport_stats"]
+    flushes = max(tstats["spec_publishes"], 1)
+    return {
+        "transport": transport,
+        "sharded_seconds": sharded_seconds,
+        "crossover_batch": crossover,
+        "batch_scan": sizes,
+        "stats": stats,
+        "spec_bytes_total": tstats["spec_bytes"],
+        "spec_bytes_per_flush": tstats["spec_bytes"] / flushes,
+        "tree_bytes": tstats["tree_bytes"],
+        "tree_publishes": tstats["tree_publishes"],
+        "publish_seconds_total": tstats["publish_seconds"],
+        "publish_overhead_per_flush_s": tstats["publish_seconds"] / flushes,
+        "flushes": tstats["spec_publishes"],
+        "spec_pack_fallbacks": tstats["spec_pack_fallbacks"],
+    }
 
-    speedup = serial_seconds / sharded_seconds
-    assert_speedup = cpus >= N_WORKERS
+
+def test_sharded_sweep_transports(flights_env, best_of, record_sharding_timing):
+    rspn = max(flights_env.ensemble.rspns, key=lambda r: len(r.column_names))
+    requests = _requests(flights_env.database, rspn, N_QUERIES, seed=41)
+
+    serial = np.asarray(rspn.expectation_batch(requests))  # warm the compile
+    serial_seconds = best_of(lambda: rspn.expectation_batch(requests))
+
+    cpus = _usable_cpus()
+    transports = ("shm", "pickle") if shm_available() else ("pickle",)
+    measurements = [
+        _measure_transport(rspn, requests, serial, transport, best_of)
+        for transport in transports
+    ]
 
     print(f"\nsharded sweep, batch of {N_QUERIES} "
           f"({N_WORKERS} workers, {cpus} usable CPUs)")
-    print(f"  serial  : {serial_seconds * 1e3:8.1f} ms "
+    print(f"  serial        : {serial_seconds * 1e3:8.1f} ms "
           f"({N_QUERIES / serial_seconds:8.0f} specs/s)")
-    print(f"  sharded : {sharded_seconds * 1e3:8.1f} ms "
-          f"({N_QUERIES / sharded_seconds:8.0f} specs/s)")
-    print(f"  speedup : {speedup:.2f}x across "
-          f"{stats['distinct_worker_pids']} worker processes; "
-          f"crossover batch ~{crossover}")
-    for row in sizes:
-        print(f"    batch {row['batch']:>5}: serial {row['serial_s']*1e3:7.2f} ms, "
-              f"sharded {row['sharded_s']*1e3:7.2f} ms "
-              f"({row['speedup']:.2f}x)")
+    for m in measurements:
+        speedup = serial_seconds / m["sharded_seconds"]
+        print(f"  sharded {m['transport']:<6}: "
+              f"{m['sharded_seconds'] * 1e3:8.1f} ms "
+              f"({N_QUERIES / m['sharded_seconds']:8.0f} specs/s, "
+              f"{speedup:.2f}x) -- "
+              f"{m['spec_bytes_per_flush'] / 1024:.1f} KiB/flush shipped, "
+              f"publish overhead {m['publish_overhead_per_flush_s'] * 1e3:.2f} "
+              f"ms/flush, tree published {m['tree_publishes']}x "
+              f"({m['tree_bytes'] / 1024:.1f} KiB); "
+              f"crossover batch ~{m['crossover_batch']}")
+        for row in m["batch_scan"]:
+            print(f"    batch {row['batch']:>5}: "
+                  f"serial {row['serial_s']*1e3:7.2f} ms, "
+                  f"sharded {row['sharded_s']*1e3:7.2f} ms "
+                  f"({row['speedup']:.2f}x)")
+
+    assert_speedup = cpus >= N_WORKERS
     if not assert_speedup:
         print(f"  NOTE: only {cpus} usable CPUs -- the >= 1.5x assertion "
-              f"needs {N_WORKERS}; recording the measurement only")
+              f"needs {N_WORKERS}; recording the measurements only")
+    if len(measurements) == 2:
+        shm_m, pickle_m = measurements
+        ratio = pickle_m["spec_bytes_per_flush"] / max(
+            shm_m["spec_bytes_per_flush"], 1.0
+        )
+        print(f"  shm ships {shm_m['spec_bytes_per_flush'] / 1024:.1f} "
+              f"KiB/flush vs pickle {pickle_m['spec_bytes_per_flush'] / 1024:.1f}"
+              f" KiB/flush ({ratio:.2f}x) -- and the pickle path re-pickles "
+              f"per slice while shm publishes once for all workers")
 
-    record_sharding_timing(
-        "sharded_sweep", sharded_seconds,
-        serial_seconds=serial_seconds,
-        n_queries=N_QUERIES,
-        n_workers=N_WORKERS,
-        usable_cpus=cpus,
-        speedup=speedup,
-        speedup_asserted=assert_speedup,
-        crossover_batch=crossover,
-        batch_scan=sizes,
-        distinct_worker_pids=stats["distinct_worker_pids"],
-        tree_shipments=stats["tree_shipments"],
-        serial_fallbacks=stats["serial_fallbacks"],
-    )
-
-    assert stats["serial_fallbacks"] == 0
-    assert stats["distinct_worker_pids"] >= 2
-    if assert_speedup:
-        assert speedup >= 1.5
+    for m in measurements:
+        stats = m["stats"]
+        speedup = serial_seconds / m["sharded_seconds"]
+        record_sharding_timing(
+            f"sharded_sweep_{m['transport']}", m["sharded_seconds"],
+            serial_seconds=serial_seconds,
+            n_queries=N_QUERIES,
+            n_workers=N_WORKERS,
+            usable_cpus=cpus,
+            transport=m["transport"],
+            speedup=speedup,
+            speedup_asserted=assert_speedup and m["transport"] == "shm",
+            crossover_batch=m["crossover_batch"],
+            batch_scan=m["batch_scan"],
+            spec_bytes_per_flush=m["spec_bytes_per_flush"],
+            spec_bytes_total=m["spec_bytes_total"],
+            tree_bytes=m["tree_bytes"],
+            tree_publishes=m["tree_publishes"],
+            publish_overhead_per_flush_s=m["publish_overhead_per_flush_s"],
+            publish_seconds_total=m["publish_seconds_total"],
+            flushes=m["flushes"],
+            distinct_worker_pids=stats["distinct_worker_pids"],
+            tree_shipments=stats["tree_shipments"],
+            serial_fallbacks=stats["serial_fallbacks"],
+        )
+        # Hard guarantees regardless of host size: identity held (checked
+        # above), nothing fell back, work really crossed processes, and
+        # the packed columnar form carried every flush.
+        assert stats["serial_fallbacks"] == 0
+        assert stats["distinct_worker_pids"] >= 2
+        assert m["spec_pack_fallbacks"] == 0
+        assert m["spec_bytes_per_flush"] > 0
+        if assert_speedup and m["transport"] == "shm":
+            assert speedup >= 1.5

@@ -13,7 +13,8 @@ It then smokes the consumer layers of the batched estimator protocol:
   ``AsyncDeepDB`` facade must be coalesced into multi-request flushes
   whose answers match the scalar loop to 1e-9,
 - **sharding**: the same coalesced serving path with a 2-worker
-  ``ShardedEvaluator`` attached -- flushes must fan their compiled
+  ``ShardedEvaluator`` attached (the default spec transport: zero-copy
+  shared memory where available) -- flushes must fan their compiled
   sweeps out across >= 2 worker processes with answers bit-identical
   to serial and zero fallbacks,
 - **ML heads**: ``RspnRegressor.predict`` / ``RspnClassifier.predict``
@@ -255,8 +256,10 @@ def _smoke_sharding(database, ensemble, n_clients=8, rounds=2):
               "back to the in-process sweep")
         return 1
     print(f"OK: coalesced flushes fanned out across "
-          f"{stats['distinct_worker_pids']} worker processes "
-          f"({stats['sharded_batches']} sharded batches, 0 fallbacks), "
+          f"{stats['distinct_worker_pids']} worker processes over the "
+          f"{stats['transport']!r} transport "
+          f"({stats['sharded_batches']} sharded batches, 0 fallbacks, "
+          f"{stats['transport_stats']['spec_bytes']} spec bytes shipped), "
           f"answers bit-identical to serial "
           f"({time.perf_counter() - start:.1f}s)")
     return 0

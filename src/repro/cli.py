@@ -66,13 +66,23 @@ def _add_shards_argument(parser):
         help="fan batched compiled sweeps across N worker processes "
              "(0 = in-process; answers are bit-identical either way)",
     )
+    parser.add_argument(
+        "--transport", choices=("auto", "shm", "pickle"), default="auto",
+        help="how sharded sweeps ship specs and the model to workers: "
+             "shm publishes zero-copy shared-memory segments (default "
+             "where available), pickle is the portability fallback",
+    )
 
 
 def _load_model(args, database):
     from repro.deepdb import DeepDB
 
     shards = getattr(args, "shards", 0)
-    return DeepDB.load(args.model, database, shards=shards or None)
+    transport = getattr(args, "transport", "auto")
+    return DeepDB.load(
+        args.model, database, shards=shards or None,
+        transport=None if transport == "auto" else transport,
+    )
 
 
 def _cmd_train(args, out):
@@ -260,7 +270,8 @@ def _cmd_serve(args, out):
     if deepdb.evaluator is not None:
         print(f"sharding: coalesced flushes of >= "
               f"{deepdb.evaluator.min_shard_size} specs fan out across "
-              f"{deepdb.evaluator.n_workers} worker processes", file=out)
+              f"{deepdb.evaluator.n_workers} worker processes over the "
+              f"{deepdb.evaluator.transport!r} transport", file=out)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -53,7 +53,7 @@ import weakref
 
 import numpy as np
 
-from repro.core.leaves import product_transform
+from repro.core.leaves import BinnedLeaf, DiscreteLeaf, product_transform
 from repro.core.nodes import LeafNode, ProductNode, SumNode
 
 # Soft cap on the size (floats) of one values matrix; batches are split
@@ -253,6 +253,168 @@ def _post_order(root):
         for child in node.children:
             stack.append((child, False))
     return order
+
+
+# ----------------------------------------------------------------------
+# Flat-array export / import (shared-memory tree transport)
+# ----------------------------------------------------------------------
+# A node tree lowered to plain arrays plus a small JSON-able structure
+# header, so the sharded evaluator can publish the whole model into one
+# shared-memory segment and workers can rebuild an evaluation twin whose
+# leaf histograms are zero-copy views into the externally-owned buffer.
+# Only what evaluation needs is exported: node kinds, child topology,
+# sum-node counts (weights are derived exactly as the live tree derives
+# them) and the leaf payload arrays.  Update-only state (KMeans routing
+# models, FD dictionaries) stays behind -- imported trees are read-only
+# evaluation twins, which is all a sharding worker ever runs.
+
+_KIND_SUM, _KIND_PRODUCT, _KIND_DISCRETE, _KIND_BINNED = 0, 1, 2, 3
+
+
+def export_tree_arrays(root):
+    """Lower a node tree to ``(meta, arrays)`` for an external buffer.
+
+    ``arrays`` values are flat NumPy arrays (shippable through the
+    segment codec of :mod:`repro.core.specpack`); ``meta`` carries the
+    structure header (root row, per-leaf attribute names and payload
+    offsets).  All float payloads travel as raw float64 bytes, so
+    :func:`import_tree_arrays` reproduces evaluation bit-for-bit.
+    """
+    order = _post_order(root)
+    index_of = {id(node): i for i, node in enumerate(order)}
+    kinds = np.empty(len(order), dtype=np.int8)
+    leaf_scope = np.full(len(order), -1, dtype=np.int64)
+    child_offsets = [0]
+    child_index: list[int] = []
+    child_counts: list[float] = []
+    leaf_meta = []
+    leaf_chunks: list[np.ndarray] = []
+    leaf_offset = 0
+    for i, node in enumerate(order):
+        if isinstance(node, SumNode):
+            kinds[i] = _KIND_SUM
+            child_index.extend(index_of[id(c)] for c in node.children)
+            child_counts.extend(np.asarray(node.counts, dtype=float))
+        elif isinstance(node, ProductNode):
+            kinds[i] = _KIND_PRODUCT
+            child_index.extend(index_of[id(c)] for c in node.children)
+            child_counts.extend(0.0 for _ in node.children)
+        elif isinstance(node, DiscreteLeaf):
+            kinds[i] = _KIND_DISCRETE
+            leaf_scope[i] = node.scope_index
+            payload = [
+                np.asarray(node.values, dtype=np.float64),
+                np.asarray(node.counts, dtype=np.float64),
+                np.asarray([node.null_count], dtype=np.float64),
+            ]
+            leaf_meta.append(
+                {
+                    "row": i,
+                    "attribute": node.attribute,
+                    "offset": leaf_offset,
+                    "n": int(node.values.shape[0]),
+                }
+            )
+            leaf_chunks.extend(payload)
+            leaf_offset += sum(chunk.shape[0] for chunk in payload)
+        elif isinstance(node, BinnedLeaf):
+            kinds[i] = _KIND_BINNED
+            leaf_scope[i] = node.scope_index
+            payload = [
+                np.asarray(node.edges, dtype=np.float64),
+                np.asarray(node.counts, dtype=np.float64),
+                np.asarray(node.sums, dtype=np.float64),
+                np.asarray(node.distinct, dtype=np.float64),
+                np.asarray([node.null_count], dtype=np.float64),
+            ]
+            leaf_meta.append(
+                {
+                    "row": i,
+                    "attribute": node.attribute,
+                    "offset": leaf_offset,
+                    "n": int(node.counts.shape[0]),
+                }
+            )
+            leaf_chunks.extend(payload)
+            leaf_offset += sum(chunk.shape[0] for chunk in payload)
+        else:
+            raise TypeError(
+                f"cannot export {type(node).__name__}: only sum/product "
+                "nodes and the histogram leaves have a flat-array form"
+            )
+        child_offsets.append(len(child_index))
+    meta = {
+        "kind": "rspn-tree",
+        "root_row": index_of[id(root)],
+        "leaves": leaf_meta,
+    }
+    arrays = {
+        "kinds": kinds,
+        "leaf_scope": leaf_scope,
+        "child_offsets": np.asarray(child_offsets, dtype=np.int64),
+        "child_index": np.asarray(child_index, dtype=np.int64),
+        "child_counts": np.asarray(child_counts, dtype=np.float64),
+        "leaf_data": (
+            np.concatenate(leaf_chunks)
+            if leaf_chunks else np.empty(0, dtype=np.float64)
+        ),
+    }
+    return meta, arrays
+
+
+def import_tree_arrays(meta, arrays):
+    """Rebuild an evaluation twin from :func:`export_tree_arrays` output.
+
+    Leaf histogram arrays are **views into the caller's buffer** -- no
+    copies -- so the buffer (e.g. an attached shared-memory segment)
+    must outlive the returned tree.  The twin evaluates bit-identically
+    to the exported tree; it is read-only (no KMeans routing state), so
+    never route updates at it.
+    """
+    kinds = arrays["kinds"]
+    leaf_scope = arrays["leaf_scope"]
+    child_offsets = arrays["child_offsets"]
+    child_index = arrays["child_index"]
+    child_counts = arrays["child_counts"]
+    leaf_data = arrays["leaf_data"]
+    leaf_meta = {entry["row"]: entry for entry in meta["leaves"]}
+    nodes: list = [None] * len(kinds)
+    for i in range(len(kinds)):
+        kind = int(kinds[i])
+        if kind in (_KIND_SUM, _KIND_PRODUCT):
+            a, b = int(child_offsets[i]), int(child_offsets[i + 1])
+            children = [nodes[int(j)] for j in child_index[a:b]]
+            scope = tuple(sorted({s for c in children for s in c.scope}))
+            if kind == _KIND_SUM:
+                nodes[i] = SumNode(scope, children, child_counts[a:b])
+            else:
+                nodes[i] = ProductNode(scope, children)
+            continue
+        entry = leaf_meta[i]
+        offset, n = int(entry["offset"]), int(entry["n"])
+        scope_index = int(leaf_scope[i])
+        if kind == _KIND_DISCRETE:
+            nodes[i] = DiscreteLeaf(
+                scope_index,
+                entry["attribute"],
+                leaf_data[offset:offset + n],
+                leaf_data[offset + n:offset + 2 * n],
+                float(leaf_data[offset + 2 * n]),
+            )
+        elif kind == _KIND_BINNED:
+            edges_end = offset + n + 1
+            nodes[i] = BinnedLeaf(
+                scope_index,
+                entry["attribute"],
+                leaf_data[offset:edges_end],
+                leaf_data[edges_end:edges_end + n],
+                leaf_data[edges_end + n:edges_end + 2 * n],
+                leaf_data[edges_end + 2 * n:edges_end + 3 * n],
+                float(leaf_data[edges_end + 3 * n]),
+            )
+        else:
+            raise ValueError(f"unknown node kind {kind} at row {i}")
+    return nodes[int(meta["root_row"])]
 
 
 # ----------------------------------------------------------------------

@@ -80,11 +80,22 @@ class SPNEnsemble:
         ML heads, each coalesced serving flush -- then shards its
         compiled sweeps through ``evaluator``
         (:class:`repro.core.sharding.ShardedEvaluator`).  One evaluator
-        (one process pool) is shared across the whole ensemble.
+        (one process pool, one spec transport -- and under the ``shm``
+        transport one shared tree segment per member RSPN generation)
+        is shared across the whole ensemble.  Detaching (or replacing)
+        an evaluator retires this ensemble's models from the old one,
+        so a long-lived shared pool does not keep cached blobs or
+        published shared-memory segments for models it no longer
+        serves.
         """
-        self.evaluator = evaluator
+        previous, self.evaluator = self.evaluator, evaluator
         for rspn in self.rspns:
             rspn.evaluator = evaluator
+        if previous is not None and previous is not evaluator:
+            retire = getattr(previous, "retire_model", None)
+            if retire is not None:
+                for rspn in self.rspns:
+                    retire(rspn.root)
         return evaluator
 
     @property

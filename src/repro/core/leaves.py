@@ -85,6 +85,28 @@ def _well_known_transform(label):
     return _WELL_KNOWN[label]
 
 
+def well_known_label(transform) -> str | None:
+    """The label of a well-known transform singleton, else ``None``.
+
+    This is the encodability test of the shared-memory spec transport
+    (:mod:`repro.core.specpack`): a transform is shippable as a plain
+    label id exactly when it *is* the registered singleton -- an ad-hoc
+    transform that merely reuses a well-known label must not silently
+    resolve to different semantics on the worker side.
+    """
+    label = getattr(transform, "label", None)
+    if label is not None and _WELL_KNOWN.get(label) is transform:
+        return label
+    return None
+
+
+def transform_by_label(label: str):
+    """The well-known transform singleton for ``label`` (KeyError if not
+    registered); inverse of :func:`well_known_label`, used when unpacking
+    columnar specs so worker-side identity-based dedup keeps working."""
+    return _WELL_KNOWN[label]
+
+
 def product_transform(transforms):
     """Compose several transforms on the same attribute multiplicatively."""
     transforms = list(transforms)

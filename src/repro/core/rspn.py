@@ -206,7 +206,9 @@ class RSPN:
         omitted the ensemble-attached :attr:`evaluator` (if any)
         applies, so consumers that batch -- the compiler, the ML heads,
         each coalesced serving flush -- fan out without signature
-        changes.  Sharded results are bit-identical to serial.
+        changes.  Sharded results are bit-identical to serial under
+        either spec transport (the zero-copy shared-memory default or
+        the pickle fallback; see :mod:`repro.core.sharding`).
         """
         specs = [
             self._build_spec(conditions, transforms)

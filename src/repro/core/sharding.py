@@ -17,27 +17,50 @@ batch-of-N property tests already pin down).
 - a **persistent process pool** (``spawn`` by default -- safe to start
   from threaded servers; tests use ``fork`` for speed) evaluates
   contiguous spec slices;
+- a **pluggable spec transport** moves the model and the spec batch
+  across the process boundary.  The default ``shm`` transport (where
+  :mod:`multiprocessing.shared_memory` works) publishes the batch once
+  as columnar arrays (:mod:`repro.core.specpack`) in a named segment
+  that every worker attaches to and slices by offsets -- zero copies,
+  no per-worker pickling -- and shares the model's flat arrays
+  (:func:`repro.core.compiled.export_tree_arrays`) in a segment that
+  persists per ``(model key, generation)`` instead of being re-pickled
+  on every generation bump.  The ``pickle`` transport is the
+  portability fallback and ships pickled slices exactly as before;
 - workers **cache the deserialized tree** keyed on
   ``(model key, generation)`` -- the same generation counter that
   stale-checks the compiled-form and serving result caches -- so
-  ``insert``/``delete`` transparently re-ship the tree on the next
-  sweep.  A worker that does not hold the current generation raises
-  :class:`_StaleModel` and the parent retries that slice with the
-  serialized tree attached;
+  ``insert``/``delete`` transparently re-publish the tree on the next
+  sweep.  Under the pickle transport a worker that does not hold the
+  current generation raises :class:`_StaleModel` and the parent retries
+  that slice with the serialized tree attached; under shm the segment
+  name always travels with the task, so workers self-serve;
 - **any failure falls back to the in-process sweep** with a logged
-  warning -- a worker crash (``BrokenProcessPool``), a pickling failure
-  (ad-hoc transforms), a timeout -- never a wrong answer.  A broken
-  pool is discarded and lazily rebuilt on the next call (self-healing).
+  warning -- a worker crash (``BrokenProcessPool``), an unpackable or
+  unpicklable spec (ad-hoc transforms), a timeout -- never a wrong
+  answer.  A broken pool is discarded and lazily rebuilt on the next
+  call (self-healing); an unpackable spec batch degrades shm -> pickle
+  -> in-process, stopping at the first transport that can carry it.
+
+Segment lifecycle: the parent owns every segment.  Spec segments live
+for exactly one flush (unlinked in a ``finally``); tree segments live
+until their generation is superseded or the evaluator closes.
+:meth:`ShardedEvaluator.close` drains the pool with a grace period
+first, then unlinks everything; an ``atexit`` hook covers evaluators
+that were never closed so no ``repro-*`` segment outlives the
+interpreter.
 
 Attach a shared evaluator with
 :meth:`repro.core.ensemble.SPNEnsemble.set_evaluator` (which
-``DeepDB(shards=N)`` and the CLI ``--shards`` flag do for you): every
-``expectation_batch`` sweep -- including each coalesced serving flush
-through ``ModelSession.run_batch`` -- then fans out across the pool.
+``DeepDB(shards=N)`` and the CLI ``--shards``/``--transport`` flags do
+for you): every ``expectation_batch`` sweep -- including each coalesced
+serving flush through ``ModelSession.run_batch`` -- then fans out
+across the pool.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import itertools
 import logging
@@ -51,6 +74,9 @@ from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 
 import numpy as np
+
+from repro.core import compiled as compiled_mod
+from repro.core import specpack
 
 logger = logging.getLogger(__name__)
 
@@ -82,34 +108,481 @@ class _StaleModel(Exception):
 
 
 # ----------------------------------------------------------------------
+# Shared-memory segments (parent side)
+# ----------------------------------------------------------------------
+_SEGMENT_PREFIX = "repro-"
+_SEGMENT_COUNTER = itertools.count(1)
+_SEGMENT_TAG = os.urandom(3).hex()  # PID reuse must not collide names
+
+
+def shm_available() -> bool:
+    """Whether named shared memory actually works on this host."""
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(
+            create=True, size=16,
+            # The counter keeps concurrent probes (two threads building
+            # evaluators at once) from colliding on one name -- a
+            # FileExistsError would misreport shm as unavailable.
+            name=f"{_SEGMENT_PREFIX}probe-{os.getpid()}-{_SEGMENT_TAG}-"
+                 f"{next(_SEGMENT_COUNTER)}",
+        )
+    except (ImportError, OSError, ValueError):
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+def _create_segment(nbytes: int):
+    """A fresh parent-owned segment with a ``repro-`` name."""
+    from multiprocessing import shared_memory
+
+    name = (
+        f"{_SEGMENT_PREFIX}{os.getpid()}-{_SEGMENT_TAG}-"
+        f"{next(_SEGMENT_COUNTER)}"
+    )
+    return shared_memory.SharedMemory(create=True, size=max(nbytes, 1), name=name)
+
+
+def _destroy_segment(segment):
+    """Close and unlink one parent-owned segment (idempotent-ish)."""
+    try:
+        segment.close()
+    except (BufferError, OSError):
+        pass
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+# Interpreter-exit backstop: transports register here so segments of
+# evaluators that were never ``close()``d still get unlinked.  atexit
+# runs before the interpreter's own ProcessPoolExecutor join, and
+# unlinking while a worker is still attached is safe (POSIX keeps the
+# mapping alive until the last close).
+_LIVE_TRANSPORTS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _unlink_leaked_segments():
+    for transport in list(_LIVE_TRANSPORTS):
+        try:
+            transport.close()
+        except Exception:  # noqa: BLE001 - interpreter is tearing down
+            pass
+
+
+atexit.register(_unlink_leaked_segments)
+
+
+# ----------------------------------------------------------------------
+# Transports (parent side)
+# ----------------------------------------------------------------------
+def _pickled_spec_payloads(specs, bounds):
+    """Per-slice pickle payloads; the shared fallback encoding."""
+    payloads, total = [], 0
+    for lo, hi in bounds:
+        blob = pickle.dumps(specs[lo:hi], protocol=pickle.HIGHEST_PROTOCOL)
+        total += len(blob)
+        payloads.append(("pickle-specs", blob))
+    return payloads, total
+
+
+class PickleSpecTransport:
+    """The portability fallback: pickled spec slices, pickled tree.
+
+    The tree blob is cached per model so retries and multi-batch
+    shipping do not re-serialize; a new generation replaces the entry.
+    Workers signal a missing tree with :class:`_StaleModel` and the
+    parent retries that slice with the blob attached.
+    """
+
+    name = "pickle"
+    uses_stale_protocol = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        # model key -> (generation, pickled tree); LRU capped like the
+        # worker-side model cache so neither side retains dead models.
+        self._blobs: OrderedDict = OrderedDict()
+        self.tree_publishes = 0
+        self.tree_bytes = 0
+        self.spec_publishes = 0
+        self.spec_bytes = 0
+        self.publish_seconds = 0.0
+        self.spec_pack_fallbacks = 0
+
+    def tree_payload(self, root, key, generation, assume_cached):
+        """``(payload, freshly_serialized)`` for one slice task."""
+        if assume_cached:
+            return ("pickle-tree", None), False
+        start = time.perf_counter()
+        with self._lock:
+            cached = self._blobs.get(key)
+            if cached is not None and cached[0] == generation:
+                self._blobs.move_to_end(key)
+                return ("pickle-tree", cached[1]), False
+            blob = pickle.dumps(root, protocol=pickle.HIGHEST_PROTOCOL)
+            self._blobs[key] = (generation, blob)
+            self._blobs.move_to_end(key)
+            while len(self._blobs) > _WORKER_MODEL_CAP:
+                self._blobs.popitem(last=False)
+            self.tree_publishes += 1
+            self.tree_bytes += len(blob)
+            self.publish_seconds += time.perf_counter() - start
+        return ("pickle-tree", blob), True
+
+    def publish_specs(self, specs, bounds):
+        """``(handle, per-slice payloads)``; handle is for release."""
+        start = time.perf_counter()
+        payloads, total = _pickled_spec_payloads(specs, bounds)
+        with self._lock:
+            self.spec_publishes += 1
+            self.spec_bytes += total
+            self.publish_seconds += time.perf_counter() - start
+        return None, payloads
+
+    def release_specs(self, handle):
+        pass
+
+    def retire_tree(self, key):
+        with self._lock:
+            self._blobs.pop(key, None)
+
+    def close(self):
+        with self._lock:
+            self._blobs.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "tree_publishes": self.tree_publishes,
+                "tree_bytes": self.tree_bytes,
+                "spec_publishes": self.spec_publishes,
+                "spec_bytes": self.spec_bytes,
+                "publish_seconds": self.publish_seconds,
+                "spec_pack_fallbacks": self.spec_pack_fallbacks,
+                "segments_active": 0,
+                "segments_created": 0,
+                "segments_unlinked": 0,
+            }
+
+
+class SharedMemorySpecTransport:
+    """Zero-copy transport over named shared-memory segments.
+
+    - The **spec batch** is packed once into columnar arrays
+      (:func:`repro.core.specpack.pack_specs`) and published in a
+      per-flush segment; each worker attaches and unpacks only its
+      ``[lo, hi)`` slice by offsets.  The segment is unlinked as soon
+      as the flush completes.
+    - The **tree** is exported once per ``(model key, generation)``
+      (:func:`repro.core.compiled.export_tree_arrays`) into a segment
+      that outlives flushes; workers keep it attached while the model
+      is cached, and its leaf histograms are views straight into the
+      segment.  A generation bump publishes a fresh segment and
+      unlinks the superseded one.
+    - Spec batches that cannot be packed (ad-hoc transforms) fall back
+      to pickled slices for that flush, with a logged warning and a
+      counter (``spec_pack_fallbacks``).
+    """
+
+    name = "shm"
+    uses_stale_protocol = False
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._closed = False
+        # model key -> (generation, SharedMemory) -- the published tree.
+        # LRU capped like the pickle blob / worker model caches so tree
+        # segments of models that stopped being queried are unlinked
+        # instead of accumulating in /dev/shm (detaching an evaluator
+        # also retires its models' segments eagerly via retire_tree).
+        self._trees: OrderedDict = OrderedDict()
+        # In-flight spec segments, keyed by name (release pops them).
+        self._spec_segments: dict[str, object] = {}
+        self.tree_publishes = 0
+        self.tree_bytes = 0
+        self.spec_publishes = 0
+        self.spec_bytes = 0
+        self.publish_seconds = 0.0
+        self.spec_pack_fallbacks = 0
+        self.segments_created = 0
+        self.segments_unlinked = 0
+        _LIVE_TRANSPORTS.add(self)
+
+    def tree_payload(self, root, key, generation, assume_cached):
+        """Publish (or reuse) the tree segment; name travels per task."""
+        start = time.perf_counter()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("transport is closed")
+            entry = self._trees.get(key)
+            if entry is not None and entry[0] == generation:
+                self._trees.move_to_end(key)
+                return ("shm-tree", entry[1].name), False
+            meta, arrays = compiled_mod.export_tree_arrays(root)
+            header, payload_base, total = specpack.blob_layout(meta, arrays)
+            segment = _create_segment(total)
+            specpack.write_blob(segment.buf, header, payload_base, arrays)
+            if entry is not None:  # superseded generation
+                _destroy_segment(entry[1])
+                self.segments_unlinked += 1
+            self._trees[key] = (generation, segment)
+            self._trees.move_to_end(key)
+            while len(self._trees) > _WORKER_MODEL_CAP:
+                _, evicted = self._trees.popitem(last=False)
+                _destroy_segment(evicted[1])
+                self.segments_unlinked += 1
+            self.tree_publishes += 1
+            self.tree_bytes += total
+            self.segments_created += 1
+            self.publish_seconds += time.perf_counter() - start
+            return ("shm-tree", segment.name), True
+
+    def publish_specs(self, specs, bounds):
+        start = time.perf_counter()
+        try:
+            meta, arrays = specpack.pack_specs(specs)
+        except specpack.SpecPackError as error:
+            payloads, total = _pickled_spec_payloads(specs, bounds)
+            with self._lock:
+                self.spec_pack_fallbacks += 1
+                self.spec_publishes += 1
+                self.spec_bytes += total
+                self.publish_seconds += time.perf_counter() - start
+            logger.warning(
+                "spec batch is not shm-packable (%s); shipping this flush "
+                "of %d specs over pickle instead", error, len(specs)
+            )
+            return None, payloads
+        header, payload_base, total = specpack.blob_layout(meta, arrays)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("transport is closed")
+            try:
+                segment = _create_segment(total)
+            except OSError as error:  # e.g. /dev/shm full: degrade, don't fail
+                payloads, blob_total = _pickled_spec_payloads(specs, bounds)
+                self.spec_pack_fallbacks += 1
+                self.spec_publishes += 1
+                self.spec_bytes += blob_total
+                self.publish_seconds += time.perf_counter() - start
+                logger.warning(
+                    "shared-memory segment of %d bytes unavailable (%s); "
+                    "shipping this flush of %d specs over pickle instead",
+                    total, error, len(specs)
+                )
+                return None, payloads
+            specpack.write_blob(segment.buf, header, payload_base, arrays)
+            self._spec_segments[segment.name] = segment
+            self.spec_publishes += 1
+            self.spec_bytes += total
+            self.segments_created += 1
+            self.publish_seconds += time.perf_counter() - start
+        payloads = [
+            ("shm-specs", segment.name, int(lo), int(hi)) for lo, hi in bounds
+        ]
+        return segment.name, payloads
+
+    def release_specs(self, handle):
+        """Unlink one flush's spec segment (always runs, via finally)."""
+        if handle is None:
+            return
+        with self._lock:
+            segment = self._spec_segments.pop(handle, None)
+            if segment is not None:
+                self.segments_unlinked += 1
+        if segment is not None:
+            _destroy_segment(segment)
+
+    def retire_tree(self, key):
+        with self._lock:
+            entry = self._trees.pop(key, None)
+            if entry is not None:
+                self.segments_unlinked += 1
+        if entry is not None:
+            _destroy_segment(entry[1])
+
+    def close(self):
+        """Unlink every owned segment; idempotent."""
+        with self._lock:
+            self._closed = True
+            trees, self._trees = self._trees, {}
+            spec_segments, self._spec_segments = self._spec_segments, {}
+            self.segments_unlinked += len(trees) + len(spec_segments)
+        for _, segment in trees.values():
+            _destroy_segment(segment)
+        for segment in spec_segments.values():
+            _destroy_segment(segment)
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter may be tearing down
+            pass
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "tree_publishes": self.tree_publishes,
+                "tree_bytes": self.tree_bytes,
+                "spec_publishes": self.spec_publishes,
+                "spec_bytes": self.spec_bytes,
+                "publish_seconds": self.publish_seconds,
+                "spec_pack_fallbacks": self.spec_pack_fallbacks,
+                "segments_active": len(self._trees) + len(self._spec_segments),
+                "segments_created": self.segments_created,
+                "segments_unlinked": self.segments_unlinked,
+            }
+
+
+def make_transport(transport=None):
+    """Resolve a transport choice (``None``/"auto", "shm", "pickle")."""
+    if transport is None or transport == "auto":
+        return (
+            SharedMemorySpecTransport() if shm_available()
+            else PickleSpecTransport()
+        )
+    if transport == "shm":
+        if not shm_available():
+            raise ValueError(
+                "transport 'shm' requested but named shared memory is "
+                "unavailable on this host; use 'pickle' (or 'auto')"
+            )
+        return SharedMemorySpecTransport()
+    if transport == "pickle":
+        return PickleSpecTransport()
+    raise ValueError(
+        f"unknown transport {transport!r}; expected 'auto', 'shm' or 'pickle'"
+    )
+
+
+# ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-# model key -> (generation, CompiledRSPN); a small LRU per worker.  The
-# parent-side pickled-tree cache uses the same cap so neither side
-# retains serialized trees of models that stopped being queried.
+# model key -> (generation, CompiledRSPN, attached tree segment or
+# None); a small LRU per worker.  The parent-side caches use the same
+# cap so neither side retains models that stopped being queried.
 _WORKER_MODELS: OrderedDict = OrderedDict()
 _WORKER_MODEL_CAP = 8
 
 
-def _worker_evaluate(key, generation, tree_blob, specs):
+def _attach_segment(name):
+    """Attach a parent-owned segment without adopting ownership.
+
+    Pool workers share the parent's resource-tracker process (both
+    ``fork`` and ``spawn`` hand the tracker down), so the attach-time
+    re-registration is an idempotent set-add there and the parent's
+    eventual ``unlink`` clears it exactly once.  Do NOT apply the
+    classic "unregister after attach" workaround here: with a shared
+    tracker it would strip the parent's own registration and the
+    later unlink would double-unregister.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _close_worker_entry(entry):
+    """Drop one cached model, then close its tree segment (the order
+    matters: the leaf arrays are views into the segment's mmap, and
+    closing an mmap with live exports raises BufferError)."""
+    if entry is None:
+        return
+    segment = entry[2]
+    del entry
+    if segment is not None:
+        try:
+            segment.close()
+        except BufferError:  # a stray view survives; freed at exit
+            pass
+
+
+def _clear_worker_models():
+    """Worker-exit teardown: release cached models in dependency order.
+
+    ``spawn`` workers exit through ``sys.exit`` (full interpreter
+    teardown), where module-level GC order is arbitrary -- a segment's
+    ``__del__`` may run while the compiled tree still holds views into
+    its mmap, spewing ignored ``BufferError`` tracebacks.  Draining the
+    cache from an atexit hook closes each segment only after its tree
+    is dropped.  Harmless in the parent (its cache is always empty).
+    """
+    while _WORKER_MODELS:
+        _close_worker_entry(_WORKER_MODELS.popitem()[1])
+
+
+atexit.register(_clear_worker_models)
+
+
+def _decode_tree(key, generation, payload):
+    """``(root, segment-or-None)`` from a task's tree payload."""
+    kind = payload[0]
+    if kind == "pickle-tree":
+        blob = payload[1]
+        if blob is None:
+            raise _StaleModel(key, generation)
+        return pickle.loads(blob), None
+    if kind == "shm-tree":
+        segment = _attach_segment(payload[1])
+        try:
+            meta, arrays = specpack.read_blob(segment.buf)
+            return compiled_mod.import_tree_arrays(meta, arrays), segment
+        except BaseException:
+            segment.close()
+            raise
+    raise ValueError(f"unknown tree payload kind {kind!r}")
+
+
+def _decode_specs(payload):
+    """The spec slice for one task, from either transport encoding."""
+    kind = payload[0]
+    if kind == "pickle-specs":
+        return pickle.loads(payload[1])
+    if kind == "shm-specs":
+        _, name, lo, hi = payload
+        segment = _attach_segment(name)
+        try:
+            return specpack.unpack_slice(segment.buf, lo, hi)
+        finally:
+            try:
+                segment.close()
+            except BufferError:
+                pass
+    raise ValueError(f"unknown spec payload kind {kind!r}")
+
+
+def _worker_model(key, generation, tree_payload):
+    """The worker's cached compiled model, (re)built if stale."""
+    from repro.core.compiled import CompiledRSPN
+
+    entry = _WORKER_MODELS.get(key)
+    if entry is None or entry[0] != generation:
+        entry = None  # drop our reference BEFORE closing the old segment
+        root, segment = _decode_tree(key, generation, tree_payload)
+        _close_worker_entry(_WORKER_MODELS.pop(key, None))
+        entry = (generation, CompiledRSPN(root), segment)
+        _WORKER_MODELS[key] = entry
+        while len(_WORKER_MODELS) > _WORKER_MODEL_CAP:
+            _close_worker_entry(_WORKER_MODELS.popitem(last=False)[1])
+    _WORKER_MODELS.move_to_end(key)
+    return entry[1]
+
+
+def _worker_evaluate(key, generation, tree_payload, spec_payload):
     """Evaluate one spec slice against the worker's cached model.
 
     Returns ``(pid, values)`` -- the pid lets callers verify that a
     batch really fanned out across several processes.
     """
-    from repro.core.compiled import CompiledRSPN
-
-    entry = _WORKER_MODELS.get(key)
-    if entry is None or entry[0] != generation:
-        if tree_blob is None:
-            raise _StaleModel(key, generation)
-        root = pickle.loads(tree_blob)
-        entry = (generation, CompiledRSPN(root))
-        _WORKER_MODELS[key] = entry
-        while len(_WORKER_MODELS) > _WORKER_MODEL_CAP:
-            _WORKER_MODELS.popitem(last=False)
-    _WORKER_MODELS.move_to_end(key)
-    return os.getpid(), entry[1].evaluate_batch(specs)
+    compiled = _worker_model(key, generation, tree_payload)
+    specs = _decode_specs(spec_payload)
+    return os.getpid(), compiled.evaluate_batch(specs)
 
 
 # ----------------------------------------------------------------------
@@ -132,22 +605,25 @@ class ShardedEvaluator:
     result_timeout_s:
         Per-slice wait cap; a hung worker triggers the serial fallback
         and a pool rebuild instead of stalling the caller forever.
+    transport:
+        ``"shm"`` | ``"pickle"`` | ``"auto"``/``None`` (default: shm
+        where available).  See the module docstring; answers are
+        bit-identical either way.
     """
 
     def __init__(self, n_workers=None, min_shard_size=32,
-                 mp_context="spawn", result_timeout_s=120.0):
+                 mp_context="spawn", result_timeout_s=120.0, transport=None):
         self.n_workers = max(1, int(n_workers or (os.cpu_count() or 1)))
         self.min_shard_size = max(1, int(min_shard_size))
         self.result_timeout_s = result_timeout_s
         self._mp_context = get_context(mp_context)
+        self._transport = make_transport(transport)
         self._lock = threading.Lock()
         self._pool = None
         self._closed = False
-        # model key -> generation every pool worker is believed to hold.
+        # model key -> generation every pool worker is believed to hold
+        # (drives the pickle transport's "don't re-ship" fast path).
         self._shipped: dict[int, int] = {}
-        # model key -> (generation, pickled tree); an LRU holding the
-        # current blob only, capped like the worker-side model cache.
-        self._blobs: OrderedDict = OrderedDict()
         # Telemetry (advisory; read through :meth:`stats`).
         self.sharded_batches = 0
         self.sharded_specs = 0
@@ -157,6 +633,11 @@ class ShardedEvaluator:
         self.pool_restarts = 0
         self.worker_pids: set[int] = set()
         self.last_worker_pids: tuple = ()
+
+    @property
+    def transport(self) -> str:
+        """The active transport's name (``"shm"`` or ``"pickle"``)."""
+        return self._transport.name
 
     # ------------------------------------------------------------------
     # Executor protocol
@@ -169,8 +650,8 @@ class ShardedEvaluator:
         """Evaluate ``specs`` against ``compiled`` across the pool.
 
         Never raises and never returns a wrong answer: any failure --
-        worker crash, pickling error, timeout, garbage-collected root --
-        logs a warning and falls back to the in-process serial sweep.
+        worker crash, packing/pickling error, timeout, garbage-collected
+        root -- logs a warning and falls back to the in-process sweep.
         """
         root = compiled.root_ref()
         if root is None:
@@ -186,15 +667,39 @@ class ShardedEvaluator:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def retire_model(self, root):
+        """Release transport resources held for one model's tree.
+
+        Called when a model detaches from this evaluator
+        (:meth:`repro.core.ensemble.SPNEnsemble.set_evaluator`): the
+        pickle transport drops its cached blob, the shm transport
+        unlinks the published tree segment.  Purely an eager cleanup --
+        the capped LRUs would evict either eventually -- and safe to
+        call for roots this evaluator never saw.
+        """
+        with _MODEL_KEY_LOCK:
+            key = _MODEL_KEYS.get(root)
+        if key is None:
+            return
+        with self._lock:
+            self._shipped.pop(key, None)
+        self._transport.retire_tree(key)
+
     def close(self):
-        """Shut the pool down; further batches evaluate in-process."""
+        """Grace-then-unlink shutdown; further batches run in-process.
+
+        The pool is drained first (shutdown sentinels, a grace period,
+        then terminate/kill survivors), and only then are the
+        transport's shared-memory segments unlinked -- so no live
+        worker can race an attach against the unlink.
+        """
         with self._lock:
             self._closed = True
             pool, self._pool = self._pool, None
             self._shipped.clear()
-            self._blobs.clear()
         if pool is not None:
             _shutdown_pool(pool, grace_s=5.0)
+        self._transport.close()
 
     def __enter__(self):
         return self
@@ -215,6 +720,7 @@ class ShardedEvaluator:
                 "workers": self.n_workers,
                 "min_shard_size": self.min_shard_size,
                 "pool_alive": self._pool is not None,
+                "transport": self._transport.name,
                 "sharded_batches": self.sharded_batches,
                 "sharded_specs": self.sharded_specs,
                 "serial_fallbacks": self.serial_fallbacks,
@@ -223,6 +729,7 @@ class ShardedEvaluator:
                 "pool_restarts": self.pool_restarts,
                 "distinct_worker_pids": len(self.worker_pids),
                 "last_worker_pids": list(self.last_worker_pids),
+                "transport_stats": self._transport.stats(),
             }
 
     # ------------------------------------------------------------------
@@ -231,42 +738,58 @@ class ShardedEvaluator:
     def _evaluate_sharded(self, root, compiled, specs):
         key = model_key(root)
         generation = compiled.generation
-        slices = [
-            s for s in np.array_split(np.arange(len(specs)), self.n_workers)
+        bounds = [
+            (int(s[0]), int(s[-1]) + 1)
+            for s in np.array_split(np.arange(len(specs)), self.n_workers)
             if s.size
         ]
+        transport = self._transport
         with self._lock:
             if self._closed:
                 raise RuntimeError("evaluator is closed")
             pool = self._ensure_pool()
-            blob = None
-            if self._shipped.get(key) != generation:
-                blob = self._tree_blob(root, key, generation)
-        futures = [
-            pool.submit(
-                _worker_evaluate, key, generation, blob,
-                [specs[i] for i in indices],
+            assume_cached = (
+                transport.uses_stale_protocol
+                and self._shipped.get(key) == generation
             )
-            for indices in slices
-        ]
-        results = np.zeros(len(specs), dtype=float)
-        pids = []
-        for indices, future in zip(slices, futures):
-            try:
-                pid, values = future.result(timeout=self.result_timeout_s)
-            except _StaleModel:
-                # A worker that never saw this (model, generation) --
-                # e.g. it sat out the batch that shipped the tree.
-                # Retry just that slice with the tree attached.
-                with self._lock:
-                    retry_blob = self._tree_blob(root, key, generation)
-                    self.reships += 1
-                pid, values = pool.submit(
-                    _worker_evaluate, key, generation, retry_blob,
-                    [specs[i] for i in indices],
-                ).result(timeout=self.result_timeout_s)
-            results[indices] = values
-            pids.append(pid)
+        tree_payload, shipped = transport.tree_payload(
+            root, key, generation, assume_cached
+        )
+        spec_handle, spec_payloads = transport.publish_specs(specs, bounds)
+        if shipped:
+            with self._lock:
+                self.tree_shipments += 1
+        try:
+            futures = [
+                pool.submit(
+                    _worker_evaluate, key, generation, tree_payload, payload
+                )
+                for payload in spec_payloads
+            ]
+            results = np.zeros(len(specs), dtype=float)
+            pids = []
+            for (lo, hi), payload, future in zip(bounds, spec_payloads, futures):
+                try:
+                    pid, values = future.result(timeout=self.result_timeout_s)
+                except _StaleModel:
+                    # A worker that never saw this (model, generation) --
+                    # e.g. it sat out the batch that shipped the tree.
+                    # Retry just that slice with the tree attached.
+                    retry_payload, shipped = transport.tree_payload(
+                        root, key, generation, assume_cached=False
+                    )
+                    with self._lock:
+                        self.reships += 1
+                        if shipped:
+                            self.tree_shipments += 1
+                    pid, values = pool.submit(
+                        _worker_evaluate, key, generation, retry_payload,
+                        payload,
+                    ).result(timeout=self.result_timeout_s)
+                results[lo:hi] = values
+                pids.append(pid)
+        finally:
+            transport.release_specs(spec_handle)
         with self._lock:
             self._shipped[key] = generation
             self.sharded_batches += 1
@@ -287,24 +810,6 @@ class ShardedEvaluator:
             self._shipped.clear()
         return self._pool
 
-    def _tree_blob(self, root, key, generation):
-        """The pickled tree for ``generation`` (callers hold ``_lock``).
-
-        Cached per model so retries and multi-batch shipping do not
-        re-serialize; mutations (a new generation) replace the entry.
-        """
-        cached = self._blobs.get(key)
-        if cached is not None and cached[0] == generation:
-            self._blobs.move_to_end(key)
-            return cached[1]
-        blob = pickle.dumps(root, protocol=pickle.HIGHEST_PROTOCOL)
-        self._blobs[key] = (generation, blob)
-        self._blobs.move_to_end(key)
-        while len(self._blobs) > _WORKER_MODEL_CAP:
-            self._blobs.popitem(last=False)
-        self.tree_shipments += 1
-        return blob
-
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
@@ -313,7 +818,7 @@ class ShardedEvaluator:
         if not isinstance(
             error, (BrokenProcessPool, concurrent.futures.TimeoutError, OSError)
         ):
-            return  # e.g. a pickling error: the pool itself is fine
+            return  # e.g. a packing/pickling error: the pool itself is fine
         with self._lock:
             pool, self._pool = self._pool, None
             self._shipped.clear()
@@ -322,6 +827,8 @@ class ShardedEvaluator:
         if pool is not None:
             # No grace: the pool is broken or hung; surviving workers
             # are terminated so they cannot wedge interpreter exit.
+            # Tree segments stay published -- fresh workers re-attach
+            # by name, so a crash never forces a re-publish.
             _shutdown_pool(pool, grace_s=0.0)
 
     def _fallback(self, compiled, specs, reason):

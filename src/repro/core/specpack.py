@@ -1,0 +1,255 @@
+"""Columnar struct-of-arrays packing of evaluation-spec batches.
+
+The sharded evaluator ships one batch of
+:class:`~repro.core.inference.EvaluationSpec` objects to its worker
+processes per flush.  Pickling those object graphs (nested dicts of
+frozen ``Range``/``Interval`` dataclasses) is the dominant per-flush
+cost once the model tree itself is cached worker-side.  This module
+lowers a spec batch into a handful of flat NumPy arrays plus offset
+arrays -- a columnar struct-of-arrays form -- so the whole batch can be
+published **once** into a shared-memory segment and every worker can
+slice out just its query range by offsets, without copying or
+deserializing the rest of the batch.
+
+Layout (all arrays parallel, offsets follow the CSR convention)::
+
+    cond_offsets : int64[n_specs + 1]   spec s owns conditions
+                                        [cond_offsets[s], cond_offsets[s+1])
+    cond_scope   : int64[n_conds]       scope index of each condition
+    cond_null    : uint8[n_conds]       Range.include_null
+    ivl_offsets  : int64[n_conds + 1]   condition c owns intervals
+                                        [ivl_offsets[c], ivl_offsets[c+1])
+    ivl_low/high : float64[n_intervals] interval bounds (±inf welcome)
+    ivl_flags    : uint8[n_intervals]   bit 0 = low incl, bit 1 = high incl
+    tr_offsets   : int64[n_specs + 1]   spec s owns transform entries
+    tr_scope     : int64[n_entries]     scope index of each entry
+    tr_label     : int64[n_entries]     index into the header label table
+
+Transforms are encoded **by label id**: only the well-known singletons
+of :mod:`repro.core.leaves` (IDENTITY, SQUARE, the tuple-factor family)
+are shippable this way, and unpacking resolves labels back to the
+worker's own singletons so identity-based dedup and grouping keep
+working.  An ad-hoc transform raises :class:`SpecPackError`; the
+transport layer treats that as "not packable" and falls back to pickle
+(and, if the transform is a lambda pickle cannot carry either, to the
+in-process sweep).
+
+The module also provides the generic **segment blob codec** shared with
+the tree transport of :mod:`repro.core.sharding`: a segment is laid out
+as ``[8-byte header length][JSON header][16-byte-aligned payload]``
+where the header records each array's dtype/shape/offset, so attaching
+readers get zero-copy :func:`numpy.frombuffer` views straight into the
+shared buffer.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.core.inference import EvaluationSpec
+from repro.core.leaves import transform_by_label, well_known_label
+from repro.core.ranges import Range
+
+_ALIGN = 16
+
+
+class SpecPackError(TypeError):
+    """A spec batch cannot be lowered to the columnar form (ad-hoc
+    transform, or an object that is not an ``EvaluationSpec``)."""
+
+
+# ----------------------------------------------------------------------
+# Generic segment blob codec
+# ----------------------------------------------------------------------
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def blob_layout(meta: dict, arrays: dict):
+    """Plan a blob: returns ``(header_bytes, payload_base, total_nbytes)``.
+
+    ``meta`` must be JSON-serializable; the array table is appended to
+    it.  Array offsets are relative to ``payload_base`` so the header's
+    own length never feeds back into them.
+    """
+    table, offset = [], 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _align(offset)
+        table.append(
+            {
+                "name": name,
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+                "offset": offset,
+            }
+        )
+        offset += array.nbytes
+    document = dict(meta)
+    document["arrays"] = table
+    header = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    payload_base = _align(8 + len(header))
+    return header, payload_base, payload_base + max(offset, 1)
+
+
+def write_blob(buf, header: bytes, payload_base: int, arrays: dict):
+    """Write a planned blob into a writable buffer (e.g. ``shm.buf``)."""
+    buf[0:8] = struct.pack("<Q", len(header))
+    buf[8:8 + len(header)] = header
+    offset = 0
+    for array in arrays.values():
+        array = np.ascontiguousarray(array)
+        offset = _align(offset)
+        if array.nbytes:
+            view = np.frombuffer(
+                buf, dtype=array.dtype, count=array.size,
+                offset=payload_base + offset,
+            )
+            view[:] = array.ravel()
+        offset += array.nbytes
+
+
+def blob_bytes(meta: dict, arrays: dict) -> bytearray:
+    """The blob as an in-memory buffer (tests; no shared memory needed)."""
+    header, payload_base, total = blob_layout(meta, arrays)
+    buf = bytearray(total)
+    write_blob(buf, header, payload_base, arrays)
+    return buf
+
+
+def read_blob(buf):
+    """``(meta, {name: read-only array view})`` from a blob buffer.
+
+    Views alias ``buf`` directly -- zero copies.  Callers attaching a
+    shared-memory segment must drop every view (and anything derived
+    from it) before closing the segment.
+    """
+    (header_len,) = struct.unpack_from("<Q", buf, 0)
+    meta = json.loads(bytes(buf[8:8 + header_len]).decode("utf-8"))
+    payload_base = _align(8 + header_len)
+    arrays = {}
+    for entry in meta["arrays"]:
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        view = np.frombuffer(
+            buf, dtype=np.dtype(entry["dtype"]), count=count,
+            offset=payload_base + entry["offset"],
+        ).reshape(shape)
+        view.flags.writeable = False
+        arrays[entry["name"]] = view
+    return meta, arrays
+
+
+# ----------------------------------------------------------------------
+# Spec batch <-> columnar arrays
+# ----------------------------------------------------------------------
+def pack_specs(specs):
+    """Lower a spec batch to ``(meta, arrays)`` columnar form.
+
+    Raises :class:`SpecPackError` when any transform is not one of the
+    well-known singletons (the transport falls back to pickle then).
+    """
+    cond_offsets, cond_scope, cond_null = [0], [], []
+    ivl_offsets, ivl_low, ivl_high, ivl_flags = [0], [], [], []
+    tr_offsets, tr_scope, tr_label = [0], [], []
+    label_ids: dict[str, int] = {}
+    for spec in specs:
+        ranges = getattr(spec, "ranges", None)
+        transforms = getattr(spec, "transforms", None)
+        if ranges is None or transforms is None:
+            raise SpecPackError(
+                f"cannot pack {type(spec).__name__!r}: not an EvaluationSpec"
+            )
+        for scope_index, rng in ranges.items():
+            cond_scope.append(int(scope_index))
+            cond_null.append(1 if rng.include_null else 0)
+            lows, highs, flags = rng.columnar()
+            ivl_low.extend(lows)
+            ivl_high.extend(highs)
+            ivl_flags.extend(flags)
+            ivl_offsets.append(len(ivl_low))
+        cond_offsets.append(len(cond_scope))
+        for scope_index, transform_list in transforms.items():
+            for transform in transform_list:
+                label = well_known_label(transform)
+                if label is None:
+                    raise SpecPackError(
+                        f"cannot pack ad-hoc transform {transform!r}: only "
+                        "the well-known transform singletons ship by label"
+                    )
+                tr_scope.append(int(scope_index))
+                tr_label.append(label_ids.setdefault(label, len(label_ids)))
+        tr_offsets.append(len(tr_scope))
+    meta = {
+        "kind": "specpack",
+        "n_specs": len(cond_offsets) - 1,
+        "labels": sorted(label_ids, key=label_ids.get),
+    }
+    arrays = {
+        "cond_offsets": np.asarray(cond_offsets, dtype=np.int64),
+        "cond_scope": np.asarray(cond_scope, dtype=np.int64),
+        "cond_null": np.asarray(cond_null, dtype=np.uint8),
+        "ivl_offsets": np.asarray(ivl_offsets, dtype=np.int64),
+        "ivl_low": np.asarray(ivl_low, dtype=np.float64),
+        "ivl_high": np.asarray(ivl_high, dtype=np.float64),
+        "ivl_flags": np.asarray(ivl_flags, dtype=np.uint8),
+        "tr_offsets": np.asarray(tr_offsets, dtype=np.int64),
+        "tr_scope": np.asarray(tr_scope, dtype=np.int64),
+        "tr_label": np.asarray(tr_label, dtype=np.int64),
+    }
+    return meta, arrays
+
+
+def unpack_specs(meta, arrays, lo=0, hi=None):
+    """Rebuild ``EvaluationSpec`` objects for queries ``[lo, hi)``.
+
+    The inverse of :func:`pack_specs`: ranges compare equal to the
+    originals and transforms resolve to the process-local well-known
+    singletons (``is``-identical within one process).  Only the slice's
+    rows of the offset arrays are touched -- unpacking a slice costs
+    O(slice), not O(batch).  The returned specs hold no references into
+    ``arrays``, so a backing shared-memory segment can be closed as soon
+    as unpacking returns.
+    """
+    n_specs = int(meta["n_specs"])
+    hi = n_specs if hi is None else hi
+    if not 0 <= lo <= hi <= n_specs:
+        raise IndexError(f"slice [{lo}, {hi}) outside batch of {n_specs}")
+    labels = [transform_by_label(label) for label in meta["labels"]]
+    cond_offsets = arrays["cond_offsets"]
+    cond_scope = arrays["cond_scope"]
+    cond_null = arrays["cond_null"]
+    ivl_offsets = arrays["ivl_offsets"]
+    ivl_low = arrays["ivl_low"]
+    ivl_high = arrays["ivl_high"]
+    ivl_flags = arrays["ivl_flags"]
+    tr_offsets = arrays["tr_offsets"]
+    tr_scope = arrays["tr_scope"]
+    tr_label = arrays["tr_label"]
+    specs = []
+    for s in range(lo, hi):
+        spec = EvaluationSpec()
+        for c in range(int(cond_offsets[s]), int(cond_offsets[s + 1])):
+            a, b = int(ivl_offsets[c]), int(ivl_offsets[c + 1])
+            spec.ranges[int(cond_scope[c])] = Range.from_columnar(
+                ivl_low[a:b], ivl_high[a:b], ivl_flags[a:b], cond_null[c]
+            )
+        for t in range(int(tr_offsets[s]), int(tr_offsets[s + 1])):
+            spec.transforms.setdefault(int(tr_scope[t]), []).append(
+                labels[int(tr_label[t])]
+            )
+        specs.append(spec)
+    return specs
+
+
+def unpack_slice(buf, lo=0, hi=None):
+    """One-call convenience: :func:`read_blob` + :func:`unpack_specs`.
+
+    Safe to call against a shared-memory buffer that will be closed
+    right after: no views survive the return.
+    """
+    meta, arrays = read_blob(buf)
+    return unpack_specs(meta, arrays, lo, hi)

@@ -31,12 +31,18 @@ class DeepDB:
     prefetch, the ML heads and each coalesced serving flush all ride
     the same shared pool.  Sharded answers are bit-identical to the
     in-process sweep, and any pool failure falls back to it, so
-    ``shards`` is purely a throughput knob.  Pass a prebuilt
+    ``shards`` is purely a throughput knob.  ``transport`` picks how
+    specs and the model cross the process boundary: ``"shm"`` (the
+    default where shared memory works) publishes the model's flat
+    arrays once per generation and each spec batch once per flush into
+    named shared-memory segments that workers slice zero-copy;
+    ``"pickle"`` is the portability fallback.  Pass a prebuilt
     ``evaluator`` instead to share one pool across several models;
     call :meth:`close` to shut the pool down.
     """
 
-    def __init__(self, database, ensemble, shards=None, evaluator=None):
+    def __init__(self, database, ensemble, shards=None, evaluator=None,
+                 transport=None):
         self.database = database
         self.ensemble = ensemble
         self.compiler = ProbabilisticQueryCompiler(ensemble)
@@ -44,17 +50,20 @@ class DeepDB:
         if evaluator is None and shards:
             from repro.core.sharding import ShardedEvaluator
 
-            evaluator = ShardedEvaluator(n_workers=int(shards))
+            evaluator = ShardedEvaluator(
+                n_workers=int(shards), transport=transport
+            )
             self._owns_evaluator = True
         self.evaluator = evaluator
         if evaluator is not None:
             ensemble.set_evaluator(evaluator)
 
     @classmethod
-    def learn(cls, database, config: EnsembleConfig | None = None, shards=None):
+    def learn(cls, database, config: EnsembleConfig | None = None, shards=None,
+              transport=None):
         """Offline learning phase: build the RSPN ensemble for a database."""
         ensemble = learn_ensemble(database, config)
-        return cls(database, ensemble, shards=shards)
+        return cls(database, ensemble, shards=shards, transport=transport)
 
     def close(self):
         """Detach this model from its evaluator; afterwards its batches
@@ -79,11 +88,12 @@ class DeepDB:
         save_ensemble(self.ensemble, path)
 
     @classmethod
-    def load(cls, path, database, shards=None):
+    def load(cls, path, database, shards=None, transport=None):
         """Re-open a persisted ensemble against its database."""
         from repro.core.serialization import load_ensemble
 
-        return cls(database, load_ensemble(path, database), shards=shards)
+        return cls(database, load_ensemble(path, database), shards=shards,
+                   transport=transport)
 
     # ------------------------------------------------------------------
     # Runtime tasks

@@ -381,7 +381,9 @@ class ServingServer:
         self._http.serve_forever()
 
     def close(self):
-        """Stop the HTTP server and the coalescing loop."""
+        """Stop the HTTP server and the coalescing loop; idempotent."""
+        if self._loop.is_closed():
+            return
         self._http.shutdown()
         self._http.server_close()
         if self._http_thread is not None:
@@ -389,6 +391,11 @@ class ServingServer:
             self._http_thread = None
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._loop_thread.join(timeout=5)
+        if not self._loop_thread.is_alive():
+            # Release the loop's selector/self-pipe fds; skipping this
+            # leaks an "unclosed event loop" ResourceWarning at GC (the
+            # CI spawn leg promotes those to failures).
+            self._loop.close()
 
     def __enter__(self):
         return self.start()

@@ -21,6 +21,11 @@ instance with the state the serving layer needs around it:
   (``DeepDB(shards=N)`` / ``repro serve --shards N``), each flushed
   batch's compiled sweeps fan out across the evaluator's worker
   processes -- the coalescer builds the batch, the pool executes it.
+  Under the default ``shm`` transport each flush is published once
+  into a shared-memory segment the workers slice zero-copy;
+  :meth:`ModelSession.snapshot` surfaces the transport name plus its
+  bytes-shipped/publish-overhead counters under ``sharding`` so
+  ``GET /stats`` exposes per-transport cost live.
 """
 
 from __future__ import annotations
@@ -313,6 +318,10 @@ class ModelSession:
     # Introspection
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
+        """Model state for ``GET /stats``.  When a sharded evaluator is
+        attached, ``sharding`` carries its counters including the
+        ``transport`` name and the per-transport ``transport_stats``
+        (bytes shipped, publish seconds, live segment count)."""
         snap = {
             "name": self.name,
             "generation": self.deepdb.generation,

@@ -3,14 +3,23 @@
 Every test compares the :class:`~repro.core.sharding.ShardedEvaluator`
 path against the in-process serial sweep with ``==`` -- *bit-identical*,
 not ``allclose`` -- extending the repo's batch-of-1 == batch-of-N
-invariant to process boundaries.  The suite also pins the failure
-semantics: stale worker caches re-ship on generation bumps, crashed
-pools fall back in-process and self-heal, unpicklable work degrades to
-serial, and a coalesced serving flush demonstrably executes across
-several worker processes.
+invariant to process boundaries, and runs the comparison under **both
+spec transports** (the zero-copy shared-memory default and the pickle
+fallback).  The suite also pins the failure semantics: stale worker
+caches re-publish on generation bumps (proven against a deepcopied
+serial twin), crashed pools fall back in-process and self-heal,
+unpackable/unpicklable work degrades transport-by-transport, and a
+coalesced serving flush demonstrably executes across several worker
+processes.  The segment-lifecycle tests assert the other half of the
+contract: no ``repro-`` shared-memory segment outlives its flush, its
+generation, its evaluator, or the interpreter (the session-scoped
+``no_leaked_shm_segments`` fixture in ``tests/conftest.py`` backs them
+up for the whole run).
 
-Tests use the ``fork`` start method for speed (workers inherit the
-loaded modules); one test runs the production-default ``spawn`` path.
+Tests default to the ``fork`` start method for speed (workers inherit
+the loaded modules); set ``REPRO_TEST_MP_CONTEXT=spawn`` -- as the CI
+spawn leg does -- to run the production-default path, and one test
+always runs ``spawn``.
 """
 
 from __future__ import annotations
@@ -19,6 +28,9 @@ import copy
 import json
 import os
 import signal
+import subprocess
+import sys
+import textwrap
 import threading
 import time
 import urllib.request
@@ -29,10 +41,17 @@ import pytest
 from repro.core.ensemble import EnsembleConfig
 from repro.core.leaves import IDENTITY, Transform
 from repro.core.ranges import Range
-from repro.core.sharding import ShardedEvaluator
+from repro.core.sharding import ShardedEvaluator, shm_available
 from repro.deepdb import DeepDB
 from repro.serving import ModelRegistry, start_server
-from tests.conftest import build_customer_orders
+from tests.conftest import build_customer_orders, repro_segments
+
+TRANSPORTS = ("shm", "pickle") if shm_available() else ("pickle",)
+_MP_CONTEXT = os.environ.get("REPRO_TEST_MP_CONTEXT", "fork")
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="named shared memory unavailable"
+)
 
 
 @pytest.fixture(scope="module")
@@ -43,7 +62,7 @@ def shard_env():
 
 def _evaluator(n_workers, **kwargs):
     kwargs.setdefault("min_shard_size", 1)
-    kwargs.setdefault("mp_context", "fork")
+    kwargs.setdefault("mp_context", _MP_CONTEXT)
     return ShardedEvaluator(n_workers=n_workers, **kwargs)
 
 
@@ -72,47 +91,50 @@ def _sqls(n, offset=0):
 
 
 # ----------------------------------------------------------------------
-# Differential suite: bit-identical across worker counts and shapes
+# Differential suite: bit-identical across worker counts, shapes and
+# both spec transports
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", TRANSPORTS)
 class TestShardedBitIdentical:
     @pytest.mark.parametrize("n_workers", [1, 2, 4])
-    def test_worker_counts(self, shard_env, n_workers):
+    def test_worker_counts(self, shard_env, n_workers, transport):
         rspn = max(shard_env.ensemble.rspns, key=lambda r: len(r.column_names))
         requests = _requests(rspn, 23)
         serial = rspn.expectation_batch(requests)
-        with _evaluator(n_workers) as evaluator:
+        with _evaluator(n_workers, transport=transport) as evaluator:
             sharded = rspn.expectation_batch(requests, executor=evaluator)
             assert evaluator.stats()["sharded_batches"] == 1
             assert evaluator.stats()["serial_fallbacks"] == 0
+            assert evaluator.stats()["transport"] == transport
         assert list(sharded) == list(serial)
 
-    def test_uneven_batches(self, shard_env):
+    def test_uneven_batches(self, shard_env, transport):
         """batch < shards, batch % shards != 0, and a batch of one."""
         rspn = shard_env.ensemble.rspns[0]
-        with _evaluator(4) as evaluator:
+        with _evaluator(4, transport=transport) as evaluator:
             for size in (1, 3, 5, 7, 10):
                 requests = _requests(rspn, size)
                 serial = rspn.expectation_batch(requests)
                 sharded = rspn.expectation_batch(requests, executor=evaluator)
                 assert list(sharded) == list(serial), f"batch of {size}"
 
-    def test_min_shard_size_keeps_small_batches_serial(self, shard_env):
+    def test_min_shard_size_keeps_small_batches_serial(self, shard_env, transport):
         rspn = shard_env.ensemble.rspns[0]
         requests = _requests(rspn, 5)
         serial = rspn.expectation_batch(requests)
-        with _evaluator(2, min_shard_size=64) as evaluator:
+        with _evaluator(2, min_shard_size=64, transport=transport) as evaluator:
             small = rspn.expectation_batch(requests, executor=evaluator)
             assert evaluator.stats()["sharded_batches"] == 0  # stayed serial
         assert list(small) == list(serial)
 
-    def test_group_by_fanout(self, shard_env):
+    def test_group_by_fanout(self, shard_env, transport):
         sqls = [
             "SELECT AVG(customer.age) FROM customer GROUP BY customer.region",
             "SELECT COUNT(*) FROM customer GROUP BY customer.region",
             "SELECT SUM(customer.age) FROM customer WHERE customer.age > 30",
         ]
         serial = shard_env.approximate_batch(sqls)
-        with _evaluator(2) as evaluator:
+        with _evaluator(2, transport=transport) as evaluator:
             shard_env.ensemble.set_evaluator(evaluator)
             try:
                 sharded = shard_env.approximate_batch(sqls)
@@ -122,7 +144,7 @@ class TestShardedBitIdentical:
             assert evaluator.stats()["serial_fallbacks"] == 0
         assert sharded == serial  # dict/scalar equality, bit-identical
 
-    def test_empty_selection_pinned_zero(self, shard_env):
+    def test_empty_selection_pinned_zero(self, shard_env, transport):
         rspn = shard_env.ensemble.rspns[0]
         column = rspn.column_names[0]
         requests = _requests(rspn, 8)
@@ -130,14 +152,14 @@ class TestShardedBitIdentical:
         for slot in empty_slots:
             requests[slot] = ({column: Range.nothing()}, None)
         serial = rspn.expectation_batch(requests)
-        with _evaluator(3) as evaluator:
+        with _evaluator(3, transport=transport) as evaluator:
             sharded = rspn.expectation_batch(requests, executor=evaluator)
         for slot in empty_slots:
             assert sharded[slot] == 0.0
         assert list(sharded) == list(serial)
 
     @pytest.mark.parametrize("seed", range(3))
-    def test_random_spns_with_binned_leaves(self, seed):
+    def test_random_spns_with_binned_leaves(self, seed, transport):
         """Random trees (mixing discrete and binned leaves) through the
         compiled entry point: shard-of-3 == serial, bit for bit.  Binned
         leaves are the kernel where batch-composition invariance is
@@ -151,16 +173,17 @@ class TestShardedBitIdentical:
         spn = _random_spn(rng, scope, depth=2)
         specs = [_random_spec(rng, scope) for _ in range(31)]
         serial = evaluate_batch(spn, specs)
-        with _evaluator(3) as evaluator:
+        with _evaluator(3, transport=transport) as evaluator:
             sharded = evaluate_batch(spn, specs, executor=evaluator)
             assert evaluator.stats()["serial_fallbacks"] == 0
         assert list(sharded) == list(serial)
 
-    def test_spawn_context(self, shard_env):
+    def test_spawn_context(self, shard_env, transport):
         """The production default (``spawn``) agrees bit-for-bit too."""
         sqls = _sqls(9)
         serial = shard_env.cardinality_batch(sqls)
-        with ShardedEvaluator(n_workers=2, min_shard_size=1) as evaluator:
+        with ShardedEvaluator(n_workers=2, min_shard_size=1,
+                              transport=transport) as evaluator:
             shard_env.ensemble.set_evaluator(evaluator)
             try:
                 sharded = shard_env.cardinality_batch(sqls)
@@ -179,10 +202,13 @@ class TestShardedBitIdentical:
 # ----------------------------------------------------------------------
 # Staleness under updates
 # ----------------------------------------------------------------------
-def test_staleness_under_update(shard_env):
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_staleness_under_update(shard_env, transport):
     """Interleaved insert/delete: every post-mutation sharded answer
     matches a serial estimator holding the same state -- the worker-side
-    generation cache really re-ships the mutated tree."""
+    generation cache really re-publishes the mutated tree (a fresh
+    pickle blob, or a fresh shared-memory segment replacing the
+    superseded one without growing the live-segment count)."""
     sharded_db = shard_env
     twin_ensemble = copy.deepcopy(sharded_db.ensemble)
     serial_db = DeepDB(twin_ensemble.database, twin_ensemble)
@@ -194,21 +220,27 @@ def test_staleness_under_update(shard_env):
         ("delete", {"c_id": 9_001, "region": "EU", "age": 41}),
         ("insert", {"c_id": 9_003, "region": "EU", "age": 66}),
     ]
-    with _evaluator(2) as evaluator:
+    with _evaluator(2, transport=transport) as evaluator:
         sharded_db.ensemble.set_evaluator(evaluator)
         try:
             assert sharded_db.cardinality_batch(sqls) == \
                 serial_db.cardinality_batch(sqls)
             shipments = evaluator.stats()["tree_shipments"]
+            tree_segments = evaluator.stats()["transport_stats"]["segments_active"]
             for op, row in mutations:
                 getattr(sharded_db, op)("customer", row)
                 getattr(serial_db, op)("customer", row)
                 assert sharded_db.cardinality_batch(sqls) == \
                     serial_db.cardinality_batch(sqls), f"after {op} {row}"
             stats = evaluator.stats()
-            # Every generation bump re-shipped the tree to the workers.
+            # Every generation bump re-published the tree to the workers.
             assert stats["tree_shipments"] > shipments
             assert stats["serial_fallbacks"] == 0
+            if transport == "shm":
+                # Superseded generations were unlinked, not accumulated:
+                # the live tree segments are exactly the pre-mutation set.
+                assert stats["transport_stats"]["segments_active"] == tree_segments
+                assert stats["transport_stats"]["segments_unlinked"] >= len(mutations)
         finally:
             sharded_db.ensemble.set_evaluator(None)
             # Restore the module-scoped model for later tests.
@@ -249,8 +281,10 @@ def test_worker_crash_falls_back_and_heals(shard_env):
             shard_env.ensemble.set_evaluator(None)
 
 
-def test_unpicklable_transform_falls_back(shard_env, caplog):
-    """Ad-hoc transforms cannot cross the process boundary; the batch
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_unpicklable_transform_falls_back(shard_env, caplog, transport):
+    """Lambda transforms can cross no process boundary at all: the shm
+    packer refuses them and the pickle retry fails too, so the batch
     silently (well, loudly -- it logs) degrades to the serial sweep."""
     rspn = max(shard_env.ensemble.rspns, key=lambda r: len(r.column_names))
     numeric = next(n for n in rspn.column_names if n.endswith("age"))
@@ -260,7 +294,7 @@ def test_unpicklable_transform_falls_back(shard_env, caplog):
         for i in range(6)
     ]
     serial = rspn.expectation_batch(requests)
-    with _evaluator(2) as evaluator:
+    with _evaluator(2, transport=transport) as evaluator:
         with caplog.at_level("WARNING", logger="repro.core.sharding"):
             sharded = rspn.expectation_batch(requests, executor=evaluator)
         stats = evaluator.stats()
@@ -268,6 +302,164 @@ def test_unpicklable_transform_falls_back(shard_env, caplog):
         assert stats["pool_restarts"] == 0  # the pool itself is fine
     assert list(sharded) == list(serial)
     assert any("falling back" in record.message for record in caplog.records)
+
+
+@needs_shm
+def test_picklable_ad_hoc_transform_degrades_to_pickle(shard_env, caplog):
+    """An ad-hoc transform that pickle *can* carry stops one rung down
+    the ladder: the shm packer refuses it (logged), the flush ships
+    pickled slices instead, and the sharded answer still matches."""
+    from tests.test_specpack import AD_HOC_PICKLABLE
+
+    rspn = max(shard_env.ensemble.rspns, key=lambda r: len(r.column_names))
+    numeric = next(n for n in rspn.column_names if n.endswith("age"))
+    requests = [
+        ({numeric: Range.from_operator(">", 20.0 + i)},
+         {numeric: [AD_HOC_PICKLABLE]})
+        for i in range(6)
+    ]
+    serial = rspn.expectation_batch(requests)
+    with _evaluator(2, transport="shm") as evaluator:
+        with caplog.at_level("WARNING", logger="repro.core.sharding"):
+            sharded = rspn.expectation_batch(requests, executor=evaluator)
+        stats = evaluator.stats()
+        assert stats["serial_fallbacks"] == 0  # pickle carried the flush
+        assert stats["sharded_batches"] == 1
+        assert stats["transport_stats"]["spec_pack_fallbacks"] == 1
+    assert list(sharded) == list(serial)
+    assert any("not shm-packable" in record.message for record in caplog.records)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segment lifecycle: nothing outlives its owner
+# ----------------------------------------------------------------------
+@needs_shm
+class TestSegmentLifecycle:
+    def test_spec_segments_released_per_flush(self, shard_env):
+        """After each flush only the tree segment stays published; the
+        per-flush spec segment is unlinked in the flush's finally."""
+        rspn = shard_env.ensemble.rspns[0]
+        requests = _requests(rspn, 12)
+        before = set(repro_segments())
+        with _evaluator(2, transport="shm") as evaluator:
+            for _ in range(3):
+                rspn.expectation_batch(requests, executor=evaluator)
+                stats = evaluator.stats()["transport_stats"]
+                assert stats["segments_active"] == 1  # the tree only
+            assert stats["segments_created"] == 4  # 1 tree + 3 spec flushes
+            assert stats["segments_unlinked"] == 3
+            live = set(repro_segments()) - before
+            assert len(live) == 1  # the published tree segment
+        assert set(repro_segments()) == before  # close() unlinked the tree
+
+    def test_close_unlinks_everything_and_is_idempotent(self, shard_env):
+        rspn = shard_env.ensemble.rspns[0]
+        requests = _requests(rspn, 8)
+        before = set(repro_segments())
+        evaluator = _evaluator(2, transport="shm")
+        serial = rspn.expectation_batch(requests)
+        assert list(
+            rspn.expectation_batch(requests, executor=evaluator)
+        ) == list(serial)
+        evaluator.close()
+        assert set(repro_segments()) == before
+        assert evaluator.stats()["transport_stats"]["segments_active"] == 0
+        evaluator.close()  # idempotent
+        # A closed evaluator answers in-process, still correctly.
+        assert not evaluator.should_shard(1_000)
+        assert list(rspn.expectation_batch(requests)) == list(serial)
+
+    def test_detaching_evaluator_retires_tree_segments(self, shard_env):
+        """A shared evaluator outliving one model must not keep that
+        model's tree segment published: detaching via set_evaluator
+        retires it (the LRU cap is only the backstop for churn)."""
+        before = set(repro_segments())
+        with _evaluator(2, transport="shm") as evaluator:
+            shard_env.ensemble.set_evaluator(evaluator)
+            try:
+                shard_env.cardinality_batch(_sqls(8))
+                assert evaluator.stats()["transport_stats"]["segments_active"] >= 1
+            finally:
+                shard_env.ensemble.set_evaluator(None)
+            assert evaluator.stats()["transport_stats"]["segments_active"] == 0
+            assert set(repro_segments()) == before
+            assert evaluator.should_shard(1_000)  # still serves other models
+
+    def test_segments_survive_worker_sigkill_then_unlink(self, shard_env):
+        """SIGKILLed workers die attached to the segments; the parent
+        still owns them, keeps answering (fallback + self-heal on fresh
+        workers re-attaching the same tree segment), and close() leaves
+        nothing behind."""
+        sqls = _sqls(12)
+        serial = shard_env.cardinality_batch(sqls)
+        before = set(repro_segments())
+        with _evaluator(2, transport="shm") as evaluator:
+            shard_env.ensemble.set_evaluator(evaluator)
+            try:
+                assert shard_env.cardinality_batch(sqls) == serial
+                for pid in evaluator.stats()["last_worker_pids"]:
+                    os.kill(pid, signal.SIGKILL)
+                time.sleep(0.3)
+                assert shard_env.cardinality_batch(sqls) == serial  # fallback
+                assert shard_env.cardinality_batch(sqls) == serial  # healed
+                stats = evaluator.stats()
+                assert stats["serial_fallbacks"] >= 1
+                assert stats["pool_restarts"] >= 1
+                # No spec segment leaked across the crash; the tree
+                # segment is still the only live one (fresh workers
+                # re-attached it rather than forcing a re-publish).
+                assert stats["transport_stats"]["segments_active"] == 1
+                assert stats["transport_stats"]["tree_publishes"] == 1
+            finally:
+                shard_env.ensemble.set_evaluator(None)
+        assert set(repro_segments()) == before
+
+    def test_interpreter_exit_unlinks_unclosed_evaluator(self, tmp_path):
+        """An evaluator that is never close()d must still take its
+        segments down with the interpreter (the atexit backstop)."""
+        script = tmp_path / "leaky.py"
+        script.write_text(textwrap.dedent("""
+            import numpy as np
+            from repro.core.inference import EvaluationSpec, evaluate_batch
+            from repro.core.leaves import DiscreteLeaf
+            from repro.core.nodes import ProductNode
+            from repro.core.ranges import Range
+            from repro.core.sharding import ShardedEvaluator
+
+            rng = np.random.default_rng(0)
+            root = ProductNode((0, 1), [
+                DiscreteLeaf.fit(0, "a", rng.integers(0, 9, 200).astype(float)),
+                DiscreteLeaf.fit(1, "b", rng.integers(0, 9, 200).astype(float)),
+            ])
+            specs = []
+            for i in range(8):
+                spec = EvaluationSpec()
+                spec.condition(0, Range.from_operator(">", float(i % 5)))
+                specs.append(spec)
+            evaluator = ShardedEvaluator(
+                n_workers=2, min_shard_size=1, mp_context="fork",
+                transport="shm",
+            )
+            sharded = evaluate_batch(root, specs, executor=evaluator)
+            serial = evaluate_batch(root, specs)
+            assert list(sharded) == list(serial)
+            assert evaluator.stats()["transport_stats"]["segments_active"] >= 1
+            print("OK", flush=True)
+            # exit WITHOUT evaluator.close(): atexit must clean up
+        """))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p
+        )
+        before = set(repro_segments())
+        result = subprocess.run(
+            [sys.executable, str(script)], cwd=os.path.dirname(__file__) + "/..",
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+        survivors = set(repro_segments()) - before
+        assert not survivors, f"interpreter exit leaked segments: {survivors}"
 
 
 # ----------------------------------------------------------------------
@@ -308,14 +500,20 @@ def test_http_serving_flush_fans_out(shard_env):
                 thread.start()
             for thread in threads:
                 thread.join()
-            stats = json.loads(
-                urllib.request.urlopen(server.url + "/stats", timeout=30).read()
-            )
+            with urllib.request.urlopen(
+                server.url + "/stats", timeout=30
+            ) as response:
+                stats = json.load(response)
+            server.close()  # the with-block closes again: must be idempotent
         assert answers == serial
         sharding = stats["serving"]["models"]["orders"]["sharding"]
         assert sharding["sharded_batches"] >= 2  # warm-up + flush(es)
         assert sharding["distinct_worker_pids"] >= 2
         assert sharding["serial_fallbacks"] == 0
+        # /stats surfaces the transport and its cost counters live.
+        assert sharding["transport"] in ("shm", "pickle")
+        assert sharding["transport_stats"]["spec_bytes"] > 0
+        assert sharding["transport_stats"]["spec_publishes"] >= 2
     finally:
         shard_env.evaluator = None
         shard_env.ensemble.set_evaluator(None)
@@ -348,3 +546,24 @@ def test_cli_accepts_shards_flag(command):
         argv += ["--sql", "SELECT COUNT(*) FROM flights"]
     args = build_parser().parse_args([command] + argv)
     assert args.shards == 3
+    assert args.transport == "auto"  # the default resolves per host
+
+
+@pytest.mark.parametrize("command", ["estimate", "query", "plan", "serve"])
+@pytest.mark.parametrize("transport", ["shm", "pickle", "auto"])
+def test_cli_accepts_transport_flag(command, transport):
+    from repro.cli import build_parser
+
+    argv = ["--dataset", "flights", "--model", "m.json", "--shards", "2",
+            "--transport", transport]
+    if command in ("estimate", "query", "plan"):
+        argv += ["--sql", "SELECT COUNT(*) FROM flights"]
+    args = build_parser().parse_args([command] + argv)
+    assert args.transport == transport
+
+
+def test_make_transport_rejects_unknown():
+    from repro.core.sharding import make_transport
+
+    with pytest.raises(ValueError, match="unknown transport"):
+        make_transport("carrier-pigeon")
