@@ -1,0 +1,157 @@
+"""Fused sweep kernels vs the legacy full-matrix sweep (PR 6 tentpole).
+
+A batch of 1024 expectation requests over the largest flights RSPN is
+evaluated under every execution kernel of :mod:`repro.core.kernels`:
+
+- ``legacy``      -- the pre-fusion ``(n_nodes, chunk)`` matrix sweep,
+  the memory/speed baseline;
+- ``numpy``       -- the fused arena sweep (compile-time node ordering,
+  register-allocated interior rows, pre-planned level kernels);
+- ``numba``       -- the tape-interpreter lowering.  Measured through
+  the jitted kernels when numba is installed, otherwise through the
+  pure-Python twins purely to *record* the interpreter floor (marked
+  ``numba_available: false``; no assertion -- the twins are scalar
+  Python and slow by construction).
+
+Asserted every run:
+
+- **bit-identity**: every kernel's 1024 answers ``==`` the legacy
+  sweep's, element for element;
+- **throughput**: the fused NumPy sweep is >= 1.3x the legacy sweep on
+  ns/query (the tentpole acceptance bar);
+- **memory**: the peak values arena (arena rows + staging rows, from
+  ``kernel_stats``) is strictly smaller per query column than the
+  legacy ``n_nodes``-row matrix, and the arena was allocated exactly
+  once for the whole batch.
+
+Recorded to ``benchmarks/BENCH_kernels.json``: per-kernel ns/query and
+speedup over legacy, bytes-per-column for arena vs legacy matrix (their
+ratio is the passes-over-memory estimate: each sweep streams every row
+of its working set once per chunk), peak arena bytes for the measured
+chunk width, arena allocation counts, and the evaluator's crossover
+auto-tune record for this host.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.bench_sharding import _requests, _usable_cpus
+from repro.core import kernels
+from repro.core.compiled import _CHUNK_BUDGET, compiled_for
+from repro.core.sharding import ShardedEvaluator
+
+N_QUERIES = 1024
+
+
+def _measure_kernel(rspn, requests, name, best_of):
+    """Best-of ns/query for one kernel, plus its answers."""
+    with kernels.use(name):
+        values = np.asarray(rspn.expectation_batch(requests))  # warm-up
+        seconds = best_of(lambda: rspn.expectation_batch(requests))
+    return values, seconds
+
+
+def test_fused_kernels(flights_env, best_of, record_kernels_timing):
+    rspn = max(flights_env.ensemble.rspns, key=lambda r: len(r.column_names))
+    requests = _requests(flights_env.database, rspn, N_QUERIES, seed=41)
+    compiled = compiled_for(rspn.root)
+    plan = compiled.plan
+
+    measurements = {}
+    legacy_values, legacy_s = _measure_kernel(rspn, requests, "legacy", best_of)
+    measurements["legacy"] = legacy_s
+    fused_values, fused_s = _measure_kernel(rspn, requests, "numpy", best_of)
+    measurements["numpy"] = fused_s
+    if kernels.HAVE_NUMBA:
+        numba_values, numba_s = _measure_kernel(rspn, requests, "numba", best_of)
+    else:  # record the pure-Python twin floor, never assert on it
+        with kernels.python_twins():
+            numba_values, numba_s = _measure_kernel(
+                rspn, requests, "numba", best_of
+            )
+    measurements["numba"] = numba_s
+
+    # Bit-identity, asserted every bench run: == , not allclose.
+    assert (fused_values == legacy_values).all()
+    assert (numba_values == legacy_values).all()
+
+    # Working-set accounting.  Both sweeps stream their whole working
+    # set once per chunk, so bytes-per-column is the passes-over-memory
+    # currency: legacy touches n_nodes rows per query column, the fused
+    # sweep touches arena+stage rows.
+    stats = compiled.kernel_stats()
+    arena_rows = plan.arena_rows + plan.stage_rows
+    legacy_chunk = max(16, _CHUNK_BUDGET // max(compiled.n_nodes, 1))
+    fused_chunk = max(16, _CHUNK_BUDGET // max(arena_rows, 1))
+    peak_arena_bytes = 8 * arena_rows * min(fused_chunk, N_QUERIES)
+    legacy_matrix_bytes = 8 * compiled.n_nodes * min(legacy_chunk, N_QUERIES)
+    assert stats["arena_bytes_per_column"] < stats["legacy_bytes_per_column"]
+    assert peak_arena_bytes < legacy_matrix_bytes
+
+    # The arena is leased once per batch and pooled across batches.
+    before = compiled.arena_allocations
+    with kernels.use("numpy"):
+        rspn.expectation_batch(requests)
+    assert compiled.arena_allocations == before  # steady state: no allocs
+
+    # This host's crossover auto-tune record (serial-only on 1 CPU).
+    with ShardedEvaluator(n_workers=2) as evaluator:
+        autotune = evaluator.autotune.to_dict()
+
+    cpus = _usable_cpus()
+    fused_speedup = legacy_s / fused_s
+    print(f"\nsweep kernels, batch of {N_QUERIES} "
+          f"({compiled.n_nodes} nodes -> {plan.arena_rows} arena rows "
+          f"+ {plan.stage_rows} staging, {cpus} usable CPUs)")
+    for name, seconds in measurements.items():
+        ns_per_query = seconds * 1e9 / N_QUERIES
+        note = ""
+        if name == "numba" and not kernels.HAVE_NUMBA:
+            note = "  (pure-Python twins: numba not installed)"
+        print(f"  {name:<7}: {seconds * 1e3:8.1f} ms "
+              f"({ns_per_query:10.0f} ns/query, "
+              f"{legacy_s / seconds:5.2f}x legacy){note}")
+    print(f"  arena  : {stats['arena_bytes_per_column']} B/column vs legacy "
+          f"{stats['legacy_bytes_per_column']} B/column "
+          f"({stats['legacy_bytes_per_column'] / stats['arena_bytes_per_column']:.2f}x"
+          " fewer bytes streamed per query)")
+    print(f"  peak   : {peak_arena_bytes / 1024:.0f} KiB arena "
+          f"(chunk {min(fused_chunk, N_QUERIES)}) vs "
+          f"{legacy_matrix_bytes / 1024:.0f} KiB legacy matrix "
+          f"(chunk {min(legacy_chunk, N_QUERIES)})")
+    print(f"  autotune: {autotune['mode']} "
+          f"(min_shard_size {autotune['min_shard_size']}, "
+          f"{autotune['usable_cpus']} usable CPUs)")
+
+    # The tentpole acceptance bar: fused >= 1.3x legacy ns/query.
+    assert fused_speedup >= 1.3, (
+        f"fused sweep only {fused_speedup:.2f}x legacy (need >= 1.3x)"
+    )
+
+    for name, seconds in measurements.items():
+        record_kernels_timing(
+            f"sweep_{name}", seconds,
+            ns_per_query=seconds * 1e9 / N_QUERIES,
+            n_queries=N_QUERIES,
+            speedup_vs_legacy=legacy_s / seconds,
+            numba_available=kernels.HAVE_NUMBA,
+            usable_cpus=cpus,
+        )
+    record_kernels_timing(
+        "arena_footprint", 0.0,
+        n_nodes=compiled.n_nodes,
+        arena_rows=plan.arena_rows,
+        stage_rows=plan.stage_rows,
+        arena_bytes_per_column=stats["arena_bytes_per_column"],
+        legacy_bytes_per_column=stats["legacy_bytes_per_column"],
+        passes_over_memory_ratio=(
+            stats["legacy_bytes_per_column"] / stats["arena_bytes_per_column"]
+        ),
+        peak_arena_bytes=peak_arena_bytes,
+        legacy_matrix_bytes=legacy_matrix_bytes,
+        arena_allocations=compiled.arena_allocations,
+        autotune=autotune,
+    )

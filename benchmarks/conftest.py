@@ -67,6 +67,7 @@ _TIMING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_inference.json")
 _OPTIMIZER_PATH = os.path.join(os.path.dirname(__file__), "BENCH_optimizer.json")
 _SERVING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serving.json")
 _SHARDING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_sharding.json")
+_KERNELS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_kernels.json")
 # path -> the session's named timing records destined for that file.
 _TRAJECTORIES: dict = {}
 
@@ -90,6 +91,8 @@ record_optimizer_timing = _recorder(_OPTIMIZER_PATH)
 record_serving_timing = _recorder(_SERVING_PATH)
 # BENCH_sharding.json: values-matrix sharding across worker processes.
 record_sharding_timing = _recorder(_SHARDING_PATH)
+# BENCH_kernels.json: fused/legacy/numba sweep-kernel trajectory.
+record_kernels_timing = _recorder(_KERNELS_PATH)
 
 
 def best_of(fn, repeats=3):
@@ -133,6 +136,13 @@ def record_sharding_timing_fixture():
     """Fixture handing benches the :func:`record_sharding_timing`
     recorder (BENCH_sharding.json)."""
     return record_sharding_timing
+
+
+@pytest.fixture(scope="session", name="record_kernels_timing")
+def record_kernels_timing_fixture():
+    """Fixture handing benches the :func:`record_kernels_timing`
+    recorder (BENCH_kernels.json)."""
+    return record_kernels_timing
 
 
 def _benchmark_records(session):

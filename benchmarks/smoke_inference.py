@@ -104,6 +104,8 @@ def main():
     print(f"OK: batched speedup {scalar_seconds / batch_seconds:.1f}x, "
           "estimates agree to 1e-9")
 
+    if _smoke_kernels(database, ensemble, queries, compiler, batched):
+        return 1
     if _smoke_serving(database, ensemble):
         return 1
     if _smoke_sharding(database, ensemble):
@@ -112,6 +114,44 @@ def main():
         return 1
     if _smoke_join_ordering():
         return 1
+    return 0
+
+
+def _smoke_kernels(database, ensemble, queries, compiler, reference):
+    """Kernel smoke: every sweep kernel answers bit-identically.
+
+    Replays the 40-query workload under ``legacy``, ``numpy`` and
+    ``numba`` (jitted when numba is installed, its pure-Python twins
+    otherwise -- the silent-fallback leg of CI runs this without numba
+    and must still pass) and requires the answers to be **bit-identical**
+    (``==``) to the default-kernel batch, not merely close.
+    """
+    from repro.core import kernels
+
+    start = time.perf_counter()
+    info = kernels.describe()
+    for name in ("legacy", "numpy", "numba"):
+        with kernels.use(name):
+            answers = compiler.cardinality_batch(queries)
+        if answers != reference:
+            print(f"FAIL: kernel {name!r} answers are not bit-identical "
+                  f"to the default kernel")
+            return 1
+    with kernels.python_twins(), kernels.use("numba"):
+        if kernels.resolve() != "numba":
+            print("FAIL: python_twins did not activate the numba path")
+            return 1
+        twins = compiler.cardinality_batch(queries)
+    if twins != reference:
+        print("FAIL: numba twin answers are not bit-identical")
+        return 1
+    numba_note = (
+        "available" if info["numba_available"]
+        else "absent -> silent numpy fallback"
+    )
+    print(f"OK: legacy/numpy/numba kernels bit-identical on "
+          f"{len(queries)} queries (active {info['active']!r}, numba "
+          f"{numba_note}, {time.perf_counter() - start:.1f}s)")
     return 0
 
 

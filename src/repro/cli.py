@@ -72,6 +72,14 @@ def _add_shards_argument(parser):
              "shm publishes zero-copy shared-memory segments (default "
              "where available), pickle is the portability fallback",
     )
+    parser.add_argument(
+        "--kernel", choices=("auto", "numpy", "numba", "legacy"),
+        default="auto",
+        help="compiled-sweep kernel: the fused numpy sweep (default), "
+             "the numba-lowered sweep (falls back to numpy when numba "
+             "is absent), or the legacy full-matrix sweep; all three "
+             "return bit-identical answers",
+    )
 
 
 def _load_model(args, database):
@@ -82,6 +90,7 @@ def _load_model(args, database):
     return DeepDB.load(
         args.model, database, shards=shards or None,
         transport=None if transport == "auto" else transport,
+        kernel=getattr(args, "kernel", None),
     )
 
 
@@ -267,11 +276,27 @@ def _cmd_serve(args, out):
     print(f"coalescing: batches of up to {args.max_batch_size} every "
           f"{args.max_wait_ms:g} ms; admission cap {args.max_inflight} "
           "in-flight", file=out)
+    from repro.core import kernels
+
+    kernel = kernels.describe()
+    print(f"kernel: {kernel['active']!r} "
+          f"(requested {kernel['requested']!r}, "
+          f"numba {'available' if kernel['numba_available'] else 'absent'})",
+          file=out)
     if deepdb.evaluator is not None:
-        print(f"sharding: coalesced flushes of >= "
-              f"{deepdb.evaluator.min_shard_size} specs fan out across "
-              f"{deepdb.evaluator.n_workers} worker processes over the "
-              f"{deepdb.evaluator.transport!r} transport", file=out)
+        from repro.core.autotune import SERIAL_ONLY
+
+        evaluator = deepdb.evaluator
+        if evaluator.min_shard_size >= SERIAL_ONLY:
+            print("sharding: auto-tuner selected serial "
+                  f"({evaluator.autotune.mode}, "
+                  f"{evaluator.autotune.usable_cpus} usable CPU(s)); "
+                  "every flush stays in-process", file=out)
+        else:
+            print(f"sharding: coalesced flushes of >= "
+                  f"{evaluator.min_shard_size} specs fan out across "
+                  f"{evaluator.n_workers} worker processes over the "
+                  f"{evaluator.transport!r} transport", file=out)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -1,0 +1,227 @@
+"""Per-host crossover auto-tuning for the sharded evaluator.
+
+PR 5's ``bench_sharding.py`` showed the serial/sharded crossover is a
+*host* property, not a constant: it moves with core count, IPC cost
+(spawn vs fork, shm vs pickle) and per-spec sweep speed (which the
+kernel knob of :mod:`repro.core.kernels` itself changes).  A static
+``min_shard_size=32`` picked on one machine over-shards a 1-CPU
+container (every batch pays pool + transport overhead for zero
+parallelism) and under-shards a 64-core box.
+
+:func:`calibrate` replaces the constant with a one-shot micro
+calibration at evaluator construction:
+
+- **serial-only short-circuit**: with one usable CPU (or one worker)
+  sharding can never win -- no pool is started, ``min_shard_size``
+  becomes the :data:`SERIAL_ONLY` sentinel and every batch stays on
+  the in-process sweep.  This is the correct answer on CI-style 1-CPU
+  containers and costs nothing.
+- **measured crossover** otherwise: the serial sweep cost per spec is
+  measured on a small synthetic RSPN (same compiled code path as real
+  models, active kernel included), the per-batch dispatch overhead is
+  measured as one transport publish/release plus a worker-pool ping
+  round trip, and the crossover follows from
+
+      overhead ≈ serial_ns_per_spec * n * (1 - 1/workers)
+
+  i.e. sharding wins once the serial time *saved* on ``n`` specs
+  exceeds the fixed overhead.  The result is clamped to
+  ``[16, 8192]`` so a noisy measurement can never disable sharding
+  entirely or shard single-spec batches.
+
+The measurement is persisted on the evaluator (``stats()["autotune"]``,
+surfaced through serving ``/stats``) so operators can see *why* a host
+serves serially.  Passing an explicit ``min_shard_size`` skips
+calibration and records a ``static`` entry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+# ``min_shard_size`` sentinel meaning "never shard": larger than any
+# real batch, comparable like a normal threshold so ``should_shard``
+# needs no special case.
+SERIAL_ONLY = 1 << 30
+
+# Calibration knobs: small enough to finish in tens of milliseconds,
+# large enough that one sweep dominates Python call overhead.
+_CAL_SPECS = 256
+_CAL_REPEATS = 3
+_CROSSOVER_FLOOR = 16
+_CROSSOVER_CEIL = 8192
+
+
+@dataclass
+class AutotuneResult:
+    """One host's crossover measurement (see ``stats()["autotune"]``)."""
+
+    mode: str  # "serial-only" | "calibrated" | "static"
+    usable_cpus: int
+    n_workers: int
+    min_shard_size: int
+    serial_ns_per_spec: float | None = None
+    dispatch_overhead_ns: float | None = None
+    calibration_ms: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def static(min_shard_size: int, n_workers: int) -> AutotuneResult:
+    """The record for an explicitly configured threshold."""
+    return AutotuneResult(
+        mode="static",
+        usable_cpus=usable_cpus(),
+        n_workers=n_workers,
+        min_shard_size=min_shard_size,
+    )
+
+
+def calibrate(evaluator) -> AutotuneResult:
+    """Measure this host's serial/sharded crossover for ``evaluator``.
+
+    Called once from ``ShardedEvaluator.__init__`` when no explicit
+    ``min_shard_size`` is given.  Never raises: a failed measurement
+    degrades to the serial-only sentinel (sharding can still be forced
+    with an explicit threshold).
+    """
+    started = time.perf_counter()
+    cpus = usable_cpus()
+    workers = evaluator.n_workers
+    if cpus <= 1 or workers <= 1:
+        # One CPU: worker processes only time-slice the same core, so
+        # the parallel term is zero and overhead is pure loss.  Skip
+        # the pool entirely.
+        return AutotuneResult(
+            mode="serial-only",
+            usable_cpus=cpus,
+            n_workers=workers,
+            min_shard_size=SERIAL_ONLY,
+            calibration_ms=(time.perf_counter() - started) * 1e3,
+        )
+    try:
+        serial_ns = _serial_ns_per_spec()
+        overhead_ns = _dispatch_overhead_ns(evaluator)
+        effective = min(workers, cpus)
+        saved_per_spec = serial_ns * (1.0 - 1.0 / effective)
+        crossover = overhead_ns / max(saved_per_spec, 1e-9)
+        min_shard = int(min(max(crossover, _CROSSOVER_FLOOR), _CROSSOVER_CEIL))
+        return AutotuneResult(
+            mode="calibrated",
+            usable_cpus=cpus,
+            n_workers=workers,
+            min_shard_size=min_shard,
+            serial_ns_per_spec=serial_ns,
+            dispatch_overhead_ns=overhead_ns,
+            calibration_ms=(time.perf_counter() - started) * 1e3,
+        )
+    except Exception:  # noqa: BLE001 - calibration must never break construction
+        return AutotuneResult(
+            mode="serial-only",
+            usable_cpus=cpus,
+            n_workers=workers,
+            min_shard_size=SERIAL_ONLY,
+            calibration_ms=(time.perf_counter() - started) * 1e3,
+        )
+
+
+def _worker_ping(payload):
+    """Trivial pool task; the round trip prices task dispatch."""
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmark pieces
+# ----------------------------------------------------------------------
+_MICRO = None  # (compiled, specs), built once per process
+
+
+def _micro_workload():
+    """A small synthetic RSPN plus a representative spec batch.
+
+    Shaped like a real tablet of a learned ensemble (sum over products
+    over value histograms) so the measured ns/spec exercises the same
+    fused sweep and leaf kernels as production sweeps.
+    """
+    global _MICRO
+    if _MICRO is not None:
+        return _MICRO
+    from repro.core.compiled import CompiledRSPN
+    from repro.core.inference import EvaluationSpec
+    from repro.core.leaves import DiscreteLeaf
+    from repro.core.nodes import ProductNode, SumNode
+    from repro.core.ranges import Range
+
+    rng = np.random.default_rng(2020)
+    scope = (0, 1, 2)
+
+    def leaf(scope_index):
+        values = np.sort(rng.choice(200, size=64, replace=False)).astype(float)
+        counts = rng.integers(1, 50, size=64).astype(float)
+        return DiscreteLeaf(scope_index, f"a{scope_index}", values, counts, 1.0)
+
+    branches = [
+        ProductNode(scope, [leaf(i) for i in scope]) for _ in range(6)
+    ]
+    root = SumNode(scope, branches, rng.uniform(1.0, 10.0, len(branches)))
+    compiled = CompiledRSPN(root)
+    specs = []
+    for _ in range(_CAL_SPECS):
+        spec = EvaluationSpec()
+        spec.condition(0, Range.from_operator("<=", float(rng.integers(20, 180))))
+        spec.condition(1, Range.from_operator(">", float(rng.integers(0, 100))))
+        specs.append(spec)
+    _MICRO = (compiled, specs)
+    return _MICRO
+
+
+def _serial_ns_per_spec() -> float:
+    """Best-of serial sweep cost per spec under the active kernel."""
+    compiled, specs = _micro_workload()
+    best = None
+    for _ in range(_CAL_REPEATS):
+        t0 = time.perf_counter_ns()
+        compiled.evaluate_batch(specs)
+        elapsed = time.perf_counter_ns() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best / len(specs)
+
+
+def _dispatch_overhead_ns(evaluator) -> float:
+    """Per-batch fixed cost: one spec publish + one pool round trip."""
+    _, specs = _micro_workload()
+    transport = evaluator._transport
+    bounds = [(0, len(specs))]
+    best_publish = None
+    for _ in range(_CAL_REPEATS):
+        t0 = time.perf_counter_ns()
+        handle, _payloads = transport.publish_specs(specs, bounds)
+        transport.release_specs(handle)
+        elapsed = time.perf_counter_ns() - t0
+        best_publish = elapsed if best_publish is None else min(best_publish, elapsed)
+
+    with evaluator._lock:
+        pool = evaluator._ensure_pool()
+    # First ping pays worker start-up; price steady-state dispatch.
+    pool.submit(_worker_ping, 0).result(timeout=evaluator.result_timeout_s)
+    best_ping = None
+    for _ in range(_CAL_REPEATS):
+        t0 = time.perf_counter_ns()
+        pool.submit(_worker_ping, 0).result(timeout=evaluator.result_timeout_s)
+        elapsed = time.perf_counter_ns() - t0
+        best_ping = elapsed if best_ping is None else min(best_ping, elapsed)
+    # Every worker's slice pays a dispatch; the batch pays one publish.
+    return float(best_publish + best_ping * evaluator.n_workers)

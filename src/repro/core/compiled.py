@@ -14,32 +14,58 @@ Lowering (:class:`CompiledRSPN`):
 - Nodes are laid out in **topological (post) order** -- every child
   precedes its parent -- so one forward pass over the order is a valid
   bottom-up evaluation.  The root is the last row.
-- Each internal node stores a contiguous *child range* into a flat
-  child-index array; sum nodes additionally bake their (cached) mixture
-  weights next to the child indices.
 - Internal nodes are grouped by **height** (leaves = 0, parent = 1 + max
-  child height).  All sums of one level become one ``np.add.reduceat``
-  over a ``(children_at_level, n_queries)`` matrix of weighted child
-  values; all products become one ``np.multiply.reduceat``.  The whole
-  tree evaluates in ``O(depth)`` NumPy calls instead of
-  ``O(nodes * queries)`` Python calls.
+  child height), giving a level schedule where every level only reads
+  rows produced by strictly lower levels.
+- On top of that schedule a **fused sweep plan** (:class:`_FusedPlan`)
+  is computed at compile time:
+
+  * nodes of one (level, kind) become one *op* whose segments are
+    sorted by descending child count, so the op's position-``p`` slice
+    always covers a contiguous prefix of segments -- each position is
+    a single gather + elementwise kernel call over contiguous rows;
+  * a liveness pass register-allocates rows into a small reusable
+    **arena**: a child's row is dead the moment its parent's op
+    consumes it, so the values "matrix" shrinks from ``n_nodes`` rows
+    to peak-live rows (``plan.arena_rows``) and is leased from a pool
+    instead of reallocated per chunk;
+  * each op fuses the sum-weighting multiply with the accumulate into
+    pre-planned ``np.take`` / ``np.multiply`` / ``np.add`` calls, or --
+    under the ``numba`` kernel (:mod:`repro.core.kernels`) -- into one
+    jitted tape interpreter over the plan's flattened instruction
+    stream.
+
 - Leaves keep pointers to the live leaf objects: their histograms are
   *not* baked, so leaf-level inserts/deletes never stale the compiled
   form.  Only structure and sum-node weights are frozen, which is why
   :func:`invalidate` must be called whenever sum counts change
   (:mod:`repro.core.updates` does this).
 
+Accumulation order is **pinned** (see :mod:`repro.core.kernels`): sum
+and product nodes accumulate children left to right with the weight
+multiply rounding before the add.  Every kernel -- the fused NumPy
+executor, the numba tape, and the retained ``legacy`` full-matrix
+reference sweep -- performs those same elementwise operations in the
+same order, which is what makes the three bit-identical (``==``), and
+what lets sharded workers (whose twins recompile the same plan from the
+same post-order; checked via :meth:`CompiledRSPN.plan_signature`)
+return bit-identical slices.
+
 Batched evaluation (:meth:`CompiledRSPN.evaluate_batch`):
 
 - Untouched leaves contribute an exact ``1.0`` (the marginalisation
-  identity), so the values matrix is initialised to ones and only
+  identity), so the arena's leaf block is reset to ones and only
   touched ``(leaf, query)`` entries are filled.
-- Per leaf, the batch's ``(range, transform)`` pairs are **deduplicated**
-  before calling the leaf's vectorised
-  :meth:`~repro.core.leaves.DiscreteLeaf.evaluate_batch`; a GROUP BY over
-  ``k`` groups touches the grouped column with ``k`` distinct ranges but
-  every other predicate column with exactly one.
-- Large batches are evaluated in bounded-memory chunks.
+- The batch's ``(range, transform)`` pairs are deduplicated **once per
+  scope** (every leaf row of a scope sees the same pairs), the shared
+  interval flattening is computed once per scope
+  (:class:`~repro.core.leaves.PreparedBatch`), and each leaf then
+  evaluates only the distinct pairs; a GROUP BY over ``k`` groups
+  touches the grouped column with ``k`` distinct ranges but every other
+  predicate column with exactly one.
+- Large batches are evaluated in bounded-memory chunks that *reuse* one
+  leased arena (no per-chunk allocation; ``arena_allocations`` counts
+  pool misses).
 
 The compiled form is cached per root in a :class:`weakref` mapping; the
 owning :class:`~repro.core.rspn.RSPN` (and
@@ -49,24 +75,60 @@ mutations that change sum-node weights.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+import time
 import weakref
 
 import numpy as np
 
-from repro.core.leaves import BinnedLeaf, DiscreteLeaf, product_transform
+from repro.core import kernels
+from repro.core.leaves import (
+    BinnedLeaf,
+    DiscreteLeaf,
+    PreparedBatch,
+    product_transform,
+    transform_dedup_key,
+)
 from repro.core.nodes import LeafNode, ProductNode, SumNode
 
-# Soft cap on the size (floats) of one values matrix; batches are split
-# into chunks of ``max(16, _CHUNK_BUDGET // n_nodes)`` queries.
+# Soft cap on the size (floats) of one chunk's working set; batches are
+# split into chunks of ``max(16, _CHUNK_BUDGET // rows)`` queries where
+# ``rows`` is the sweep's row footprint (``n_nodes`` for the legacy
+# full-matrix kernel, ``arena_rows + stage_rows`` for the fused ones --
+# the arena being much smaller, fused chunks are correspondingly wider
+# for the same memory budget).
 _CHUNK_BUDGET = 8_000_000
+
+# Leased (arena, stage) buffer pairs kept per compiled form for reuse
+# across batches (and across concurrent serving readers).
+_ARENA_POOL_CAP = 4
+
+
+def _positions(starts, total):
+    """Per-position index arrays for one level's segment list.
+
+    ``starts`` are segment offsets into a flat child array of length
+    ``total``.  Returns, for each child position ``p``, the segment
+    indices that have a ``p``-th child and the flat offsets of those
+    children -- the access pattern of the pinned left-to-right
+    accumulation (the legacy kernel's replacement for ``reduceat``,
+    whose intra-segment order is a SIMD implementation detail).
+    """
+    counts = np.diff(np.append(starts, total))
+    out = []
+    for p in range(int(counts.max()) if counts.size else 0):
+        segs = np.flatnonzero(counts > p).astype(np.intp)
+        out.append((segs, (starts[segs] + p).astype(np.intp)))
+    return out
 
 
 class _Level:
     """All internal nodes of one height, split by kind, as flat arrays."""
 
     __slots__ = (
-        "sum_rows", "sum_starts", "sum_child_index", "sum_weights",
-        "prod_rows", "prod_starts", "prod_child_index",
+        "sum_rows", "sum_starts", "sum_child_index", "sum_weights", "sum_pos",
+        "prod_rows", "prod_starts", "prod_child_index", "prod_pos",
     )
 
     def __init__(self, sums, products, index_of):
@@ -86,6 +148,221 @@ class _Level:
             prod_children.extend(index_of[id(c)] for c in node.children)
         self.prod_starts = np.array(prod_starts, dtype=np.intp)
         self.prod_child_index = np.array(prod_children, dtype=np.intp)
+        self.sum_pos = _positions(self.sum_starts, self.sum_child_index.shape[0])
+        self.prod_pos = _positions(self.prod_starts, self.prod_child_index.shape[0])
+
+
+# ----------------------------------------------------------------------
+# Fused sweep plan
+# ----------------------------------------------------------------------
+class _SlotAllocator:
+    """First-fit allocator of contiguous arena row blocks.
+
+    ``size`` is the high-water mark -- the arena height the plan needs.
+    Freed single rows are merged back into gaps so sibling levels reuse
+    the rows of nodes that just died.
+    """
+
+    def __init__(self):
+        self._free: list[tuple[int, int]] = []  # sorted disjoint [start, end)
+        self.size = 0
+
+    def alloc(self, k):
+        for i, (start, end) in enumerate(self._free):
+            if end - start >= k:
+                if end - start == k:
+                    self._free.pop(i)
+                else:
+                    self._free[i] = (start + k, end)
+                return start
+        start = self.size
+        self.size += k
+        return start
+
+    def release(self, slot):
+        import bisect
+
+        start, end = slot, slot + 1
+        i = bisect.bisect_left(self._free, (start, start))
+        if i > 0 and self._free[i - 1][1] == start:
+            start = self._free[i - 1][0]
+            self._free.pop(i - 1)
+            i -= 1
+        if i < len(self._free) and self._free[i][0] == end:
+            end = self._free[i][1]
+            self._free.pop(i)
+        self._free.insert(i, (start, end))
+
+
+class _FusedOp:
+    """One fused kernel call: all same-kind nodes of one level.
+
+    Segments (nodes) are sorted by descending child count, so position
+    ``p`` covers segments ``[0, len(pos_slots[p]))`` -- a contiguous
+    prefix of the op's destination block ``[dst_lo, dst_lo + n_seg)``.
+    ``pos_slots[p]`` holds the arena rows of every segment's ``p``-th
+    child; for sum ops ``pos_weights[p]`` holds the matching mixture
+    weights as a ``(k, 1)`` column.
+    """
+
+    __slots__ = ("is_sum", "dst_lo", "n_seg", "pos_slots", "pos_weights")
+
+    def __init__(self, is_sum, dst_lo, n_seg, pos_slots, pos_weights):
+        self.is_sum = is_sum
+        self.dst_lo = dst_lo
+        self.n_seg = n_seg
+        self.pos_slots = pos_slots
+        self.pos_weights = pos_weights
+
+
+class _FusedPlan:
+    """The compile-time sweep plan: ops over a liveness-sized arena.
+
+    Derived deterministically from the tree's post-order alone, so a
+    sharded worker that recompiles an imported twin
+    (:func:`import_tree_arrays` preserves post-order) produces the
+    *same* plan -- asserted end-to-end via :meth:`signature`.
+    """
+
+    __slots__ = (
+        "arena_rows", "stage_rows", "root_slot", "n_leaves",
+        "leaf_slots_by_scope", "leaf_slot_of_row", "ops", "_tape", "_signature",
+    )
+
+    def __init__(self, order, index_of, heights, root_row):
+        alloc = _SlotAllocator()
+        slot_of: dict[int, int] = {}
+        leaf_rows = []
+        for i, node in enumerate(order):
+            if isinstance(node, LeafNode):
+                slot_of[i] = alloc.alloc(1)
+                leaf_rows.append(i)
+        self.n_leaves = len(leaf_rows)
+        # Allocated from an empty free list, leaves land in arena rows
+        # 0..n_leaves-1 in post order; the per-chunk reset to the
+        # marginalisation identity is one contiguous fill.
+        self.leaf_slot_of_row = dict(zip(leaf_rows, range(self.n_leaves)))
+        by_scope: dict[int, list] = {}
+        for row in leaf_rows:
+            leaf = order[row]
+            by_scope.setdefault(leaf.scope_index, []).append(
+                (self.leaf_slot_of_row[row], leaf)
+            )
+        self.leaf_slots_by_scope = {
+            scope: tuple(entries) for scope, entries in by_scope.items()
+        }
+
+        self.ops = []
+        max_height = max(heights) if heights else 0
+        n = len(order)
+        for height in range(1, max_height + 1):
+            for node_type in (ProductNode, SumNode):
+                group = [
+                    (i, order[i]) for i in range(n)
+                    if heights[i] == height and type(order[i]) is node_type
+                ]
+                if not group:
+                    continue
+                # Stable sort by descending child count: positions are
+                # prefixes, ties keep post order (determinism).
+                segs = sorted(group, key=lambda entry: -len(entry[1].children))
+                n_seg = len(segs)
+                # Destination block allocated while every child is still
+                # live, so it can never alias a row the op reads.
+                dst_lo = alloc.alloc(n_seg)
+                is_sum = node_type is SumNode
+                max_children = len(segs[0][1].children)
+                pos_slots, pos_weights = [], []
+                for p in range(max_children):
+                    k = 0
+                    while k < n_seg and len(segs[k][1].children) > p:
+                        k += 1
+                    slots = np.array(
+                        [
+                            slot_of[index_of[id(segs[s][1].children[p])]]
+                            for s in range(k)
+                        ],
+                        dtype=np.intp,
+                    )
+                    pos_slots.append(slots)
+                    if is_sum:
+                        weights = np.array(
+                            [float(segs[s][1].weights[p]) for s in range(k)],
+                            dtype=float,
+                        )
+                        pos_weights.append(weights[:, None])
+                    else:
+                        pos_weights.append(None)
+                for s, (row, node) in enumerate(segs):
+                    for child in node.children:
+                        child_slot = slot_of.pop(index_of[id(child)], None)
+                        if child_slot is not None:  # strict trees only
+                            alloc.release(child_slot)
+                    slot_of[row] = dst_lo + s
+                self.ops.append(
+                    _FusedOp(is_sum, dst_lo, n_seg, pos_slots, pos_weights)
+                )
+        self.root_slot = slot_of[root_row]
+        self.arena_rows = max(alloc.size, 1)
+        self.stage_rows = max((op.n_seg for op in self.ops), default=1)
+        self._tape = None
+        self._signature = None
+
+    def tape(self):
+        """The plan flattened into the numba tape interpreter's arrays."""
+        if self._tape is None:
+            op_is_sum, op_dst, op_pos_off = [], [], [0]
+            pos_count, pos_child_off = [], [0]
+            child_slots: list[int] = []
+            weights: list[float] = []
+            for op in self.ops:
+                op_is_sum.append(1 if op.is_sum else 0)
+                op_dst.append(op.dst_lo)
+                for p, slots in enumerate(op.pos_slots):
+                    pos_count.append(slots.shape[0])
+                    child_slots.extend(int(s) for s in slots)
+                    if op.is_sum:
+                        weights.extend(float(w) for w in op.pos_weights[p].ravel())
+                    else:
+                        weights.extend(0.0 for _ in range(slots.shape[0]))
+                    pos_child_off.append(len(child_slots))
+                op_pos_off.append(len(pos_count))
+            self._tape = (
+                np.asarray(op_is_sum, dtype=np.int8),
+                np.asarray(op_dst, dtype=np.int64),
+                np.asarray(op_pos_off, dtype=np.int64),
+                np.asarray(pos_count, dtype=np.int64),
+                np.asarray(pos_child_off, dtype=np.int64),
+                np.asarray(child_slots, dtype=np.int64),
+                np.asarray(weights, dtype=np.float64),
+            )
+        return self._tape
+
+    def signature(self) -> str:
+        """A stable digest of the whole plan (ops, slots, weights bits).
+
+        Equal signatures mean bit-identical sweeps for the same leaf
+        values; the sharded evaluator ships the parent's signature with
+        the tree so workers can verify their recompiled plan matches.
+        """
+        if self._signature is None:
+            digest = hashlib.sha1()
+            digest.update(
+                np.asarray(
+                    [self.arena_rows, self.stage_rows, self.root_slot,
+                     self.n_leaves],
+                    dtype=np.int64,
+                ).tobytes()
+            )
+            for scope in sorted(self.leaf_slots_by_scope):
+                slots = [slot for slot, _ in self.leaf_slots_by_scope[scope]]
+                digest.update(
+                    np.asarray([scope, *slots], dtype=np.int64).tobytes()
+                )
+            for array in self.tape():
+                digest.update(array.tobytes())
+            self._signature = digest.hexdigest()
+        return self._signature
 
 
 class CompiledRSPN:
@@ -132,6 +409,16 @@ class CompiledRSPN:
             ]
             self.levels.append(_Level(sums, products, index_of))
 
+        self.plan = _FusedPlan(order, index_of, heights, self.root_row)
+
+        # Arena pool + sweep telemetry (kernel_stats / serving /stats).
+        self._pool_lock = threading.Lock()
+        self._arena_pool: list[tuple[int, np.ndarray, np.ndarray]] = []
+        self.arena_allocations = 0
+        self.sweep_count = 0
+        self.sweep_ns = 0
+        self.sweep_queries = 0
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -145,11 +432,13 @@ class CompiledRSPN:
         ``executor`` plugs in a batch executor such as
         :class:`repro.core.sharding.ShardedEvaluator`: batches of at
         least its ``min_shard_size`` are split into per-worker column
-        slices of the values matrix and evaluated by worker processes
-        (per-query columns are independent, so sharding is
-        bit-identical to this serial sweep).  ``None`` -- and any
-        executor failure, which falls back internally -- evaluates
-        in-process.
+        slices and evaluated by worker processes (per-query columns are
+        independent, so sharding is bit-identical to this serial
+        sweep).  ``None`` -- and any executor failure, which falls back
+        internally -- evaluates in-process.
+
+        The executing kernel is the process-wide knob of
+        :mod:`repro.core.kernels`; all kernels are bit-identical.
         """
         if executor is not None and executor.should_shard(len(specs)):
             return executor.evaluate_batch(self, specs)
@@ -161,35 +450,184 @@ class CompiledRSPN:
         ]
         if not live:
             return results
-        chunk = max(16, _CHUNK_BUDGET // max(self.n_nodes, 1))
-        for start in range(0, len(live), chunk):
-            part = live[start:start + chunk]
-            values = self._sweep([spec for _, spec in part])
-            results[[col for col, _ in part]] = values
+        kernel = kernels.resolve()
+        if kernel == "legacy":
+            chunk = max(16, _CHUNK_BUDGET // max(self.n_nodes, 1))
+            for start in range(0, len(live), chunk):
+                part = live[start:start + chunk]
+                values = self._sweep_legacy([spec for _, spec in part])
+                results[[col for col, _ in part]] = values
+            return results
+        rows = self.plan.arena_rows + self.plan.stage_rows
+        chunk = max(16, _CHUNK_BUDGET // max(rows, 1))
+        width = min(chunk, len(live))
+        arena, stage = self._lease(width)
+        try:
+            for start in range(0, len(live), chunk):
+                part = live[start:start + chunk]
+                values = self._sweep_fused(
+                    [spec for _, spec in part], arena, stage, kernel
+                )
+                results[[col for col, _ in part]] = values
+        finally:
+            self._release(width, arena, stage)
         return results
 
     def evaluate(self, spec):
         """Scalar evaluation as a batch of one."""
         return float(self.evaluate_batch([spec])[0])
 
-    def _sweep(self, specs):
-        """One bottom-up sweep; returns the root row for ``specs``."""
+    def _sweep_fused(self, specs, arena, stage, kernel):
+        """One arena sweep over the fused plan; returns the root row.
+
+        The arena may be wider than ``len(specs)`` (a reused lease whose
+        trailing columns belong to a previous, larger chunk): kernels
+        always sweep the full width -- the leaf block is reset to the
+        all-ones marginalisation identity across it, so spare columns
+        compute a harmless (and discarded) full marginal.
+        """
+        started = time.perf_counter_ns()
+        n_queries = len(specs)
+        plan = self.plan
+        arena[: plan.n_leaves].fill(1.0)
+        self._fill_leaves(arena, specs)
+        if kernel == "numba":
+            kernels.pick(kernels.sweep_tape, kernels.sweep_tape_py)(
+                arena, *plan.tape()
+            )
+        else:
+            for op in plan.ops:
+                dst = arena[op.dst_lo: op.dst_lo + op.n_seg]
+                if op.is_sum:
+                    for p, slots in enumerate(op.pos_slots):
+                        k = slots.shape[0]
+                        buf = stage[:k]
+                        np.take(arena, slots, axis=0, out=buf)
+                        if p == 0:
+                            np.multiply(buf, op.pos_weights[0], out=dst)
+                        else:
+                            np.multiply(buf, op.pos_weights[p], out=buf)
+                            np.add(dst[:k], buf, out=dst[:k])
+                else:
+                    for p, slots in enumerate(op.pos_slots):
+                        k = slots.shape[0]
+                        buf = stage[:k]
+                        np.take(arena, slots, axis=0, out=buf)
+                        if p == 0:
+                            np.copyto(dst, buf)
+                        else:
+                            np.multiply(dst[:k], buf, out=dst[:k])
+        out = arena[plan.root_slot, :n_queries].copy()
+        self.sweep_count += 1
+        self.sweep_queries += n_queries
+        self.sweep_ns += time.perf_counter_ns() - started
+        return out
+
+    def _sweep_legacy(self, specs):
+        """The pre-fusion reference sweep: full ``(n_nodes, n_queries)``
+        matrix, per-leaf-row fills, per-level gathers -- with the same
+        pinned left-to-right accumulation as the fused kernels, so it
+        stays bit-identical while remaining the memory/speed baseline
+        the kernel bench compares against."""
+        started = time.perf_counter_ns()
         n_queries = len(specs)
         values = np.ones((self.n_nodes, n_queries), dtype=float)
         for row, qcols in self._touched_leaves(specs).items():
             self._fill_leaf_row(values, row, qcols, specs)
         for level in self.levels:
             if level.prod_rows.size:
-                child = values[level.prod_child_index]
-                values[level.prod_rows] = np.multiply.reduceat(
-                    child, level.prod_starts, axis=0
-                )
+                segs0, flat0 = level.prod_pos[0]
+                out = values[level.prod_child_index[flat0]]
+                for segs, flat in level.prod_pos[1:]:
+                    out[segs] *= values[level.prod_child_index[flat]]
+                values[level.prod_rows] = out
             if level.sum_rows.size:
-                child = values[level.sum_child_index] * level.sum_weights[:, None]
-                values[level.sum_rows] = np.add.reduceat(
-                    child, level.sum_starts, axis=0
+                segs0, flat0 = level.sum_pos[0]
+                out = (
+                    values[level.sum_child_index[flat0]]
+                    * level.sum_weights[flat0][:, None]
                 )
-        return values[self.root_row]
+                for segs, flat in level.sum_pos[1:]:
+                    out[segs] += (
+                        values[level.sum_child_index[flat]]
+                        * level.sum_weights[flat][:, None]
+                    )
+                values[level.sum_rows] = out
+        result = values[self.root_row]
+        self.sweep_count += 1
+        self.sweep_queries += n_queries
+        self.sweep_ns += time.perf_counter_ns() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Leaf filling
+    # ------------------------------------------------------------------
+    def _touched_scopes(self, specs):
+        """Map ``scope_index -> [query column, ...]`` needing leaf fills."""
+        pending: dict[int, list[int]] = {}
+        by_scope = self.plan.leaf_slots_by_scope
+        for qcol, spec in enumerate(specs):
+            for scope_index in set(spec.ranges) | set(spec.transforms):
+                if scope_index in by_scope:
+                    pending.setdefault(scope_index, []).append(qcol)
+        return pending
+
+    def _fill_leaves(self, arena, specs):
+        """Fill every touched leaf row of the arena.
+
+        The ``(range, transform)`` dedup runs **once per scope** -- all
+        leaf rows of a scope see identical pairs, the legacy per-row
+        dedup recomputed (and re-hashed) them for every row -- and the
+        flattened interval arrays are shared across the scope's rows
+        via :class:`~repro.core.leaves.PreparedBatch`.
+        """
+        for scope_index, qcols in self._touched_scopes(specs).items():
+            entries = self.plan.leaf_slots_by_scope[scope_index]
+            slots_map: dict = {}
+            composed: dict = {}
+            ranges, transforms = [], []
+            assign = np.empty(len(qcols), dtype=np.intp)
+            for k, qcol in enumerate(qcols):
+                spec = specs[qcol]
+                rng = spec.ranges.get(scope_index)
+                transform_list = spec.transforms.get(scope_index)
+                transform_key = (
+                    tuple(transform_dedup_key(t) for t in transform_list)
+                    if transform_list else None
+                )
+                key = (rng, transform_key)
+                slot = slots_map.get(key)
+                if slot is None:
+                    slot = len(ranges)
+                    slots_map[key] = slot
+                    ranges.append(rng)
+                    if transform_list is None:
+                        transforms.append(None)
+                    else:
+                        transform = composed.get(transform_key)
+                        if transform is None:
+                            transform = product_transform(transform_list)
+                            composed[transform_key] = transform
+                        transforms.append(transform)
+                assign[k] = slot
+            prepared = PreparedBatch(ranges, transforms)
+            cols = np.asarray(qcols, dtype=np.intp)
+            for leaf_slot, leaf in entries:
+                batch = getattr(leaf, "evaluate_batch", None)
+                if batch is not None:
+                    try:
+                        distinct = np.asarray(
+                            batch(ranges, transforms, prepared=prepared),
+                            dtype=float,
+                        )
+                    except TypeError:  # a leaf predating the prepared API
+                        distinct = np.asarray(batch(ranges, transforms), dtype=float)
+                else:  # generic leaf without a vectorised kernel
+                    distinct = np.array(
+                        [leaf.evaluate(r, t) for r, t in zip(ranges, transforms)],
+                        dtype=float,
+                    )
+                arena[leaf_slot, cols] = distinct[assign]
 
     def _touched_leaves(self, specs):
         """Map ``row -> [query column, ...]`` of leaf entries to fill."""
@@ -201,19 +639,25 @@ class CompiledRSPN:
         return pending
 
     def _fill_leaf_row(self, values, row, qcols, specs):
-        """Deduplicate the specs hitting one leaf and evaluate them."""
+        """Deduplicate the specs hitting one leaf and evaluate them
+        (the legacy kernel's per-row fill)."""
         leaf = self._leaf_at[row]
         scope = leaf.scope_index
         slots: dict = {}
-        composed: dict = {}  # share one composed transform per id-tuple
+        composed: dict = {}  # share one composed transform per key-tuple
         ranges, transforms = [], []
         assign = np.empty(len(qcols), dtype=np.intp)
         for k, qcol in enumerate(qcols):
             spec = specs[qcol]
             rng = spec.ranges.get(scope)
             transform_list = spec.transforms.get(scope)
+            # Key on the well-known label where the transform IS the
+            # registered singleton (labels are str, ids are int -- the
+            # key spaces cannot collide): equal well-known transforms
+            # always share a dedup slot, ad-hoc ones stay id-keyed.
             transform_key = (
-                tuple(id(t) for t in transform_list) if transform_list else None
+                tuple(transform_dedup_key(t) for t in transform_list)
+                if transform_list else None
             )
             key = (rng, transform_key)
             slot = slots.get(key)
@@ -239,6 +683,60 @@ class CompiledRSPN:
                 dtype=float,
             )
         values[row, qcols] = distinct[assign]
+
+    # ------------------------------------------------------------------
+    # Arena pool
+    # ------------------------------------------------------------------
+    def _lease(self, width):
+        """A (arena, stage) buffer pair for sweeps of ``width`` columns.
+
+        Reused across chunks, batches and concurrent readers (each
+        lease is exclusive); a pool miss allocates fresh buffers and
+        bumps ``arena_allocations`` -- the no-new-large-allocations
+        tests pin that steady-state evaluation stops allocating.
+        """
+        with self._pool_lock:
+            for i, (w, arena, stage) in enumerate(self._arena_pool):
+                if w == width:
+                    self._arena_pool.pop(i)
+                    return arena, stage
+            self.arena_allocations += 1
+        arena = np.empty((self.plan.arena_rows, width), dtype=float)
+        stage = np.empty((self.plan.stage_rows, width), dtype=float)
+        return arena, stage
+
+    def _release(self, width, arena, stage):
+        with self._pool_lock:
+            if len(self._arena_pool) < _ARENA_POOL_CAP:
+                self._arena_pool.append((width, arena, stage))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def plan_signature(self) -> str:
+        """Digest of the fused plan; see :meth:`_FusedPlan.signature`."""
+        return self.plan.signature()
+
+    def kernel_stats(self) -> dict:
+        """Kernel + sweep telemetry for benches and serving ``/stats``."""
+        with self._pool_lock:
+            allocations = self.arena_allocations
+            pooled = len(self._arena_pool)
+        queries = self.sweep_queries
+        return {
+            **kernels.describe(),
+            "n_nodes": self.n_nodes,
+            "arena_rows": self.plan.arena_rows,
+            "stage_rows": self.plan.stage_rows,
+            "arena_bytes_per_column": 8 * (self.plan.arena_rows + self.plan.stage_rows),
+            "legacy_bytes_per_column": 8 * self.n_nodes,
+            "arena_allocations": allocations,
+            "arena_pooled": pooled,
+            "sweeps": self.sweep_count,
+            "sweep_queries": queries,
+            "sweep_ns_total": self.sweep_ns,
+            "sweep_ns_per_query": (self.sweep_ns / queries) if queries else None,
+        }
 
 
 def _post_order(root):
@@ -267,6 +765,11 @@ def _post_order(root):
 # them) and the leaf payload arrays.  Update-only state (KMeans routing
 # models, FD dictionaries) stays behind -- imported trees are read-only
 # evaluation twins, which is all a sharding worker ever runs.
+#
+# The fused sweep plan itself is NOT exported: it is a pure function of
+# the post order, which export/import preserve exactly, so the worker's
+# recompiled plan is identical (the transport ships the parent's
+# ``plan_signature`` and the worker verifies the match).
 
 _KIND_SUM, _KIND_PRODUCT, _KIND_DISCRETE, _KIND_BINNED = 0, 1, 2, 3
 
@@ -277,8 +780,9 @@ def export_tree_arrays(root):
     ``arrays`` values are flat NumPy arrays (shippable through the
     segment codec of :mod:`repro.core.specpack`); ``meta`` carries the
     structure header (root row, per-leaf attribute names and payload
-    offsets).  All float payloads travel as raw float64 bytes, so
-    :func:`import_tree_arrays` reproduces evaluation bit-for-bit.
+    offsets) plus the compiled form's ``plan_signature``.  All float
+    payloads travel as raw float64 bytes, so :func:`import_tree_arrays`
+    reproduces evaluation bit-for-bit.
     """
     order = _post_order(root)
     index_of = {id(node): i for i, node in enumerate(order)}
@@ -347,6 +851,11 @@ def export_tree_arrays(root):
         "kind": "rspn-tree",
         "root_row": index_of[id(root)],
         "leaves": leaf_meta,
+        # The worker recompiles the plan from the (preserved) post
+        # order; shipping the parent's digest lets it prove the plans
+        # match before answering (plan drift -> error -> serial
+        # fallback, never a wrong answer).
+        "plan_signature": compiled_for(root).plan_signature(),
     }
     arrays = {
         "kinds": kinds,
@@ -368,8 +877,9 @@ def import_tree_arrays(meta, arrays):
     Leaf histogram arrays are **views into the caller's buffer** -- no
     copies -- so the buffer (e.g. an attached shared-memory segment)
     must outlive the returned tree.  The twin evaluates bit-identically
-    to the exported tree; it is read-only (no KMeans routing state), so
-    never route updates at it.
+    to the exported tree (post order, and therefore the fused sweep
+    plan, are preserved exactly); it is read-only (no KMeans routing
+    state), so never route updates at it.
     """
     kinds = arrays["kinds"]
     leaf_scope = arrays["leaf_scope"]
@@ -449,6 +959,15 @@ def compiled_for(root) -> CompiledRSPN:
         compiled.generation = current
         _CACHE[root] = compiled
     return compiled
+
+
+def peek(root):
+    """The cached compiled form if present and current, else ``None``
+    (never compiles; for telemetry like ``DeepDB.kernel_stats``)."""
+    compiled = _CACHE.get(root)
+    if compiled is not None and compiled.generation == generation(root):
+        return compiled
+    return None
 
 
 def invalidate(root):

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.nodes import LeafNode
 from repro.core.ranges import Range
 
@@ -105,6 +106,19 @@ def transform_by_label(label: str):
     registered); inverse of :func:`well_known_label`, used when unpacking
     columnar specs so worker-side identity-based dedup keeps working."""
     return _WELL_KNOWN[label]
+
+
+def transform_dedup_key(transform):
+    """A stable dedup key for one transform.
+
+    The well-known label when the transform *is* the registered
+    singleton, the object id otherwise.  Labels are ``str`` and ids are
+    ``int``, so the two key spaces cannot collide -- and a label thief
+    (an ad-hoc transform reusing a well-known label) fails the
+    identity check in :func:`well_known_label` and stays id-keyed,
+    never sharing a dedup slot with the singleton's semantics.
+    """
+    return well_known_label(transform) or id(transform)
 
 
 def product_transform(transforms):
@@ -184,7 +198,7 @@ class DiscreteLeaf(LeafNode):
             weighted += self.null_count * transform.null_value
         return weighted / total
 
-    def evaluate_batch(self, ranges, transforms):
+    def evaluate_batch(self, ranges, transforms, prepared=None):
         """Vectorised :meth:`evaluate` over parallel range/transform lists.
 
         ``ranges[k]`` / ``transforms[k]`` follow the scalar convention
@@ -194,12 +208,24 @@ class DiscreteLeaf(LeafNode):
         ``np.searchsorted`` lookups -- ``O(log n)`` per interval instead
         of an ``O(n)`` mask.  Agrees with the scalar path to ~1e-12
         relative (prefix-sum rounding), well inside the 1e-9 contract.
+
+        ``prepared`` is an optional :class:`PreparedBatch` for the same
+        ``(ranges, transforms)``: the compiled sweep computes the
+        transform grouping and interval flattening once per *scope* and
+        shares it across every leaf of that scope.  Under the ``numba``
+        kernel the search + scatter runs as one jitted loop
+        (:func:`repro.core.kernels.discrete_masses`), bit-identical to
+        the NumPy path because binary search is index-exact and
+        ``np.add.at`` is sequential.
         """
         out = np.zeros(len(ranges), dtype=float)
         total = self.total
         if total == 0 or not len(ranges):
             return out
-        for group, transform in _transform_groups(transforms):
+        if prepared is None:
+            prepared = PreparedBatch(ranges, transforms)
+        use_numba = kernels.resolve() == "numba"
+        for g, (group, transform) in enumerate(prepared.groups):
             if transform is None:
                 weights = self.counts
                 null_mass = self.null_count
@@ -207,21 +233,28 @@ class DiscreteLeaf(LeafNode):
                 weights = transform.fn(self.values) * self.counts
                 null_mass = self.null_count * transform.null_value
             cum = np.concatenate(([0.0], np.cumsum(weights)))
-            lows, highs, low_inc, high_inc, k_idx, null_ks = _interval_arrays(
-                ranges, group
+            lows, highs, low_inc, high_inc, k_idx, null_ks = (
+                prepared.group_intervals(g)
             )
             if k_idx.size:
-                left_a = np.searchsorted(self.values, lows, side="left")
-                left_b = np.searchsorted(self.values, lows, side="right")
-                right_a = np.searchsorted(self.values, highs, side="left")
-                right_b = np.searchsorted(self.values, highs, side="right")
-                left = np.where(low_inc, left_a, left_b)
-                # Clamp the index, not the mass: an empty interval (only
-                # possible when hand-constructed) must select exactly
-                # zero values, while masses themselves may be
-                # legitimately negative under sign-changing transforms.
-                right = np.maximum(np.where(high_inc, right_b, right_a), left)
-                np.add.at(out, k_idx, cum[right] - cum[left])
+                if use_numba:
+                    kernels.pick(
+                        kernels.discrete_masses, kernels.discrete_masses_py
+                    )(self.values, cum, lows, highs, low_inc, high_inc,
+                      k_idx, out)
+                else:
+                    left_a = np.searchsorted(self.values, lows, side="left")
+                    left_b = np.searchsorted(self.values, lows, side="right")
+                    right_a = np.searchsorted(self.values, highs, side="left")
+                    right_b = np.searchsorted(self.values, highs, side="right")
+                    left = np.where(low_inc, left_a, left_b)
+                    # Clamp the index, not the mass: an empty interval
+                    # (only possible when hand-constructed) must select
+                    # exactly zero values, while masses themselves may be
+                    # legitimately negative under sign-changing
+                    # transforms.
+                    right = np.maximum(np.where(high_inc, right_b, right_a), left)
+                    np.add.at(out, k_idx, cum[right] - cum[left])
             if null_ks.size:
                 out[null_ks] += null_mass
         return out / total
@@ -334,66 +367,102 @@ class BinnedLeaf(LeafNode):
             weighted += self.null_count * transform.null_value
         return weighted / total
 
-    def evaluate_batch(self, ranges, transforms):
+    def evaluate_batch(self, ranges, transforms, prepared=None):
         """Vectorised :meth:`evaluate` over parallel range/transform lists.
 
         All intervals of all ranges are broadcast against the bin edges
-        at once, producing a ``(n_intervals, n_bins)`` coverage matrix
-        that is then summed per query and capped at full coverage --
-        identical per-element arithmetic to the scalar path.
+        at once, producing a ``(n_queries, n_bins)`` coverage matrix
+        that is then reduced per query.
+
+        The per-query reduction is **row-wise with a pinned order**
+        (:func:`repro.core.kernels.ordered_rowsum`), NOT
+        ``coverage[group] @ weights`` and not ``sum(axis=1)``: the BLAS
+        matvec picks different accumulation kernels depending on the
+        number of rows, and ``sum``'s accumulation order is a SIMD
+        implementation detail -- either way one query's bits could
+        change with its batchmates or with the executing kernel.  The
+        explicit halving fold reduces each row independently and
+        identically everywhere, keeping every query bit-identical
+        across batch compositions (the invariance chunked evaluation
+        and process-sharding rely on) *and* across the numpy/numba
+        kernels.
+
+        ``prepared`` shares the interval flattening across the leaves
+        of one scope, exactly as in :meth:`DiscreteLeaf.evaluate_batch`.
         """
         out = np.zeros(len(ranges), dtype=float)
         total = self.total
         if total == 0 or not len(ranges):
             return out
-        coverage, null_flags = self._coverage_batch(ranges)
-        for group, transform in _transform_groups(transforms):
+        if prepared is None:
+            prepared = PreparedBatch(ranges, transforms)
+        use_numba = kernels.resolve() == "numba"
+        coverage, null_flags = self._coverage_batch(
+            ranges, prepared=prepared, use_numba=use_numba
+        )
+        for group, transform in prepared.groups:
             if transform is None:
                 weights = self.counts
                 null_mass = self.null_count
             else:
                 weights = transform.fn(self._bin_means()) * self.counts
                 null_mass = self.null_count * transform.null_value
-            # Row-wise reduction, NOT ``coverage[group] @ weights``: the
-            # BLAS matvec picks different accumulation kernels depending
-            # on the number of rows, so one query's result could change
-            # with its batchmates.  ``sum(axis=1)`` reduces each row
-            # independently, keeping every query bit-identical across
-            # batch compositions -- the invariance chunked evaluation
-            # and process-sharding rely on.
-            out[group] = (coverage[group] * weights).sum(axis=1)
+            if use_numba:
+                values = np.empty(group.shape[0], dtype=float)
+                kernels.pick(kernels.weighted_fold, kernels.weighted_fold_py)(
+                    coverage, group, np.ascontiguousarray(weights, dtype=float),
+                    values,
+                )
+                out[group] = values
+            else:
+                out[group] = kernels.ordered_rowsum(coverage[group] * weights)
             out[group[null_flags[group]]] += null_mass
         return out / total
 
-    def _coverage_batch(self, ranges):
+    def _coverage_batch(self, ranges, prepared=None, use_numba=False):
         """``(n_queries, n_bins)`` coverage fractions plus NULL flags."""
         low_edges, high_edges = self.edges[:-1], self.edges[1:]
-        lows, highs, low_inc, high_inc, k_idx, null_ks = _interval_arrays(
-            ranges, np.arange(len(ranges))
-        )
+        if prepared is not None:
+            lows, highs, low_inc, high_inc, k_idx, null_ks = (
+                prepared.all_intervals()
+            )
+        else:
+            lows, highs, low_inc, high_inc, k_idx, null_ks = _interval_arrays(
+                ranges, np.arange(len(ranges))
+            )
         coverage = np.zeros((len(ranges), self.counts.shape[0]), dtype=float)
         if k_idx.size:
-            lows_m = lows[:, None]
-            highs_m = highs[:, None]
-            left = np.clip(lows_m, low_edges, high_edges)
-            right = np.clip(highs_m, low_edges, high_edges)
-            width = (high_edges - low_edges)[None, :]
-            with np.errstate(invalid="ignore", divide="ignore"):
-                fraction = np.where(
-                    width > 0, (right - left) / np.where(width > 0, width, 1.0), 0.0
+            if use_numba:
+                kernels.pick(
+                    kernels.binned_coverage, kernels.binned_coverage_py
+                )(
+                    lows, highs, low_inc, high_inc, k_idx,
+                    np.ascontiguousarray(low_edges),
+                    np.ascontiguousarray(high_edges),
+                    float(self.edges[-1]), self.distinct, coverage,
                 )
-            degenerate = (width == 0) & (lows_m <= low_edges) & (high_edges <= highs_m)
-            span = np.where(degenerate, 1.0, np.clip(fraction, 0.0, 1.0))
-            is_point = (lows == highs) & low_inc & high_inc
-            if is_point.any():
-                inside = (lows_m >= low_edges) & (
-                    (lows_m < high_edges)
-                    | ((lows_m <= high_edges) & (high_edges == self.edges[-1]))
-                )
-                point = np.where(inside, 1.0 / self.distinct[None, :], 0.0)
-                span = np.where(is_point[:, None], point, span)
-            np.add.at(coverage, k_idx, span)
-            np.minimum(coverage, 1.0, out=coverage)
+            else:
+                lows_m = lows[:, None]
+                highs_m = highs[:, None]
+                left = np.clip(lows_m, low_edges, high_edges)
+                right = np.clip(highs_m, low_edges, high_edges)
+                width = (high_edges - low_edges)[None, :]
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    fraction = np.where(
+                        width > 0, (right - left) / np.where(width > 0, width, 1.0), 0.0
+                    )
+                degenerate = (width == 0) & (lows_m <= low_edges) & (high_edges <= highs_m)
+                span = np.where(degenerate, 1.0, np.clip(fraction, 0.0, 1.0))
+                is_point = (lows == highs) & low_inc & high_inc
+                if is_point.any():
+                    inside = (lows_m >= low_edges) & (
+                        (lows_m < high_edges)
+                        | ((lows_m <= high_edges) & (high_edges == self.edges[-1]))
+                    )
+                    point = np.where(inside, 1.0 / self.distinct[None, :], 0.0)
+                    span = np.where(is_point[:, None], point, span)
+                np.add.at(coverage, k_idx, span)
+                np.minimum(coverage, 1.0, out=coverage)
         null_flags = np.zeros(len(ranges), dtype=bool)
         null_flags[null_ks] = True
         return coverage, null_flags
@@ -415,6 +484,42 @@ class BinnedLeaf(LeafNode):
         if total == 0:
             return 0.0
         return float(self.sums.sum() / total)
+
+
+class PreparedBatch:
+    """Shared precomputation for one ``(ranges, transforms)`` pair.
+
+    The compiled sweep deduplicates specs once per *scope* but every
+    leaf row of that scope evaluates the same distinct pairs -- without
+    sharing, each row would redo the transform grouping and the
+    interval flattening (the dominant Python-side cost of a sweep).
+    Group and interval arrays are built lazily: the discrete leaf wants
+    per-group intervals, the binned leaf wants the full flattening.
+    """
+
+    __slots__ = ("ranges", "groups", "_group_intervals", "_all_intervals")
+
+    def __init__(self, ranges, transforms):
+        self.ranges = ranges
+        self.groups = list(_transform_groups(transforms))
+        self._group_intervals = [None] * len(self.groups)
+        self._all_intervals = None
+
+    def group_intervals(self, g):
+        """Interval arrays for transform group ``g`` (cached)."""
+        cached = self._group_intervals[g]
+        if cached is None:
+            cached = _interval_arrays(self.ranges, self.groups[g][0])
+            self._group_intervals[g] = cached
+        return cached
+
+    def all_intervals(self):
+        """Interval arrays over the whole batch (cached)."""
+        if self._all_intervals is None:
+            self._all_intervals = _interval_arrays(
+                self.ranges, np.arange(len(self.ranges))
+            )
+        return self._all_intervals
 
 
 def _transform_groups(transforms):

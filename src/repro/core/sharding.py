@@ -75,7 +75,9 @@ from multiprocessing import get_context
 
 import numpy as np
 
+from repro.core import autotune
 from repro.core import compiled as compiled_mod
+from repro.core import kernels
 from repro.core import specpack
 
 logger = logging.getLogger(__name__)
@@ -521,18 +523,22 @@ atexit.register(_clear_worker_models)
 
 
 def _decode_tree(key, generation, payload):
-    """``(root, segment-or-None)`` from a task's tree payload."""
+    """``(root, segment-or-None, plan-signature-or-None)`` from a task's
+    tree payload.  The signature (shm transport only: the pickle
+    transport ships the object graph itself) is the parent's fused-plan
+    digest, verified by :func:`_worker_model` after recompiling."""
     kind = payload[0]
     if kind == "pickle-tree":
         blob = payload[1]
         if blob is None:
             raise _StaleModel(key, generation)
-        return pickle.loads(blob), None
+        return pickle.loads(blob), None, None
     if kind == "shm-tree":
         segment = _attach_segment(payload[1])
         try:
             meta, arrays = specpack.read_blob(segment.buf)
-            return compiled_mod.import_tree_arrays(meta, arrays), segment
+            root = compiled_mod.import_tree_arrays(meta, arrays)
+            return root, segment, meta.get("plan_signature")
         except BaseException:
             segment.close()
             raise
@@ -564,9 +570,27 @@ def _worker_model(key, generation, tree_payload):
     entry = _WORKER_MODELS.get(key)
     if entry is None or entry[0] != generation:
         entry = None  # drop our reference BEFORE closing the old segment
-        root, segment = _decode_tree(key, generation, tree_payload)
+        root, segment, expected_signature = _decode_tree(
+            key, generation, tree_payload
+        )
         _close_worker_entry(_WORKER_MODELS.pop(key, None))
-        entry = (generation, CompiledRSPN(root), segment)
+        compiled = CompiledRSPN(root)
+        if (
+            expected_signature is not None
+            and compiled.plan_signature() != expected_signature
+        ):
+            # The recompiled fused plan must be the parent's plan (both
+            # derive from the same preserved post order); a mismatch
+            # means the published arrays were mangled in transit.  Fail
+            # the slice -- the parent falls back to its serial sweep,
+            # never a wrong answer.
+            del compiled, root  # release leaf views before the segment
+            _close_worker_entry((generation, None, segment))
+            raise RuntimeError(
+                "worker sweep plan diverges from the published tree "
+                f"(model {key}, generation {generation})"
+            )
+        entry = (generation, compiled, segment)
         _WORKER_MODELS[key] = entry
         while len(_WORKER_MODELS) > _WORKER_MODEL_CAP:
             _close_worker_entry(_WORKER_MODELS.popitem(last=False)[1])
@@ -574,12 +598,20 @@ def _worker_model(key, generation, tree_payload):
     return entry[1]
 
 
-def _worker_evaluate(key, generation, tree_payload, spec_payload):
+def _worker_evaluate(key, generation, tree_payload, spec_payload, kernel=None):
     """Evaluate one spec slice against the worker's cached model.
+
+    ``kernel`` is the parent's requested kernel knob, applied before
+    the sweep so a fleet stays coherent (``--kernel numba`` reaches the
+    workers too).  Purely a performance setting: all kernels are
+    bit-identical, so a worker resolving differently (e.g. numba absent
+    in its interpreter) still returns the same bits.
 
     Returns ``(pid, values)`` -- the pid lets callers verify that a
     batch really fanned out across several processes.
     """
+    if kernel is not None:
+        kernels.set_kernel(kernel)
     compiled = _worker_model(key, generation, tree_payload)
     specs = _decode_specs(spec_payload)
     return os.getpid(), compiled.evaluate_batch(specs)
@@ -597,8 +629,13 @@ class ShardedEvaluator:
         Pool size (default: ``os.cpu_count()``).
     min_shard_size:
         Smallest batch worth sharding; below it the serial in-process
-        sweep wins on IPC overhead (``bench_sharding.py`` measures the
-        crossover).
+        sweep wins on IPC overhead.  ``None`` (the default) auto-tunes
+        the crossover for this host at construction
+        (:func:`repro.core.autotune.calibrate`): a 1-CPU host becomes
+        serial-only (no pool is ever started), a multi-CPU host gets a
+        measured threshold.  Pass an explicit integer to skip
+        calibration; either way the decision is recorded in
+        ``stats()["autotune"]``.
     mp_context:
         ``multiprocessing`` start method.  ``"spawn"`` (default) is safe
         to initialise from threaded servers; ``"fork"`` starts faster.
@@ -611,10 +648,9 @@ class ShardedEvaluator:
         bit-identical either way.
     """
 
-    def __init__(self, n_workers=None, min_shard_size=32,
+    def __init__(self, n_workers=None, min_shard_size=None,
                  mp_context="spawn", result_timeout_s=120.0, transport=None):
         self.n_workers = max(1, int(n_workers or (os.cpu_count() or 1)))
-        self.min_shard_size = max(1, int(min_shard_size))
         self.result_timeout_s = result_timeout_s
         self._mp_context = get_context(mp_context)
         self._transport = make_transport(transport)
@@ -633,6 +669,15 @@ class ShardedEvaluator:
         self.pool_restarts = 0
         self.worker_pids: set[int] = set()
         self.last_worker_pids: tuple = ()
+        # The crossover threshold: explicit, or measured for this host
+        # (after every field above is ready -- calibration may publish
+        # through the transport and ping the pool).
+        if min_shard_size is None:
+            self.autotune = autotune.calibrate(self)
+            self.min_shard_size = self.autotune.min_shard_size
+        else:
+            self.min_shard_size = max(1, int(min_shard_size))
+            self.autotune = autotune.static(self.min_shard_size, self.n_workers)
 
     @property
     def transport(self) -> str:
@@ -719,6 +764,7 @@ class ShardedEvaluator:
             return {
                 "workers": self.n_workers,
                 "min_shard_size": self.min_shard_size,
+                "autotune": self.autotune.to_dict(),
                 "pool_alive": self._pool is not None,
                 "transport": self._transport.name,
                 "sharded_batches": self.sharded_batches,
@@ -760,9 +806,11 @@ class ShardedEvaluator:
             with self._lock:
                 self.tree_shipments += 1
         try:
+            kernel = kernels.get_kernel()
             futures = [
                 pool.submit(
-                    _worker_evaluate, key, generation, tree_payload, payload
+                    _worker_evaluate, key, generation, tree_payload, payload,
+                    kernel,
                 )
                 for payload in spec_payloads
             ]
@@ -784,7 +832,7 @@ class ShardedEvaluator:
                             self.tree_shipments += 1
                     pid, values = pool.submit(
                         _worker_evaluate, key, generation, retry_payload,
-                        payload,
+                        payload, kernel,
                     ).result(timeout=self.result_timeout_s)
                 results[lo:hi] = values
                 pids.append(pid)

@@ -39,7 +39,15 @@ the tree transport of :mod:`repro.core.sharding`: a segment is laid out
 as ``[8-byte header length][JSON header][16-byte-aligned payload]``
 where the header records each array's dtype/shape/offset, so attaching
 readers get zero-copy :func:`numpy.frombuffer` views straight into the
-shared buffer.
+shared buffer.  The codec is deliberately meta-preserving: whatever the
+writer puts in ``meta`` rides the header verbatim, which is how the
+tree transport ships the parent's fused-plan signature
+(``meta["plan_signature"]``, see :mod:`repro.core.compiled`) to workers
+so they can prove their recompiled sweep plan matches the parent's
+before answering queries.  Headers carry a layout version
+(:data:`BLOB_LAYOUT_VERSION`); readers accept versionless blobs (the
+pre-versioning layout is identical) but refuse blobs from a newer
+layout instead of misreading them.
 """
 
 from __future__ import annotations
@@ -54,6 +62,12 @@ from repro.core.leaves import transform_by_label, well_known_label
 from repro.core.ranges import Range
 
 _ALIGN = 16
+
+# Bump when the byte layout (header framing, alignment, array table
+# schema) changes incompatibly.  Version 1 is byte-identical to the
+# original unversioned layout, so old readers still parse new blobs and
+# new readers treat a missing version as 1.
+BLOB_LAYOUT_VERSION = 1
 
 
 class SpecPackError(TypeError):
@@ -89,6 +103,7 @@ def blob_layout(meta: dict, arrays: dict):
         )
         offset += array.nbytes
     document = dict(meta)
+    document["layout_version"] = BLOB_LAYOUT_VERSION
     document["arrays"] = table
     header = json.dumps(document, separators=(",", ":")).encode("utf-8")
     payload_base = _align(8 + len(header))
@@ -129,6 +144,12 @@ def read_blob(buf):
     """
     (header_len,) = struct.unpack_from("<Q", buf, 0)
     meta = json.loads(bytes(buf[8:8 + header_len]).decode("utf-8"))
+    version = int(meta.get("layout_version", 1))
+    if version > BLOB_LAYOUT_VERSION:
+        raise SpecPackError(
+            f"blob layout version {version} is newer than this reader "
+            f"(max {BLOB_LAYOUT_VERSION}); refusing to misread it"
+        )
     payload_base = _align(8 + header_len)
     arrays = {}
     for entry in meta["arrays"]:

@@ -39,10 +39,21 @@ class DeepDB:
     ``"pickle"`` is the portability fallback.  Pass a prebuilt
     ``evaluator`` instead to share one pool across several models;
     call :meth:`close` to shut the pool down.
+
+    ``kernel`` selects the compiled-sweep execution kernel
+    (:mod:`repro.core.kernels`): ``"auto"`` (default), ``"numpy"``
+    (fused NumPy), ``"numba"`` (JIT-lowered sweep; silently equivalent
+    to ``"numpy"`` when numba is not installed) or ``"legacy"`` (the
+    pre-fusion full-matrix sweep).  All kernels return bit-identical
+    answers -- the knob only moves speed and memory.
     """
 
     def __init__(self, database, ensemble, shards=None, evaluator=None,
-                 transport=None):
+                 transport=None, kernel=None):
+        if kernel is not None:
+            from repro.core import kernels
+
+            kernels.set_kernel(kernel)
         self.database = database
         self.ensemble = ensemble
         self.compiler = ProbabilisticQueryCompiler(ensemble)
@@ -60,10 +71,11 @@ class DeepDB:
 
     @classmethod
     def learn(cls, database, config: EnsembleConfig | None = None, shards=None,
-              transport=None):
+              transport=None, kernel=None):
         """Offline learning phase: build the RSPN ensemble for a database."""
         ensemble = learn_ensemble(database, config)
-        return cls(database, ensemble, shards=shards, transport=transport)
+        return cls(database, ensemble, shards=shards, transport=transport,
+                   kernel=kernel)
 
     def close(self):
         """Detach this model from its evaluator; afterwards its batches
@@ -88,12 +100,12 @@ class DeepDB:
         save_ensemble(self.ensemble, path)
 
     @classmethod
-    def load(cls, path, database, shards=None, transport=None):
+    def load(cls, path, database, shards=None, transport=None, kernel=None):
         """Re-open a persisted ensemble against its database."""
         from repro.core.serialization import load_ensemble
 
         return cls(database, load_ensemble(path, database), shards=shards,
-                   transport=transport)
+                   transport=transport, kernel=kernel)
 
     # ------------------------------------------------------------------
     # Runtime tasks
@@ -257,3 +269,44 @@ class DeepDB:
 
     def describe(self):
         return self.ensemble.describe()
+
+    def kernel_stats(self):
+        """Aggregate compiled-kernel telemetry across the ensemble.
+
+        Sums sweep counters and peak arena sizes over every RSPN whose
+        compiled form is currently cached (models never swept report
+        nothing).  Surfaced through serving ``/stats`` so operators can
+        see the active kernel, per-sweep latency and the arena-vs-legacy
+        memory footprint without instrumenting anything.
+        """
+        from repro.core import compiled as compiled_mod
+        from repro.core import kernels
+
+        totals = {
+            "n_models": 0,
+            "sweeps": 0,
+            "sweep_queries": 0,
+            "sweep_ns_total": 0,
+            "arena_allocations": 0,
+            "arena_bytes_per_column": 0,
+            "legacy_bytes_per_column": 0,
+        }
+        for rspn in self.ensemble.rspns:
+            form = compiled_mod.peek(rspn.root)
+            if form is None:
+                continue
+            stats = form.kernel_stats()
+            totals["n_models"] += 1
+            totals["sweeps"] += stats["sweeps"]
+            totals["sweep_queries"] += stats["sweep_queries"]
+            totals["sweep_ns_total"] += stats["sweep_ns_total"]
+            totals["arena_allocations"] += stats["arena_allocations"]
+            totals["arena_bytes_per_column"] += stats["arena_bytes_per_column"]
+            totals["legacy_bytes_per_column"] += (
+                stats["legacy_bytes_per_column"]
+            )
+        queries = totals["sweep_queries"]
+        totals["sweep_ns_per_query"] = (
+            totals["sweep_ns_total"] / queries if queries else None
+        )
+        return {**kernels.describe(), **totals}

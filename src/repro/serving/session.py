@@ -320,13 +320,19 @@ class ModelSession:
     def snapshot(self) -> dict:
         """Model state for ``GET /stats``.  When a sharded evaluator is
         attached, ``sharding`` carries its counters including the
-        ``transport`` name and the per-transport ``transport_stats``
-        (bytes shipped, publish seconds, live segment count)."""
+        ``transport`` name, the per-transport ``transport_stats``
+        (bytes shipped, publish seconds, live segment count) and the
+        ``autotune`` record explaining the serial/sharded crossover.
+        ``kernel`` reports the active sweep kernel plus aggregate sweep
+        telemetry (per-sweep ns, arena bytes) across the ensemble."""
         snap = {
             "name": self.name,
             "generation": self.deepdb.generation,
             "cache": self._cache.snapshot(),
         }
+        kernel_stats = getattr(self.deepdb, "kernel_stats", None)
+        if kernel_stats is not None:
+            snap["kernel"] = kernel_stats()
         evaluator = getattr(self.deepdb, "evaluator", None)
         if evaluator is not None:
             snap["sharding"] = evaluator.stats()
