@@ -68,6 +68,9 @@ _OPTIMIZER_PATH = os.path.join(os.path.dirname(__file__), "BENCH_optimizer.json"
 _SERVING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_serving.json")
 _SHARDING_PATH = os.path.join(os.path.dirname(__file__), "BENCH_sharding.json")
 _KERNELS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_kernels.json")
+_MODELSTORE_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_modelstore.json"
+)
 # path -> the session's named timing records destined for that file.
 _TRAJECTORIES: dict = {}
 
@@ -93,6 +96,8 @@ record_serving_timing = _recorder(_SERVING_PATH)
 record_sharding_timing = _recorder(_SHARDING_PATH)
 # BENCH_kernels.json: fused/legacy/numba sweep-kernel trajectory.
 record_kernels_timing = _recorder(_KERNELS_PATH)
+# BENCH_modelstore.json: mmapped cold start vs JSON, pager counters.
+record_modelstore_timing = _recorder(_MODELSTORE_PATH)
 
 
 def best_of(fn, repeats=3):
@@ -143,6 +148,13 @@ def record_kernels_timing_fixture():
     """Fixture handing benches the :func:`record_kernels_timing`
     recorder (BENCH_kernels.json)."""
     return record_kernels_timing
+
+
+@pytest.fixture(scope="session", name="record_modelstore_timing")
+def record_modelstore_timing_fixture():
+    """Fixture handing benches the :func:`record_modelstore_timing`
+    recorder (BENCH_modelstore.json)."""
+    return record_modelstore_timing
 
 
 def _benchmark_records(session):
@@ -335,6 +347,36 @@ def _difference(first, second):
 @pytest.fixture(scope="session")
 def flights_env():
     return FlightsEnvironment()
+
+
+class FlightsServingEnvironment:
+    """A serving-sized flights model for the cold-start benchmark.
+
+    The figure environments above keep models deliberately small so the
+    accuracy sweeps stay fast; cold start is about what a restarting
+    tenant server pays on a *production-sized* model, so this one learns
+    from a 100k-row sample of a 2x flights table (the paper's serving
+    scenarios sample 1M+ rows -- this is still conservative).
+    """
+
+    def __init__(self):
+        from repro.core.rspn import RspnConfig
+
+        self.database = flights.generate(scale=2.0 * SCALE, seed=0)
+        start = time.perf_counter()
+        self.ensemble = learn_ensemble(
+            self.database,
+            EnsembleConfig(
+                sample_size=int(100_000 * SCALE),
+                rspn=RspnConfig(min_instances_fraction=0.003),
+            ),
+        )
+        self.ensemble_seconds = time.perf_counter() - start
+
+
+@pytest.fixture(scope="session")
+def flights_serving_env():
+    return FlightsServingEnvironment()
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,11 @@ It then smokes the consumer layers of the batched estimator protocol:
   shared memory where available) -- flushes must fan their compiled
   sweeps out across >= 2 worker processes with answers bit-identical
   to serial and zero fallbacks,
+- **restart**: the ensemble saved to a model store file and cold-started
+  in a **fresh process** (run with ``-W error::ResourceWarning``) must
+  serve its first answer from the mmapped store within a second,
+  bit-identical to the live model, and release the mapping
+  deterministically on ``close()``,
 - **ML heads**: ``RspnRegressor.predict`` / ``RspnClassifier.predict``
   on the flights ensemble must agree with the scalar ``predict_one``
   loop to 1e-9,
@@ -109,6 +114,8 @@ def main():
     if _smoke_serving(database, ensemble):
         return 1
     if _smoke_sharding(database, ensemble):
+        return 1
+    if _smoke_restart(database, ensemble):
         return 1
     if _smoke_ml_heads(database, ensemble):
         return 1
@@ -301,6 +308,98 @@ def _smoke_sharding(database, ensemble, n_clients=8, rounds=2):
           f"({stats['sharded_batches']} sharded batches, 0 fallbacks, "
           f"{stats['transport_stats']['spec_bytes']} spec bytes shipped), "
           f"answers bit-identical to serial "
+          f"({time.perf_counter() - start:.1f}s)")
+    return 0
+
+
+_RESTART_CHILD = """
+import json, sys, time
+from repro.datasets import flights
+from repro.deepdb import DeepDB
+
+store_path, sqls = sys.argv[1], json.loads(sys.argv[2])
+database = flights.generate(scale=0.05, seed=0)
+start = time.perf_counter_ns()
+deepdb = DeepDB.load(store_path, database)
+first = float(deepdb.cardinality(sqls[0]))
+cold_ns = time.perf_counter_ns() - start
+rest = [float(v) for v in deepdb.cardinality_batch(sqls[1:])]
+store = deepdb.store
+deepdb.close()
+assert store.closed, "store not unmapped by DeepDB.close()"
+print(json.dumps({
+    "cold_ns": cold_ns,
+    "answers": [v.hex() for v in [first] + rest],
+}))
+"""
+
+
+def _smoke_restart(database, ensemble):
+    """Restart smoke: cold-start the saved store in a fresh process.
+
+    Saves the live ensemble as a model store file and serves from it in
+    a subprocess (the real restart path: nothing warm but the OS page
+    cache), run under ``-W error::ResourceWarning`` so an unclosed
+    handle fails the build.  The child's first answer must arrive
+    within a second of ``DeepDB.load`` being called, every answer must
+    be **bit-identical** (``float.hex``) to the live in-memory model,
+    and ``DeepDB.close()`` must leave the store unmapped.
+    """
+    import json
+    import os
+    import shutil
+    import subprocess
+    import tempfile
+
+    import repro
+    from repro.deepdb import DeepDB
+
+    start = time.perf_counter()
+    sqls = [
+        "SELECT COUNT(*) FROM flights WHERE flights.distance > 1000",
+        "SELECT COUNT(*) FROM flights WHERE flights.dep_delay > 30",
+        "SELECT COUNT(*) FROM flights "
+        "WHERE flights.distance BETWEEN 200 AND 800",
+    ]
+    live = DeepDB(database, ensemble)
+    expected = [float(live.cardinality(sqls[0]))]
+    expected += [float(v) for v in live.cardinality_batch(sqls[1:])]
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-restart-")
+    try:
+        store_path = os.path.join(tmpdir, "flights.rspn")
+        live.save(store_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.dirname(os.path.dirname(repro.__file__))
+        proc = subprocess.run(
+            [sys.executable, "-W", "error::ResourceWarning", "-c",
+             _RESTART_CHILD, store_path, json.dumps(sqls)],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    if proc.returncode != 0:
+        print(f"FAIL: restarted process exited {proc.returncode}\n"
+              f"{proc.stderr.strip()}")
+        return 1
+    if "ResourceWarning" in proc.stderr:
+        print(f"FAIL: restarted process leaked a resource\n"
+              f"{proc.stderr.strip()}")
+        return 1
+    payload = json.loads(proc.stdout)
+    if payload["answers"] != [v.hex() for v in expected]:
+        print("FAIL: restarted answers are not bit-identical to the "
+              f"live model ({payload['answers']} vs "
+              f"{[v.hex() for v in expected]})")
+        return 1
+    if payload["cold_ns"] >= 1_000_000_000:
+        print(f"FAIL: cold start took {payload['cold_ns'] / 1e6:.0f} ms "
+              "(budget: 1000 ms)")
+        return 1
+    print(f"OK: fresh-process cold start served the first answer in "
+          f"{payload['cold_ns'] / 1e6:.1f} ms from the mmapped store, "
+          f"{len(sqls)} answers bit-identical, mapping released on close "
           f"({time.perf_counter() - start:.1f}s)")
     return 0
 

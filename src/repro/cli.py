@@ -4,14 +4,24 @@ The datasets are deterministic synthetic generators, so a persisted
 ensemble plus the ``(dataset, scale, seed)`` triple fully reproduces a
 session.  Typical flow::
 
-    python -m repro.cli train   --dataset imdb --scale 0.05 --out model.json
-    python -m repro.cli estimate --dataset imdb --scale 0.05 --model model.json \
+    python -m repro.cli train   --dataset imdb --scale 0.05 --out model.rspn
+    python -m repro.cli estimate --dataset imdb --scale 0.05 --model model.rspn \
         --sql "SELECT COUNT(*) FROM title WHERE title.production_year > 2005"
-    python -m repro.cli query   --dataset imdb --scale 0.05 --model model.json \
+    python -m repro.cli query   --dataset imdb --scale 0.05 --model model.rspn \
         --sql "SELECT AVG(title.production_year) FROM title" --confidence 0.95
-    python -m repro.cli plan    --dataset imdb --scale 0.05 --model model.json \
+    python -m repro.cli plan    --dataset imdb --scale 0.05 --model model.rspn \
         --sql "SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id"
-    python -m repro.cli inspect --model model.json
+    python -m repro.cli inspect --model model.rspn
+
+Models persist in the mmap-able store format by default
+(:mod:`repro.core.modelstore`; millisecond cold start); ``train
+--format json`` / ``save --format ...`` write or convert to the legacy
+JSON document, and every command auto-detects which format it was
+given.  ``models`` lists a store directory's catalog -- and verifies
+checksums with ``--verify`` -- without loading any model::
+
+    python -m repro.cli save   --model model.json --out model.rspn
+    python -m repro.cli models --store ./fleet --verify
 
 ``estimate`` and ``query`` accept ``--sql`` several times; multi-query
 invocations are answered through the batched compiled-inference path
@@ -31,7 +41,9 @@ calls (micro-batching), results are cached per normalized query text
 with generation-based invalidation, and ``GET /stats`` reports
 latency/throughput/batch-occupancy.  ``client`` fires its ``--sql``
 queries concurrently so a single invocation already exercises
-coalescing.
+coalescing.  Given a store-format model, ``serve`` registers it
+lazily: the model pages in (mmap) on the first query, and
+``--memory-budget-mb`` bounds resident model bytes with LRU eviction.
 """
 
 from __future__ import annotations
@@ -110,9 +122,78 @@ def _cmd_train(args, out):
     seconds = time.perf_counter() - start
     print(deepdb.describe(), file=out)
     print(f"training took {seconds:.1f}s", file=out)
-    deepdb.save(args.out)
-    print(f"saved ensemble to {args.out}", file=out)
+    deepdb.save(args.out, format=args.format)
+    print(f"saved ensemble to {args.out} ({args.format} format)", file=out)
     return 0
+
+
+def _cmd_save(args, out):
+    """Convert a persisted model between the store and JSON formats."""
+    from repro.deepdb import DeepDB
+
+    deepdb = DeepDB.load(args.model, None)
+    try:
+        deepdb.save(args.out, format=args.format)
+        print(f"wrote {args.out} ({args.format} format)", file=out)
+    finally:
+        deepdb.close()
+    return 0
+
+
+def _cmd_models(args, out):
+    import os
+
+    from repro.core.modelstore import (
+        ModelStoreError,
+        is_store_file,
+        open_store,
+        read_catalog,
+    )
+
+    if os.path.isdir(args.store):
+        paths = sorted(
+            os.path.join(args.store, entry)
+            for entry in os.listdir(args.store)
+            if is_store_file(os.path.join(args.store, entry))
+        )
+        if not paths:
+            print(f"no model store files under {args.store}", file=out)
+            return 0
+    else:
+        paths = [args.store]
+    failures = 0
+    for path in paths:
+        try:
+            catalog = read_catalog(path)
+        except ModelStoreError as error:
+            print(f"{path}: CORRUPT: {error}", file=out)
+            failures += 1
+            continue
+        name = catalog["name"] or "-"
+        print(
+            f"{path}: name={name} v{catalog['version']}, "
+            f"{len(catalog['rspns'])} RSPN(s), "
+            f"{catalog['blob_bytes']:,} blob bytes "
+            f"({catalog['file_bytes']:,} on disk)",
+            file=out,
+        )
+        for rspn in catalog["rspns"]:
+            print(
+                f"  - {'/'.join(rspn['tables'])}: "
+                f"{rspn['full_size']:,.0f} rows, "
+                f"{rspn['blob_bytes']:,} bytes, "
+                f"plan {str(rspn['plan_signature'])[:16]}",
+                file=out,
+            )
+        if args.verify:
+            try:
+                with open_store(path) as store:
+                    n_blobs = store.verify()
+                print(f"  checksums OK ({n_blobs} blob(s))", file=out)
+            except ModelStoreError as error:
+                print(f"  CORRUPT: {error}", file=out)
+                failures += 1
+    return 1 if failures else 0
 
 
 def _cmd_estimate(args, out):
@@ -255,13 +336,31 @@ def _run_plan(args, out, database, deepdb, intermediate_sizes):
 
 
 def _cmd_serve(args, out):
+    from repro.core.modelstore import is_store_file
     from repro.serving import ModelRegistry, ServingServer
 
     database = _build_database(args)
-    deepdb = _load_model(args, database)
-    registry = ModelRegistry()
     name = args.name or args.dataset
-    registry.register(name, deepdb, cache_size=args.cache_size)
+    budget = (
+        None if not args.memory_budget_mb
+        else int(args.memory_budget_mb * 1024 * 1024)
+    )
+    registry = ModelRegistry(memory_budget_bytes=budget)
+    deepdb = None
+    if is_store_file(args.model):
+        catalog = registry.register_store(
+            name, args.model, database, cache_size=args.cache_size,
+            shards=args.shards or None,
+            transport=None if args.transport == "auto" else args.transport,
+            kernel=args.kernel,
+        )
+        print(f"store-backed model {name!r}: {catalog['blob_bytes']:,} blob "
+              "bytes, pages in (mmap) on first query", file=out)
+        if budget is not None:
+            print(f"memory budget: {budget:,} bytes, LRU eviction", file=out)
+    else:
+        deepdb = _load_model(args, database)
+        registry.register(name, deepdb, cache_size=args.cache_size)
     server = ServingServer(
         registry,
         host=args.host,
@@ -283,7 +382,7 @@ def _cmd_serve(args, out):
           f"(requested {kernel['requested']!r}, "
           f"numba {'available' if kernel['numba_available'] else 'absent'})",
           file=out)
-    if deepdb.evaluator is not None:
+    if deepdb is not None and deepdb.evaluator is not None:
         from repro.core.autotune import SERIAL_ONLY
 
         evaluator = deepdb.evaluator
@@ -303,7 +402,9 @@ def _cmd_serve(args, out):
         print("shutting down", file=out)
     finally:
         server.close()
-        deepdb.close()
+        registry.close()
+        if deepdb is not None:
+            deepdb.close()
     return 0
 
 
@@ -389,6 +490,10 @@ def _cmd_client(args, out):
 
 
 def _cmd_inspect(args, out):
+    from repro.core.modelstore import is_store_file
+
+    if is_store_file(args.model):
+        return _inspect_store(args, out)
     with open(args.model) as handle:
         document = json.load(handle)
     rspns = document.get("rspns", [])
@@ -416,6 +521,39 @@ def _cmd_inspect(args, out):
     return 0
 
 
+def _inspect_store(args, out):
+    from repro.core.modelstore import open_store
+
+    with open_store(args.model) as store:
+        catalog = store.catalog()
+        ensemble = store.load_ensemble(None)
+        print(f"model store with {len(ensemble.rspns)} RSPNs "
+              f"(v{catalog['version']}, {catalog['blob_bytes']:,} blob bytes, "
+              f"trained in {ensemble.training_seconds:.1f}s)", file=out)
+        for rspn, entry in zip(ensemble.rspns, catalog["rspns"]):
+            nodes = rspn.node_counts()
+            print(
+                f"  - {'/'.join(sorted(rspn.tables))}: "
+                f"{rspn.full_size:,.0f} rows, "
+                f"{len(rspn.column_names)} columns, "
+                f"{nodes['sum']} sum / {nodes['product']} product / "
+                f"{nodes['leaf']} leaf nodes, "
+                f"{entry['blob_bytes']:,} bytes, "
+                f"plan {str(entry['plan_signature'])[:16]}",
+                file=out,
+            )
+        if args.tree:
+            from repro.core.describe import render_tree
+
+            for rspn in ensemble.rspns:
+                print(file=out)
+                print(render_tree(rspn, max_depth=args.tree_depth), file=out)
+        # Drop the tree views before the store closes so the unmap is
+        # immediate rather than deferred to garbage collection.
+        rspn = entry = ensemble = None
+    return 0
+
+
 def _count_nodes(node):
     counts = {"sum": 0, "product": 0, "leaf": 0}
     stack = [node]
@@ -439,12 +577,36 @@ def build_parser():
 
     train = commands.add_parser("train", help="learn and persist an ensemble")
     _add_dataset_arguments(train)
-    train.add_argument("--out", required=True, help="output JSON path")
+    train.add_argument("--out", required=True, help="output model path")
+    train.add_argument("--format", choices=("store", "json"), default="store",
+                       help="persistence format: the mmap-able model store "
+                            "(default; millisecond cold start) or the legacy "
+                            "JSON document (inspectable, slow to load)")
     train.add_argument("--sample-size", type=int, default=25_000)
     train.add_argument("--budget-factor", type=float, default=0.0)
     train.add_argument("--single-tables", action="store_true",
                        help="the paper's cheap single-table-only strategy")
     train.set_defaults(handler=_cmd_train)
+
+    save = commands.add_parser(
+        "save", help="re-save a persisted model (store <-> JSON conversion)"
+    )
+    save.add_argument("--model", required=True,
+                      help="input model (either format, auto-detected)")
+    save.add_argument("--out", required=True, help="output model path")
+    save.add_argument("--format", choices=("store", "json"), default="store",
+                      help="output format (default store)")
+    save.set_defaults(handler=_cmd_save)
+
+    models = commands.add_parser(
+        "models", help="list a model store file or fleet directory"
+    )
+    models.add_argument("--store", required=True,
+                        help="a store file, or a directory of store files")
+    models.add_argument("--verify", action="store_true",
+                        help="validate every blob checksum (reads the full "
+                             "file; models are still never loaded)")
+    models.set_defaults(handler=_cmd_models)
 
     estimate = commands.add_parser(
         "estimate", help="cardinality estimate for a SQL query"
@@ -505,6 +667,11 @@ def build_parser():
                        help="admission-control cap on in-flight requests")
     serve.add_argument("--cache-size", type=int, default=256,
                        help="LRU result-cache entries (0 disables)")
+    serve.add_argument("--memory-budget-mb", type=float, default=0,
+                       help="cap resident store-backed model bytes; beyond "
+                            "it, least-recently-used models are evicted and "
+                            "transparently page back in on their next query "
+                            "(0 = unbounded)")
     _add_shards_argument(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -547,12 +714,14 @@ def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.core.modelstore import ModelStoreError
+
     try:
         return args.handler(args, out)
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    except (SyntaxError, ValueError, KeyError) as error:
+    except (SyntaxError, ValueError, KeyError, ModelStoreError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

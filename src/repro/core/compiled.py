@@ -227,9 +227,11 @@ class _FusedPlan:
     __slots__ = (
         "arena_rows", "stage_rows", "root_slot", "n_leaves",
         "leaf_slots_by_scope", "leaf_slot_of_row", "ops", "_tape", "_signature",
+        "_scope_slots",
     )
 
     def __init__(self, order, index_of, heights, root_row):
+        self._scope_slots = None
         alloc = _SlotAllocator()
         slot_of: dict[int, int] = {}
         leaf_rows = []
@@ -308,6 +310,54 @@ class _FusedPlan:
         self._tape = None
         self._signature = None
 
+    @classmethod
+    def from_tape(cls, tape, scalars, leaf_slots_by_scope, scope_slots):
+        """Restore a plan from its persisted tape -- no allocator pass.
+
+        ``tape`` is the 7-tuple :meth:`tape` produces (typically
+        read-only views into a model store mapping), ``scalars`` the
+        dict the store's writer saved from this plan's attributes.
+        Rebuilding the numpy-kernel ops is pure slicing of the tape
+        arrays -- O(ops + positions), not O(nodes) -- which is what
+        makes a store cold start independent of model size.
+        ``scope_slots`` supplies the sorted ``(scope, [slots])`` items
+        :meth:`signature` hashes -- either the list itself or a
+        zero-argument callable producing it on first use -- so the
+        restored plan's digest can be computed (and compared against
+        the saved one) without instantiating a single leaf object.
+        """
+        plan = object.__new__(cls)
+        plan.arena_rows = int(scalars["arena_rows"])
+        plan.stage_rows = int(scalars["stage_rows"])
+        plan.root_slot = int(scalars["root_slot"])
+        plan.n_leaves = int(scalars["n_leaves"])
+        plan.leaf_slots_by_scope = leaf_slots_by_scope
+        # Leaf slots are post-order ranks by construction; the dict is
+        # only used while *building* a plan, so the restored form keeps
+        # the invariant implicitly.
+        plan.leaf_slot_of_row = None
+        op_is_sum, op_dst, op_pos_off, pos_count, pos_child_off, \
+            child_slots, weights = tape
+        plan.ops = []
+        for o in range(op_is_sum.shape[0]):
+            is_sum = bool(op_is_sum[o])
+            p0, p1 = int(op_pos_off[o]), int(op_pos_off[o + 1])
+            pos_slots, pos_weights = [], []
+            for p in range(p0, p1):
+                c0, c1 = int(pos_child_off[p]), int(pos_child_off[p + 1])
+                pos_slots.append(child_slots[c0:c1])
+                pos_weights.append(weights[c0:c1][:, None] if is_sum else None)
+            # Segments are sorted by descending child count, so the
+            # first position covers every segment of the op.
+            n_seg = int(pos_count[p0]) if p1 > p0 else 0
+            plan.ops.append(
+                _FusedOp(is_sum, int(op_dst[o]), n_seg, pos_slots, pos_weights)
+            )
+        plan._tape = tuple(tape)
+        plan._signature = None
+        plan._scope_slots = scope_slots
+        return plan
+
     def tape(self):
         """The plan flattened into the numba tape interpreter's arrays."""
         if self._tape is None:
@@ -354,8 +404,17 @@ class _FusedPlan:
                     dtype=np.int64,
                 ).tobytes()
             )
-            for scope in sorted(self.leaf_slots_by_scope):
-                slots = [slot for slot, _ in self.leaf_slots_by_scope[scope]]
+            if self._scope_slots is not None:
+                if callable(self._scope_slots):
+                    self._scope_slots = self._scope_slots()
+                slot_items = self._scope_slots
+            else:
+                slot_items = [
+                    (scope,
+                     [slot for slot, _ in self.leaf_slots_by_scope[scope]])
+                    for scope in sorted(self.leaf_slots_by_scope)
+                ]
+            for scope, slots in slot_items:
                 digest.update(
                     np.asarray([scope, *slots], dtype=np.int64).tobytes()
                 )
@@ -774,6 +833,30 @@ def _post_order(root):
 _KIND_SUM, _KIND_PRODUCT, _KIND_DISCRETE, _KIND_BINNED = 0, 1, 2, 3
 
 
+def _build_leaf(kind, scope_index, attribute, offset, n, leaf_data):
+    """One histogram leaf over views into a flat payload array."""
+    if kind == _KIND_DISCRETE:
+        return DiscreteLeaf(
+            scope_index,
+            attribute,
+            leaf_data[offset:offset + n],
+            leaf_data[offset + n:offset + 2 * n],
+            float(leaf_data[offset + 2 * n]),
+        )
+    if kind == _KIND_BINNED:
+        edges_end = offset + n + 1
+        return BinnedLeaf(
+            scope_index,
+            attribute,
+            leaf_data[offset:edges_end],
+            leaf_data[edges_end:edges_end + n],
+            leaf_data[edges_end + n:edges_end + 2 * n],
+            leaf_data[edges_end + 2 * n:edges_end + 3 * n],
+            float(leaf_data[edges_end + 3 * n]),
+        )
+    raise ValueError(f"unknown leaf kind {kind}")
+
+
 def export_tree_arrays(root):
     """Lower a node tree to ``(meta, arrays)`` for an external buffer.
 
@@ -901,30 +984,298 @@ def import_tree_arrays(meta, arrays):
                 nodes[i] = ProductNode(scope, children)
             continue
         entry = leaf_meta[i]
-        offset, n = int(entry["offset"]), int(entry["n"])
-        scope_index = int(leaf_scope[i])
-        if kind == _KIND_DISCRETE:
-            nodes[i] = DiscreteLeaf(
-                scope_index,
-                entry["attribute"],
-                leaf_data[offset:offset + n],
-                leaf_data[offset + n:offset + 2 * n],
-                float(leaf_data[offset + 2 * n]),
-            )
-        elif kind == _KIND_BINNED:
-            edges_end = offset + n + 1
-            nodes[i] = BinnedLeaf(
-                scope_index,
-                entry["attribute"],
-                leaf_data[offset:edges_end],
-                leaf_data[edges_end:edges_end + n],
-                leaf_data[edges_end + n:edges_end + 2 * n],
-                leaf_data[edges_end + 2 * n:edges_end + 3 * n],
-                float(leaf_data[edges_end + 3 * n]),
-            )
-        else:
-            raise ValueError(f"unknown node kind {kind} at row {i}")
+        nodes[i] = _build_leaf(
+            kind,
+            int(leaf_scope[i]),
+            entry["attribute"],
+            int(entry["offset"]),
+            int(entry["n"]),
+            leaf_data,
+        )
     return nodes[int(meta["root_row"])]
+
+
+def post_order(root):
+    """The tree's nodes in post order (children before parents).
+
+    This ordering is the tree's canonical row numbering: it is the order
+    :func:`export_tree_arrays` assigns rows in, import preserves it
+    exactly, and the fused sweep plan (and thus ``plan_signature``) is a
+    pure function of it.  External metadata keyed "by row" -- the model
+    store's per-sum-node KMeans routing state in particular -- resolves
+    through this function on either side of an export/import round trip.
+    """
+    return _post_order(root)
+
+
+# Node-array attributes an update path may mutate in place; thawing
+# copies exactly these (SumNode.counts plus every leaf payload array).
+_MUTABLE_ARRAY_ATTRS = ("counts", "values", "edges", "sums", "distinct")
+
+
+def thaw_tree(root):
+    """Copy-on-write release of a tree from its backing buffer.
+
+    An :func:`import_tree_arrays` twin aliases the exporter's buffer
+    (a shared-memory segment or a file mapping) through read-only array
+    views; in-place updates would fail on them, and the buffer cannot
+    be unmapped while they live.  Thawing replaces every read-only
+    array in the tree with a private writable copy -- bit-identical, so
+    evaluation and the fused plan are unchanged -- after which the tree
+    no longer references the buffer at all.  Returns the number of
+    arrays copied (0 when the tree was never frozen).
+    """
+    copied = 0
+    for node in _post_order(root):
+        for attr in _MUTABLE_ARRAY_ATTRS:
+            array = getattr(node, attr, None)
+            if isinstance(array, np.ndarray) and not array.flags.writeable:
+                setattr(node, attr, array.copy())
+                copied += 1
+    return copied
+
+
+# ----------------------------------------------------------------------
+# Compiled form restored from exported arrays (model store cold start)
+# ----------------------------------------------------------------------
+# A tree lowered by ``CompiledRSPN.__init__`` costs an O(nodes) Python
+# pass -- fine after learning, fatal for cold start: a restarting server
+# would pay it before the first answer even though the sweep itself only
+# ever reads the *plan* (flat arrays) and the touched scopes' leaf
+# histograms.  The model store therefore persists the plan tape next to
+# the tree arrays, and this section rebuilds an evaluation-equivalent
+# compiled form straight from those buffers: O(ops) plan restore, leaf
+# objects built lazily per scope on first touch, and the Python node
+# tree not built at all until something actually needs it (the legacy
+# kernel, the sharded transport, or an update).
+
+# Array names the model store persists for the plan tape, in
+# ``_FusedPlan.tape()`` order.
+PLAN_TAPE_KEYS = (
+    "plan_op_kind", "plan_op_dst", "plan_op_pos_off", "plan_pos_count",
+    "plan_pos_child_off", "plan_child_slots", "plan_weights",
+)
+
+
+def plan_store_payload(form):
+    """``(scalars, tape_arrays)`` of a compiled form for persistence.
+
+    ``scalars`` is a JSON-able dict for the store's blob header;
+    ``tape_arrays`` maps :data:`PLAN_TAPE_KEYS` to the plan's flattened
+    instruction stream (the exact arrays the numba kernel interprets).
+    :func:`restore_compiled` inverts both.
+    """
+    plan = form.plan
+    scalars = {
+        "arena_rows": plan.arena_rows,
+        "stage_rows": plan.stage_rows,
+        "root_slot": plan.root_slot,
+        "n_leaves": plan.n_leaves,
+    }
+    return scalars, dict(zip(PLAN_TAPE_KEYS, plan.tape()))
+
+
+# Array names the model store persists for the leaf table (indexed by
+# leaf slot, i.e. post-order rank among leaves).
+LEAF_TABLE_KEYS = ("leaf_rows", "leaf_offsets", "leaf_ns")
+
+
+def leaf_table_arrays(leaf_meta):
+    """``(arrays, attributes)`` columnar form of an exported leaf table.
+
+    The store persists the numeric columns as int64 arrays (mmap views
+    at load, so a cold start touches no per-leaf Python objects) and the
+    attribute names as one flat JSON list.  Inverted by
+    :func:`leaf_entries_from_arrays`.
+    """
+    count = len(leaf_meta)
+    arrays = {
+        "leaf_rows": np.fromiter(
+            (entry["row"] for entry in leaf_meta), np.int64, count
+        ),
+        "leaf_offsets": np.fromiter(
+            (entry["offset"] for entry in leaf_meta), np.int64, count
+        ),
+        "leaf_ns": np.fromiter(
+            (entry["n"] for entry in leaf_meta), np.int64, count
+        ),
+    }
+    return arrays, [entry["attribute"] for entry in leaf_meta]
+
+
+def leaf_entries_from_arrays(arrays, attributes):
+    """Rebuild :func:`export_tree_arrays`-shaped leaf entries.
+
+    O(leaves) Python -- used only when a mapped tree materialises, never
+    on the cold-start path.
+    """
+    return [
+        {"row": int(row), "attribute": attribute,
+         "offset": int(offset), "n": int(n)}
+        for row, attribute, offset, n in zip(
+            arrays["leaf_rows"], attributes,
+            arrays["leaf_offsets"], arrays["leaf_ns"],
+        )
+    ]
+
+
+class _LazyLeafSlots:
+    """``scope -> ((slot, leaf), ...)``, leaves built on first touch.
+
+    The eager equivalent (``_FusedPlan.leaf_slots_by_scope``) holds live
+    leaf objects for every scope; here a scope's leaves materialise from
+    the flat payload only when a query actually conditions on it, so a
+    cold start instantiates a handful of leaves instead of thousands.
+    Built leaves are cached -- repeated queries see identical objects,
+    like the eager map.
+
+    Backed entirely by the persisted leaf-table arrays (no per-leaf
+    Python work at construction): ``order`` holds leaf slots grouped by
+    scope (ascending slot within a scope, matching the eager map's post
+    order), ``scopes``/``starts`` delimit the groups.
+    """
+
+    __slots__ = ("_scopes", "_starts", "_order", "_kinds", "_attributes",
+                 "_offsets", "_ns", "_leaf_data", "_built")
+
+    def __init__(self, scopes, starts, order, kinds, attributes, offsets,
+                 ns, leaf_data):
+        self._scopes = scopes          # unique scope indices, ascending
+        self._starts = starts          # group start index into order
+        self._order = order            # leaf slots grouped by scope
+        self._kinds = kinds            # per-slot leaf kind
+        self._attributes = attributes  # per-slot attribute name
+        self._offsets = offsets        # per-slot payload offset
+        self._ns = ns                  # per-slot histogram size
+        self._leaf_data = leaf_data
+        self._built = {}
+
+    def _group(self, position):
+        lo = int(self._starts[position])
+        hi = (
+            int(self._starts[position + 1])
+            if position + 1 < self._starts.shape[0]
+            else self._order.shape[0]
+        )
+        return self._order[lo:hi]
+
+    def _position(self, scope):
+        position = int(np.searchsorted(self._scopes, scope))
+        if (position >= self._scopes.shape[0]
+                or int(self._scopes[position]) != scope):
+            return None
+        return position
+
+    def __contains__(self, scope):
+        return self._position(scope) is not None
+
+    def __iter__(self):
+        return (int(scope) for scope in self._scopes)
+
+    def __len__(self):
+        return self._scopes.shape[0]
+
+    def slot_items(self):
+        """Sorted ``(scope, [slot, ...])`` pairs without building leaves
+        (what :meth:`_FusedPlan.signature` hashes)."""
+        return [
+            (int(self._scopes[position]),
+             [int(slot) for slot in self._group(position)])
+            for position in range(self._scopes.shape[0])
+        ]
+
+    def __getitem__(self, scope):
+        built = self._built.get(scope)
+        if built is None:
+            position = self._position(scope)
+            if position is None:
+                raise KeyError(scope)
+            built = tuple(
+                (int(slot),
+                 _build_leaf(int(self._kinds[slot]), scope,
+                             self._attributes[slot], int(self._offsets[slot]),
+                             int(self._ns[slot]), self._leaf_data))
+                for slot in self._group(position)
+            )
+            self._built[scope] = built
+        return built
+
+
+class MappedCompiledRSPN(CompiledRSPN):
+    """A compiled form over exported tree arrays -- no Python tree.
+
+    Construction is O(plan ops + leaf count) cheap slicing over buffers
+    that typically live in a model store mapping; nothing is copied.
+    Evaluation through the fused numpy/numba kernels is bit-identical to
+    the tree-lowered form (same plan tape, same leaf payloads).  Paths
+    that genuinely need the node tree -- the ``legacy`` reference
+    kernel, the sharded evaluator's transport, updates -- call
+    ``materialize()``, which imports the twin and re-homes this form
+    onto it (see :func:`adopt`).
+    """
+
+    def __init__(self, meta, arrays, materialize):
+        kinds = arrays["kinds"]
+        leaf_scope = arrays["leaf_scope"]
+        leaf_data = arrays["leaf_data"]
+        self.n_nodes = int(kinds.shape[0])
+        self.root_row = int(meta["root_row"])
+        self.generation = 0
+        # ``materialize`` must not strongly reference the owning RSPN
+        # (the owner references this form: a cycle would defeat the
+        # refcount cascade DeepDB.close() relies on for a deterministic
+        # unmap) -- the model store passes a weak-method closure.
+        self._materialize = materialize
+
+        # Group leaf slots by scope with array ops only -- per-leaf
+        # Python work here would put O(leaves) back on the cold-start
+        # path.  The stable sort keeps slots ascending within a scope,
+        # matching the eager map's post order (signature parity).
+        leaf_rows = arrays["leaf_rows"]
+        slot_scopes = leaf_scope[leaf_rows]
+        order = np.argsort(slot_scopes, kind="stable")
+        scopes, starts = np.unique(slot_scopes[order], return_index=True)
+        lazy = _LazyLeafSlots(
+            scopes, starts, order, kinds[leaf_rows],
+            meta["leaf_attributes"], arrays["leaf_offsets"],
+            arrays["leaf_ns"], leaf_data,
+        )
+        tape = tuple(arrays[key] for key in PLAN_TAPE_KEYS)
+        self.plan = _FusedPlan.from_tape(
+            tape, meta["plan"], lazy, lazy.slot_items,
+        )
+
+        self._pool_lock = threading.Lock()
+        self._arena_pool = []
+        self.arena_allocations = 0
+        self.sweep_count = 0
+        self.sweep_ns = 0
+        self.sweep_queries = 0
+
+    def root_ref(self):
+        # Class-level counterpart of CompiledRSPN's ``root_ref``
+        # instance attribute (a weakref to the tree): the sharded
+        # transport calls it, and for a mapped form that means
+        # materialising the tree on demand.  :func:`adopt` shadows this
+        # with a real weakref once the twin exists.  A method (not a
+        # stored bound method) so the form never references itself.
+        return self._materialize()
+
+    def evaluate_batch(self, specs, executor=None):
+        # The legacy reference kernel sweeps the full node-value matrix
+        # and needs the tree; build the real lowered form for it.
+        if kernels.resolve() == "legacy":
+            return self._full_form().evaluate_batch(specs, executor=executor)
+        return super().evaluate_batch(specs, executor=executor)
+
+    def _full_form(self):
+        root = self._materialize()
+        form = _CACHE.get(root)
+        if form is None or form is self or form.generation != generation(root):
+            form = CompiledRSPN(root)
+            form.generation = generation(root)
+            _CACHE[root] = form
+        return form
 
 
 # ----------------------------------------------------------------------
@@ -959,6 +1310,23 @@ def compiled_for(root) -> CompiledRSPN:
         compiled.generation = current
         _CACHE[root] = compiled
     return compiled
+
+
+def adopt(root, form):
+    """Seed the compilation cache: ``form`` becomes ``root``'s compiled
+    form.
+
+    Used when a :class:`MappedCompiledRSPN` materialises its node tree:
+    the restored form evaluates bit-identically to what
+    ``CompiledRSPN(root)`` would lower (same plan, same leaf payloads),
+    so adopting it avoids an immediate O(nodes) recompile.  The normal
+    generation machinery takes over from here -- the first mutation
+    bumps the root's generation and :func:`compiled_for` re-lowers from
+    the (by then thawed) tree.
+    """
+    form.generation = generation(root)
+    form.root_ref = weakref.ref(root)
+    _CACHE[root] = form
 
 
 def peek(root):

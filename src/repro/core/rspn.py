@@ -187,10 +187,20 @@ class RSPN:
                 spec.transform(self.column_index[name], transform)
         return spec
 
+    def evaluate_specs(self, specs, executor=None):
+        """Evaluate prepared :class:`EvaluationSpec`\\ s in one sweep.
+
+        The single funnel every expectation takes to the compiled form;
+        :class:`~repro.core.modelstore.MappedRSPN` overrides it to serve
+        from the store-restored compiled form without materialising the
+        node tree.
+        """
+        return inference.evaluate_batch(self.root, specs, executor=executor)
+
     def expectation(self, conditions=None, transforms=None):
         """E[ prod h_i(X_i) * 1_{conditions} ] under the model."""
         spec = self._build_spec(conditions, transforms)
-        return inference.evaluate(self.root, spec)
+        return float(self.evaluate_specs([spec])[0])
 
     def expectation_batch(self, requests, executor=None):
         """Batched :meth:`expectation`: one compiled bottom-up sweep.
@@ -216,7 +226,7 @@ class RSPN:
         ]
         if executor is None:
             executor = self.evaluator
-        return inference.evaluate_batch(self.root, specs, executor=executor)
+        return self.evaluate_specs(specs, executor=executor)
 
     def invalidate_compiled(self):
         """Mark the cached flat-array form stale after out-of-band tree
@@ -240,6 +250,14 @@ class RSPN:
         from repro.core import compiled
 
         return compiled.generation(self.root)
+
+    def compiled_peek(self):
+        """The cached compiled form if present and current, else ``None``
+        (never compiles -- the telemetry-safe accessor
+        :meth:`~repro.deepdb.DeepDB.kernel_stats` aggregates over)."""
+        from repro.core import compiled
+
+        return compiled.peek(self.root)
 
     def probability(self, conditions):
         """P(conditions) under the model."""

@@ -279,6 +279,113 @@ def rspn_from_dict(document):
 
 
 # ----------------------------------------------------------------------
+# Store-format metadata (tree shipped separately as flat arrays)
+# ----------------------------------------------------------------------
+
+
+def rspn_metadata_to_dict(rspn: RSPN):
+    """Everything :func:`rspn_to_dict` carries *except* the node tree.
+
+    The model store persists the tree itself as a specpack blob of flat
+    arrays (``compiled.export_tree_arrays``); this function captures the
+    relational metadata that rides alongside it.  The per-sum-node
+    KMeans routing state travels separately
+    (:func:`routing_state_to_document`) so that opening a store never
+    pays for decoding update-only state.
+    """
+    return {
+        "column_names": list(rspn.column_names),
+        "tables": sorted(rspn.tables),
+        "full_size": rspn.full_size,
+        "sample_size": rspn.sample_size,
+        "internal_edges": [_encode_edge(fk) for fk in rspn.internal_edges],
+        "functional_dependencies": [
+            _encode_fd(fd) for fd in rspn.functional_dependencies.values()
+        ],
+        "config": _encode_config(rspn.config),
+    }
+
+
+def routing_state_to_document(rspn: RSPN):
+    """Per-sum-node KMeans routing state, keyed by post-order row.
+
+    Post order is the canonical row numbering ``export_tree_arrays``
+    assigns and import preserves, so the state re-attaches to an
+    imported twin without any tree diffing
+    (:func:`attach_routing_state`).  This is update-only state -- the
+    model store parks it in its own checksummed section, decoded only
+    when a mapped tree actually materialises for an insert/delete.
+    """
+    from repro.core import compiled
+
+    routing = []
+    for row, node in enumerate(compiled.post_order(rspn.root)):
+        kmeans = getattr(node, "kmeans", None)
+        if kmeans is not None:
+            routing.append([row, _encode_kmeans(kmeans)])
+    return routing
+
+
+def rspn_kwargs_from_metadata(document):
+    """RSPN constructor kwargs (minus ``root``) from store metadata."""
+    return {
+        "column_names": document["column_names"],
+        "tables": set(document["tables"]),
+        "full_size": document["full_size"],
+        "sample_size": document["sample_size"],
+        "internal_edges": [_decode_edge(e) for e in document["internal_edges"]],
+        "functional_dependencies": [
+            _decode_fd(fd) for fd in document["functional_dependencies"]
+        ],
+        "config": _decode_config(document["config"]),
+    }
+
+
+def attach_routing_state(root, document):
+    """Re-attach persisted KMeans routing state to an imported tree."""
+    from repro.core import compiled
+
+    routing = document.get("routing") or []
+    if not routing:
+        return
+    nodes = list(compiled.post_order(root))
+    for row, encoded in routing:
+        nodes[int(row)].kmeans = _decode_kmeans(encoded)
+
+
+def ensemble_metadata_to_dict(ensemble: SPNEnsemble):
+    """Ensemble-level metadata (everything but the RSPNs themselves)."""
+    return {
+        "attribute_rdc": [
+            [sorted(pair)[0], sorted(pair)[1], value]
+            for pair, value in sorted(
+                ensemble.attribute_rdc.items(), key=lambda kv: sorted(kv[0])
+            )
+        ],
+        "table_dependency": [
+            [sorted(pair)[0], sorted(pair)[1], value]
+            for pair, value in sorted(
+                ensemble.table_dependency.items(), key=lambda kv: sorted(kv[0])
+            )
+        ],
+        "training_seconds": ensemble.training_seconds,
+        "rspn_training_seconds": list(ensemble.rspn_training_seconds),
+    }
+
+
+def apply_ensemble_metadata(ensemble, document):
+    """Counterpart of :func:`ensemble_metadata_to_dict` for a fresh ensemble."""
+    ensemble.attribute_rdc = {
+        frozenset((a, b)): value for a, b, value in document["attribute_rdc"]
+    }
+    ensemble.table_dependency = {
+        frozenset((a, b)): value for a, b, value in document["table_dependency"]
+    }
+    ensemble.training_seconds = document["training_seconds"]
+    ensemble.rspn_training_seconds = list(document["rspn_training_seconds"])
+
+
+# ----------------------------------------------------------------------
 # Ensembles
 # ----------------------------------------------------------------------
 

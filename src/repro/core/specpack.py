@@ -141,9 +141,29 @@ def read_blob(buf):
     Views alias ``buf`` directly -- zero copies.  Callers attaching a
     shared-memory segment must drop every view (and anything derived
     from it) before closing the segment.
+
+    Every frame bound is validated against ``len(buf)`` before any view
+    is taken, so a truncated or garbled buffer raises
+    :class:`SpecPackError` -- never a numpy shape error, and never a
+    view silently reading past the payload.
     """
+    available = len(buf)
+    if available < 8:
+        raise SpecPackError(
+            f"blob truncated: {available} bytes cannot hold the header length"
+        )
     (header_len,) = struct.unpack_from("<Q", buf, 0)
-    meta = json.loads(bytes(buf[8:8 + header_len]).decode("utf-8"))
+    if 8 + header_len > available:
+        raise SpecPackError(
+            f"blob truncated: header claims {header_len} bytes but only "
+            f"{available - 8} follow"
+        )
+    try:
+        meta = json.loads(bytes(buf[8:8 + header_len]).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise SpecPackError(f"blob header is not valid JSON: {error}") from None
+    if not isinstance(meta, dict) or not isinstance(meta.get("arrays"), list):
+        raise SpecPackError("blob header carries no array table")
     version = int(meta.get("layout_version", 1))
     if version > BLOB_LAYOUT_VERSION:
         raise SpecPackError(
@@ -153,14 +173,32 @@ def read_blob(buf):
     payload_base = _align(8 + header_len)
     arrays = {}
     for entry in meta["arrays"]:
-        shape = tuple(entry["shape"])
+        try:
+            name = entry["name"]
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(n) for n in entry["shape"])
+            offset = int(entry["offset"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise SpecPackError(
+                f"malformed array table entry {entry!r}: {error}"
+            ) from None
         count = int(np.prod(shape)) if shape else 1
+        if count < 0 or offset < 0:
+            raise SpecPackError(
+                f"array {name!r} has a negative extent (offset {offset}, "
+                f"count {count})"
+            )
+        end = payload_base + offset + count * dtype.itemsize
+        if end > available:
+            raise SpecPackError(
+                f"array {name!r} extends to byte {end} but the blob holds "
+                f"only {available}; buffer is truncated or corrupt"
+            )
         view = np.frombuffer(
-            buf, dtype=np.dtype(entry["dtype"]), count=count,
-            offset=payload_base + entry["offset"],
+            buf, dtype=dtype, count=count, offset=payload_base + offset,
         ).reshape(shape)
         view.flags.writeable = False
-        arrays[entry["name"]] = view
+        arrays[name] = view
     return meta, arrays
 
 

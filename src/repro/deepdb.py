@@ -49,7 +49,7 @@ class DeepDB:
     """
 
     def __init__(self, database, ensemble, shards=None, evaluator=None,
-                 transport=None, kernel=None):
+                 transport=None, kernel=None, store=None):
         if kernel is not None:
             from repro.core import kernels
 
@@ -57,6 +57,10 @@ class DeepDB:
         self.database = database
         self.ensemble = ensemble
         self.compiler = ProbabilisticQueryCompiler(ensemble)
+        # The mmapped ModelStore backing this ensemble, when it was
+        # loaded from a store file; None for learned / JSON-loaded
+        # models.  close() releases it deterministically.
+        self._store = store
         self._owns_evaluator = False
         if evaluator is None and shards:
             from repro.core.sharding import ShardedEvaluator
@@ -82,26 +86,88 @@ class DeepDB:
         evaluate in-process (answers are unchanged).  The worker pool
         itself is only shut down when this instance created it
         (``shards=N``) -- a caller-supplied shared evaluator keeps
-        serving its other models and is the caller's to close."""
+        serving its other models and is the caller's to close.
+
+        When the model was loaded from a store file this also drops the
+        ensemble and unmaps the store **deterministically**: the tree
+        views die with the ensemble reference (trees are acyclic, so a
+        refcount cascade frees them synchronously), after which the
+        mapping can close without waiting for the garbage collector.
+        The instance is unusable afterwards in that case.
+        """
         if self.evaluator is not None:
             self.ensemble.set_evaluator(None)
             if self._owns_evaluator:
                 self.evaluator.close()
             self.evaluator = None
             self._owns_evaluator = False
+        if self._store is not None:
+            store, self._store = self._store, None
+            # Order matters: release every reference into the mapping
+            # (ensemble tree + compiled forms cached off its root)
+            # before asking the store to unmap.
+            self.ensemble = None
+            self.compiler = None
+            store.close()
+            from repro.core import modelstore
+
+            modelstore.sweep_pending()
 
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path):
-        """Persist the learned ensemble (not the data) to a JSON file."""
-        from repro.core.serialization import save_ensemble
+    @property
+    def store(self):
+        """The backing :class:`~repro.core.modelstore.ModelStore`, if any."""
+        return self._store
 
-        save_ensemble(self.ensemble, path)
+    def save(self, path, format="store"):
+        """Persist the learned ensemble (not the data) to ``path``.
+
+        ``format="store"`` (default) writes the mmap-able model store
+        (:mod:`repro.core.modelstore`): flat specpack blobs, checksummed,
+        millisecond cold start.  ``format="json"`` writes the legacy
+        JSON document -- inspectable and diff-able, but O(model) to
+        load; keep it for debugging and portability.
+        """
+        if format == "store":
+            from repro.core.modelstore import write_store
+
+            write_store(self.ensemble, path)
+        elif format == "json":
+            from repro.core.serialization import save_ensemble
+
+            save_ensemble(self.ensemble, path)
+        else:
+            raise ValueError(f"unknown save format {format!r}")
 
     @classmethod
     def load(cls, path, database, shards=None, transport=None, kernel=None):
-        """Re-open a persisted ensemble against its database."""
+        """Re-open a persisted ensemble against its database.
+
+        The file's magic bytes decide the decode path: model-store files
+        are mmapped (O(metadata) cold start, histograms stay on disk
+        until touched); anything else goes through the legacy JSON
+        loader with a one-line slow-path warning.
+        """
+        from repro.core.modelstore import is_store_file, open_store
+
+        if is_store_file(path):
+            store = open_store(path)
+            try:
+                ensemble = store.load_ensemble(database)
+            except BaseException:
+                store.close()
+                raise
+            return cls(database, ensemble, shards=shards,
+                       transport=transport, kernel=kernel, store=store)
+        import logging
+
+        logging.getLogger(__name__).warning(
+            "%s is not a model store file; falling back to the legacy JSON "
+            "loader (slow path -- re-save with format='store' for "
+            "millisecond cold start)", path,
+        )
         from repro.core.serialization import load_ensemble
 
         return cls(database, load_ensemble(path, database), shards=shards,
@@ -279,7 +345,6 @@ class DeepDB:
         see the active kernel, per-sweep latency and the arena-vs-legacy
         memory footprint without instrumenting anything.
         """
-        from repro.core import compiled as compiled_mod
         from repro.core import kernels
 
         totals = {
@@ -292,7 +357,7 @@ class DeepDB:
             "legacy_bytes_per_column": 0,
         }
         for rspn in self.ensemble.rspns:
-            form = compiled_mod.peek(rspn.root)
+            form = rspn.compiled_peek()
             if form is None:
                 continue
             stats = form.kernel_stats()

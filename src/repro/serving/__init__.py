@@ -12,7 +12,10 @@ This package turns that concurrency into batch shape:
   vs. exclusive updates (read-write lock) and a generation-checked LRU
   result cache;
 - :mod:`repro.serving.registry` -- named models, routed by database
-  name;
+  name; store-backed models (:mod:`repro.core.modelstore`) register by
+  file, page in lazily on first query (mmap, millisecond cold start)
+  and are LRU-evicted under ``memory_budget_bytes`` -- one server can
+  host a fleet of tenant models far larger than RAM;
 - :mod:`repro.serving.server` -- the fronts: the in-process
   :class:`AsyncDeepDB` facade with admission control, and a stdlib
   HTTP/JSON server (``repro serve`` / ``repro client`` in the CLI).

@@ -67,7 +67,12 @@ class AsyncDeepDB:
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
         self.max_inflight = int(max_inflight)
-        self._coalescers: dict[str, MicroBatchCoalescer] = {}
+        # name -> (session, coalescer): keyed on session *identity*, not
+        # just name, because the registry's LRU pager can evict and
+        # re-page a model -- the new page-in gets a fresh session, and a
+        # coalescer still bound to the old session's run_batch would pin
+        # the evicted model alive and serve it forever.
+        self._coalescers: dict[str, tuple] = {}
         self._inflight = 0
         self.admitted = 0
         self.rejected = 0
@@ -125,25 +130,30 @@ class AsyncDeepDB:
 
     async def drain(self):
         """Flush every coalescer's pending requests immediately."""
-        for coalescer in list(self._coalescers.values()):
+        for _session, coalescer in list(self._coalescers.values()):
             await coalescer.drain()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def _coalescer(self, session) -> MicroBatchCoalescer:
-        coalescer = self._coalescers.get(session.name)
-        if coalescer is None:
+        entry = self._coalescers.get(session.name)
+        if entry is None or entry[0] is not session:
+            # First request for this model, or the pager swapped the
+            # session (evict + re-page-in): bind a fresh coalescer to
+            # the live session and drop any stale one (its in-flight
+            # futures resolve against the old session, then it is GC'd).
             coalescer = MicroBatchCoalescer(
                 session.run_batch,
                 max_batch_size=self.max_batch_size,
                 max_wait_ms=self.max_wait_ms,
             )
-            self._coalescers[session.name] = coalescer
-        return coalescer
+            self._coalescers[session.name] = (session, coalescer)
+            return coalescer
+        return entry[1]
 
     def stats(self) -> dict:
-        """Admission, coalescing and per-model cache counters."""
+        """Admission, coalescing, paging and per-model cache counters."""
         return {
             "admission": {
                 "admitted": self.admitted,
@@ -154,9 +164,10 @@ class AsyncDeepDB:
             # Copy first: HTTP handler threads read this while the
             # event-loop thread may be inserting a new model's coalescer.
             "coalescers": {
-                name: coalescer.stats.snapshot()
-                for name, coalescer in dict(self._coalescers).items()
+                name: entry[1].stats.snapshot()
+                for name, entry in dict(self._coalescers).items()
             },
+            "registry": self.registry.stats(),
             "models": self.registry.snapshot(),
         }
 

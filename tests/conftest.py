@@ -43,6 +43,45 @@ def no_leaked_shm_segments():
     )
 
 
+def mapped_store_files():
+    """Paths of model store files currently mmapped into this process."""
+    try:
+        with open("/proc/self/maps") as handle:
+            maps = handle.read()
+    except OSError:  # non-Linux: nothing to hunt
+        return []
+    return sorted(
+        {
+            line.split(None, 5)[5].strip()
+            for line in maps.splitlines()
+            if line.count(" ") >= 5 and line.rstrip().endswith(".rspn")
+        }
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_store_mappings():
+    """Fail the run if a model store mapping survives the session.
+
+    ``ModelStore.close()`` defers the unmap while tree views are alive
+    (finalizer ordering), so a collect + sweep runs first: anything
+    still mapped afterwards is a real leak -- a store nobody closed or
+    a view pinned by a surviving global.
+    """
+    before = set(mapped_store_files())
+    yield
+    import gc
+
+    from repro.core import modelstore
+
+    gc.collect()
+    modelstore.sweep_pending()
+    survivors = [p for p in mapped_store_files() if p not in before]
+    assert not survivors, (
+        f"model store files left mmapped by this test session: {survivors}"
+    )
+
+
 def build_customer_orders(
     n_customers=2_000, seed=0, with_orderlines=False, order_rate_eu=3.0,
     order_rate_asia=1.0,
