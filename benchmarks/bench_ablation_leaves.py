@@ -25,7 +25,7 @@ from repro.core.leaves import BinnedLeaf, DiscreteLeaf
 from repro.core.nodes import iter_nodes
 from repro.core.rspn import RspnConfig
 from repro.engine.query import Predicate, count_query
-from repro.evaluation.metrics import q_error
+from repro.evaluation.metrics import q_error_summary
 from repro.evaluation.report import Report
 
 _HIGH_DISTINCT = ("distance", "air_time", "dep_delay", "arr_delay")
@@ -93,17 +93,18 @@ def test_leaf_granularity_ablation(benchmark, flights_env):
         )
         seconds = time.perf_counter() - start
         compiler = ProbabilisticQueryCompiler(ensemble)
-        errors = [
-            q_error(truth, compiler.cardinality(query))
+        pairs = [
+            (truth, compiler.cardinality(query))
             for query, truth in zip(queries, truths)
             if truth > 0
         ]
-        results[name] = errors
+        stats = q_error_summary([t for t, _ in pairs], [e for _, e in pairs])
+        results[name] = stats
         sizes[name] = _leaf_buckets(ensemble)
         report.add(
             name,
-            float(np.median(errors)),
-            float(np.percentile(errors, 95)),
+            stats["median"],
+            stats["p95"],
             sizes[name],
             seconds,
         )
@@ -112,7 +113,7 @@ def test_leaf_granularity_ablation(benchmark, flights_env):
     exact = results["exact <= 8192"]
     coarse = results["binned (32 bins)"]
     # Shape 1: exact leaves are more accurate on narrow predicates.
-    assert np.median(exact) < np.median(coarse)
+    assert exact["median"] < coarse["median"]
     # Shape 2: the accuracy is bought with more stored buckets.
     assert sizes["exact <= 8192"] > sizes["binned (32 bins)"]
 

@@ -24,7 +24,7 @@ from repro.baselines.bayesnet import ChowLiuEstimator
 from repro.baselines.lightweight_trees import LightweightSelectivityModel
 from repro.baselines.postgres_estimator import PostgresEstimator
 from repro.engine.query import Predicate, count_query
-from repro.evaluation.metrics import q_error
+from repro.evaluation.metrics import q_error_summary
 from repro.evaluation.report import Report
 
 _NUMERIC = ("distance", "dep_delay", "taxi_out", "air_time", "arr_delay")
@@ -101,21 +101,21 @@ def test_single_table_selectivity_families(benchmark, flights_env,
         truths = [executor.cardinality(q) for q in queries]
         report = Report(
             f"Single-table selectivity, {workload_name} workload (q-errors)",
-            ["estimator", "median", "90th", "95th", "max"],
+            ["estimator", "median", "95th", "max", "mean"],
         )
         for name, estimator in estimators.items():
-            errors = [
-                q_error(truth, estimator.cardinality(query))
+            pairs = [
+                (truth, estimator.cardinality(query))
                 for query, truth in zip(queries, truths)
                 if truth > 0
             ]
-            medians[(workload_name, name)] = float(np.median(errors))
+            stats = q_error_summary(
+                [t for t, _ in pairs], [e for _, e in pairs]
+            )
+            medians[(workload_name, name)] = stats["median"]
             report.add(
-                name,
-                float(np.median(errors)),
-                float(np.percentile(errors, 90)),
-                float(np.percentile(errors, 95)),
-                float(np.max(errors)),
+                name, stats["median"], stats["p95"], stats["max"],
+                stats["mean"],
             )
         report.print()
 

@@ -71,6 +71,7 @@ _KERNELS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_kernels.json")
 _MODELSTORE_PATH = os.path.join(
     os.path.dirname(__file__), "BENCH_modelstore.json"
 )
+_FEEDBACK_PATH = os.path.join(os.path.dirname(__file__), "BENCH_feedback.json")
 # path -> the session's named timing records destined for that file.
 _TRAJECTORIES: dict = {}
 
@@ -98,6 +99,8 @@ record_sharding_timing = _recorder(_SHARDING_PATH)
 record_kernels_timing = _recorder(_KERNELS_PATH)
 # BENCH_modelstore.json: mmapped cold start vs JSON, pager counters.
 record_modelstore_timing = _recorder(_MODELSTORE_PATH)
+# BENCH_feedback.json: residual-corrector accuracy and overhead.
+record_feedback_timing = _recorder(_FEEDBACK_PATH)
 
 
 def best_of(fn, repeats=3):
@@ -155,6 +158,13 @@ def record_modelstore_timing_fixture():
     """Fixture handing benches the :func:`record_modelstore_timing`
     recorder (BENCH_modelstore.json)."""
     return record_modelstore_timing
+
+
+@pytest.fixture(scope="session", name="record_feedback_timing")
+def record_feedback_timing_fixture():
+    """Fixture handing benches the :func:`record_feedback_timing`
+    recorder (BENCH_feedback.json)."""
+    return record_feedback_timing
 
 
 def _benchmark_records(session):

@@ -94,6 +94,23 @@ def _add_shards_argument(parser):
     )
 
 
+def _add_corrector_argument(parser):
+    parser.add_argument(
+        "--corrector", choices=("off", "observe", "apply"), default="off",
+        help="workload feedback loop (repro.feedback): observe logs "
+             "every estimate and realized cardinality without changing "
+             "answers (bit-identical to off); apply additionally "
+             "multiplies estimates by the learned residual correction, "
+             "falling back to the raw estimate for queries the "
+             "corrector cannot featurize or has not trained for",
+    )
+
+
+def _corrector_mode(args):
+    corrector = getattr(args, "corrector", "off")
+    return None if corrector == "off" else corrector
+
+
 def _load_model(args, database):
     from repro.deepdb import DeepDB
 
@@ -103,6 +120,7 @@ def _load_model(args, database):
         args.model, database, shards=shards or None,
         transport=None if transport == "auto" else transport,
         kernel=getattr(args, "kernel", None),
+        corrector=_corrector_mode(args),
     )
 
 
@@ -227,9 +245,15 @@ def _run_estimate(args, out, database, deepdb, Executor, q_error):
                 truth = executor.cardinality(query)
                 print(f"{sql}: truth {truth:,.0f}, "
                       f"q-error {q_error(truth, estimate):.3f}", file=out)
+                if deepdb.feedback is not None:
+                    deepdb.feedback.observe_execution(
+                        query, estimate, truth,
+                        generation=deepdb.generation,
+                    )
         if args.explain:
             for sql, query in zip(args.sql, queries):
                 print(deepdb.compiler.explain(query), file=out)
+        _print_feedback(deepdb, out)
         return 0
     query = queries[0]
     start = time.perf_counter()
@@ -241,9 +265,24 @@ def _run_estimate(args, out, database, deepdb, Executor, q_error):
         truth = Executor(database).cardinality(query)
         print(f"true cardinality     : {truth:,.0f}", file=out)
         print(f"q-error              : {q_error(truth, estimate):.3f}", file=out)
+        if deepdb.feedback is not None:
+            deepdb.feedback.observe_execution(
+                query, estimate, truth, generation=deepdb.generation
+            )
     if args.explain:
         print(deepdb.compiler.explain(query), file=out)
+    _print_feedback(deepdb, out)
     return 0
+
+
+def _print_feedback(deepdb, out):
+    stats = deepdb.feedback_stats()
+    if stats is None:
+        return
+    print(f"feedback [{stats['mode']}]: {stats['logged']} logged "
+          f"({stats['labeled']} labeled), {stats['applied']} corrected, "
+          f"{stats['gated_out']} gated out, "
+          f"trained on {stats['trained_on']}", file=out)
 
 
 def _print_answer(answer, confidence, out):
@@ -329,9 +368,23 @@ def _run_plan(args, out, database, deepdb, intermediate_sizes):
         print("realised intermediates:", file=out)
         for tables, size in execution.intermediates:
             print(f"  {' ⨝ '.join(tables):<50s} {size:>14,.0f}", file=out)
-        gap = execution.total_intermediate_rows / cost if cost > 0 else 1.0
-        print(f"C_out: {execution.total_intermediate_rows:,.0f} (realised, "
+        realised = execution.total_intermediate_rows
+        if cost > 0:
+            gap = realised / cost
+        else:
+            # Same semantics as OptimizedExecution.estimation_gap: a
+            # zero estimate with realised rows is infinitely wrong.
+            gap = float("inf") if realised > 0 else 1.0
+        print(f"C_out: {realised:,.0f} (realised, "
               f"{gap:.2f}x the estimate)", file=out)
+        if deepdb.feedback is not None:
+            deepdb.feedback.observe_execution(
+                query.without_group_by(),
+                estimate=oracle(frozenset(query.tables)),
+                realized=execution.result_rows,
+                generation=deepdb.generation,
+            )
+            _print_feedback(deepdb, out)
     return 0
 
 
@@ -353,6 +406,7 @@ def _cmd_serve(args, out):
             shards=args.shards or None,
             transport=None if args.transport == "auto" else args.transport,
             kernel=args.kernel,
+            corrector=_corrector_mode(args),
         )
         print(f"store-backed model {name!r}: {catalog['blob_bytes']:,} blob "
               "bytes, pages in (mmap) on first query", file=out)
@@ -382,6 +436,10 @@ def _cmd_serve(args, out):
           f"(requested {kernel['requested']!r}, "
           f"numba {'available' if kernel['numba_available'] else 'absent'})",
           file=out)
+    if _corrector_mode(args) is not None:
+        print(f"feedback: corrector {args.corrector!r} -- estimates are "
+              "logged; watch GET /stats under models.<name>.feedback",
+              file=out)
     if deepdb is not None and deepdb.evaluator is not None:
         from repro.core.autotune import SERIAL_ONLY
 
@@ -621,6 +679,7 @@ def build_parser():
     estimate.add_argument("--explain", action="store_true",
                           help="print the probabilistic query compilation")
     _add_shards_argument(estimate)
+    _add_corrector_argument(estimate)
     estimate.set_defaults(handler=_cmd_estimate)
 
     query = commands.add_parser(
@@ -633,6 +692,7 @@ def build_parser():
                             "batch in one compiled sweep")
     query.add_argument("--confidence", type=float, default=0.95)
     _add_shards_argument(query)
+    _add_corrector_argument(query)
     query.set_defaults(handler=_cmd_query)
 
     plan = commands.add_parser(
@@ -647,6 +707,7 @@ def build_parser():
                       help="run the chosen plan with real hash joins and "
                            "report the realised intermediate sizes")
     _add_shards_argument(plan)
+    _add_corrector_argument(plan)
     plan.set_defaults(handler=_cmd_plan)
 
     serve = commands.add_parser(
@@ -673,6 +734,7 @@ def build_parser():
                             "transparently page back in on their next query "
                             "(0 = unbounded)")
     _add_shards_argument(serve)
+    _add_corrector_argument(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     client = commands.add_parser(

@@ -46,10 +46,20 @@ class DeepDB:
     to ``"numpy"`` when numba is not installed) or ``"legacy"`` (the
     pre-fusion full-matrix sweep).  All kernels return bit-identical
     answers -- the knob only moves speed and memory.
+
+    ``corrector`` turns on the workload feedback loop
+    (:mod:`repro.feedback`): ``"observe"`` logs every estimate and the
+    realized cardinalities ``optimize_and_execute`` sees without
+    changing any answer (bit-identical to ``corrector=None``);
+    ``"apply"`` additionally multiplies estimates by the learned
+    residual correction once the corrector has trained, falling back to
+    the raw estimate for queries it cannot featurize.  A prebuilt
+    :class:`~repro.feedback.CorrectedEstimator` may be passed instead to
+    share a log/corrector or tune hyper-parameters.
     """
 
     def __init__(self, database, ensemble, shards=None, evaluator=None,
-                 transport=None, kernel=None, store=None):
+                 transport=None, kernel=None, store=None, corrector=None):
         if kernel is not None:
             from repro.core import kernels
 
@@ -57,6 +67,16 @@ class DeepDB:
         self.database = database
         self.ensemble = ensemble
         self.compiler = ProbabilisticQueryCompiler(ensemble)
+        # Workload feedback (repro.feedback): "off"/None is a hard zero
+        # -- no log, no wrapper, estimates flow exactly as before.
+        self.feedback = None
+        self._corrector_document = None
+        if corrector is not None and corrector != "off":
+            from repro.feedback import make_feedback
+
+            self.feedback = make_feedback(
+                self.compiler, corrector, database=database
+            )
         # The mmapped ModelStore backing this ensemble, when it was
         # loaded from a store file; None for learned / JSON-loaded
         # models.  close() releases it deterministically.
@@ -75,11 +95,11 @@ class DeepDB:
 
     @classmethod
     def learn(cls, database, config: EnsembleConfig | None = None, shards=None,
-              transport=None, kernel=None):
+              transport=None, kernel=None, corrector=None):
         """Offline learning phase: build the RSPN ensemble for a database."""
         ensemble = learn_ensemble(database, config)
         return cls(database, ensemble, shards=shards, transport=transport,
-                   kernel=kernel)
+                   kernel=kernel, corrector=corrector)
 
     def close(self):
         """Detach this model from its evaluator; afterwards its batches
@@ -106,6 +126,8 @@ class DeepDB:
             # Order matters: release every reference into the mapping
             # (ensemble tree + compiled forms cached off its root)
             # before asking the store to unmap.
+            if self.feedback is not None:
+                self.feedback.detach()
             self.ensemble = None
             self.compiler = None
             store.close()
@@ -133,7 +155,8 @@ class DeepDB:
         if format == "store":
             from repro.core.modelstore import write_store
 
-            write_store(self.ensemble, path)
+            write_store(self.ensemble, path,
+                        corrector=self._corrector_state())
         elif format == "json":
             from repro.core.serialization import save_ensemble
 
@@ -141,14 +164,31 @@ class DeepDB:
         else:
             raise ValueError(f"unknown save format {format!r}")
 
+    def _corrector_state(self):
+        """The corrector document to persist alongside the ensemble.
+
+        A live fitted corrector wins; otherwise the document this model
+        was loaded with is carried forward, so converting or re-saving a
+        store never silently drops trained corrector state.
+        """
+        if self.feedback is not None and self.feedback.corrector is not None \
+                and self.feedback.corrector.fitted:
+            return self.feedback.corrector.to_document()
+        return self._corrector_document
+
     @classmethod
-    def load(cls, path, database, shards=None, transport=None, kernel=None):
+    def load(cls, path, database, shards=None, transport=None, kernel=None,
+             corrector=None):
         """Re-open a persisted ensemble against its database.
 
         The file's magic bytes decide the decode path: model-store files
         are mmapped (O(metadata) cold start, histograms stay on disk
         until touched); anything else goes through the legacy JSON
         loader with a one-line slow-path warning.
+
+        With ``corrector`` set, a corrector section persisted in the
+        store (``DeepDB.save`` after training) is restored, so a
+        restarted server keeps correcting exactly as it did before.
         """
         from repro.core.modelstore import is_store_file, open_store
 
@@ -156,11 +196,21 @@ class DeepDB:
             store = open_store(path)
             try:
                 ensemble = store.load_ensemble(database)
+                document = store.corrector_document()
             except BaseException:
                 store.close()
                 raise
-            return cls(database, ensemble, shards=shards,
-                       transport=transport, kernel=kernel, store=store)
+            instance = cls(database, ensemble, shards=shards,
+                           transport=transport, kernel=kernel, store=store,
+                           corrector=corrector)
+            instance._corrector_document = document
+            if document is not None and instance.feedback is not None:
+                from repro.feedback import ResidualCorrector
+
+                instance.feedback.adopt_corrector(
+                    ResidualCorrector.from_document(document, database=database)
+                )
+            return instance
         import logging
 
         logging.getLogger(__name__).warning(
@@ -171,7 +221,7 @@ class DeepDB:
         from repro.core.serialization import load_ensemble
 
         return cls(database, load_ensemble(path, database), shards=shards,
-                   transport=transport, kernel=kernel)
+                   transport=transport, kernel=kernel, corrector=corrector)
 
     # ------------------------------------------------------------------
     # Runtime tasks
@@ -180,11 +230,16 @@ class DeepDB:
         """Parse a SQL string of the supported subset into a Query."""
         return parse_query(sql, self.database.schema)
 
+    @property
+    def _estimator(self):
+        """The estimator consumers see: feedback-wrapped when enabled."""
+        return self.compiler if self.feedback is None else self.feedback
+
     def cardinality(self, query):
         """Cardinality estimate (>= 1) for the query optimizer."""
         if isinstance(query, str):
             query = self.parse(query)
-        return self.compiler.cardinality(query)
+        return self._estimator.cardinality(query)
 
     def cardinality_batch(self, queries):
         """Cardinality estimates for many queries in one batched pass.
@@ -195,7 +250,7 @@ class DeepDB:
         :meth:`cardinality` in a loop.
         """
         parsed = [self.parse(q) if isinstance(q, str) else q for q in queries]
-        return self.compiler.cardinality_batch(parsed)
+        return self._estimator.cardinality_batch(parsed)
 
     def plan(self, query, linear=False):
         """Join order for ``query`` under batched DeepDB cardinalities.
@@ -210,7 +265,7 @@ class DeepDB:
 
         if isinstance(query, str):
             query = self.parse(query)
-        oracle = SubqueryCardinalities(self.compiler, query)
+        oracle = SubqueryCardinalities(self._estimator, query)
         plan, cost = optimal_plan(
             query, self.database.schema, oracle, linear=linear
         )
@@ -219,13 +274,17 @@ class DeepDB:
     def optimize_and_execute(self, query, linear=False):
         """Optimise ``query`` with batched estimates, then run the plan
         with real hash joins.  Returns an
-        :class:`~repro.optimizer.execution.OptimizedExecution`."""
+        :class:`~repro.optimizer.execution.OptimizedExecution`.
+
+        With feedback enabled the realized result is recorded as a
+        labeled observation, so executed plans train the corrector."""
         from repro.optimizer import optimize_and_execute
 
         if isinstance(query, str):
             query = self.parse(query)
         return optimize_and_execute(
-            query, self.database, self.compiler, linear=linear
+            query, self.database, self._estimator, linear=linear,
+            feedback=self.feedback,
         )
 
     def approximate(self, query):
@@ -335,6 +394,18 @@ class DeepDB:
 
     def describe(self):
         return self.ensemble.describe()
+
+    def feedback_stats(self):
+        """Workload-feedback counters, or ``None`` when disabled.
+
+        Mirrors :meth:`kernel_stats`: surfaced through serving
+        ``/stats`` so operators can watch the log fill, trainings
+        commit and the applied/gated split without instrumenting
+        anything.
+        """
+        if self.feedback is None:
+            return None
+        return self.feedback.stats()
 
     def kernel_stats(self):
         """Aggregate compiled-kernel telemetry across the ensemble.

@@ -1,0 +1,35 @@
+"""Workload feedback: learn from the queries, not only from the data.
+
+DeepDB's offline phase learns RSPNs from data alone; this package closes
+the loop at runtime.  The serving layer and the optimizer already see a
+real query stream with realized cardinalities -- here that stream is
+captured (:mod:`~repro.feedback.log`), featurized MSCN-style
+(:mod:`~repro.feedback.featurize`), and distilled into a residual
+corrector (:mod:`~repro.feedback.corrector`) that multiplies future RSPN
+estimates by a learned log-space correction, behind a confidence gate
+that keeps it bit-identical to the raw estimator whenever it is not sure
+(:mod:`~repro.feedback.decorator`).  Retraining is policy-driven and
+runs off the serving loop (:mod:`~repro.feedback.trainer`).
+
+Entry points: ``DeepDB(..., corrector="observe"|"apply")``, the CLI's
+``--corrector`` flag, or wrapping any estimator directly in a
+:class:`CorrectedEstimator`.
+"""
+
+from repro.feedback.corrector import ResidualCorrector
+from repro.feedback.decorator import MODES, CorrectedEstimator, make_feedback
+from repro.feedback.featurize import FeaturizationError, QueryFeaturizer
+from repro.feedback.log import Observation, QueryLog
+from repro.feedback.trainer import FeedbackTrainer
+
+__all__ = [
+    "CorrectedEstimator",
+    "FeaturizationError",
+    "FeedbackTrainer",
+    "MODES",
+    "Observation",
+    "QueryFeaturizer",
+    "QueryLog",
+    "ResidualCorrector",
+    "make_feedback",
+]

@@ -1,0 +1,278 @@
+"""Residual correction of RSPN estimates, learned from the query log.
+
+The RSPN is learned from data; the corrector learns from *queries*: on
+labeled observations ``(query, rspn_estimate, realized)`` it fits the
+log-space residual ``log(realized) - log(estimate)`` over the MSCN-style
+feature vectors of :mod:`repro.feedback.featurize` and predicts a
+multiplicative correction ``exp(residual)`` for future estimates.  Ridge
+regression in closed form is the default (one ``d x d`` solve, no
+hyper-parameter search); a tiny numpy MLP
+(:class:`repro.baselines.nn.MLPRegressor`) is available for workloads
+whose residual structure is not linear in the features.
+
+A **confidence gate** keeps the corrector strictly opt-in per query: a
+query the featurizer does not cover (unseen tables/columns/literals,
+disjunctions, outer joins), or any query while the training set is
+thinner than ``min_samples``, passes through with the raw RSPN estimate
+untouched.  Predicted corrections are clipped to
+``exp(+-max_log_correction)`` so one bad fit can never catapult an
+estimate by more than a bounded factor.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+
+from repro.baselines.nn import MLPRegressor
+from repro.feedback.featurize import QueryFeaturizer
+
+_MODELS = ("ridge", "mlp")
+
+
+def _log_clamped(values):
+    return np.log(np.maximum(np.asarray(values, dtype=float), 1.0))
+
+
+class ResidualCorrector:
+    """Multiplicative estimate correction with a confidence gate."""
+
+    def __init__(self, featurizer=None, model="ridge", ridge_lambda=1.0,
+                 min_samples=24, max_log_correction=math.log(32.0),
+                 hidden=16, epochs=80, lr=1e-2, seed=0):
+        if model not in _MODELS:
+            raise ValueError(f"unknown corrector model {model!r}")
+        self.featurizer = featurizer
+        self.model = model
+        self.ridge_lambda = float(ridge_lambda)
+        self.min_samples = int(min_samples)
+        self.max_log_correction = float(max_log_correction)
+        self.hidden = int(hidden)
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self.seed = int(seed)
+        self.n_trained = 0
+        self._weights = None  # ridge: (width + 1,) with leading bias
+        self._mlp = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @property
+    def fitted(self):
+        with self._lock:
+            return self._fitted_locked()
+
+    def _fitted_locked(self):
+        return (self._weights is not None or self._mlp is not None) \
+            and self.n_trained >= self.min_samples
+
+    def fit(self, queries, estimates, realized):
+        """Fit on labeled observations; returns the sample count used.
+
+        Uncovered queries are dropped (they would be gated at inference
+        anyway); if fewer than ``min_samples`` covered samples remain,
+        the corrector stays unfitted and the gate stays shut.
+        """
+        if self.featurizer is None:
+            return 0
+        X, covered = self.featurizer.matrix(queries)
+        y = (_log_clamped(realized) - _log_clamped(estimates))[covered]
+        X = X[covered]
+        finite = np.isfinite(y)
+        X, y = X[finite], y[finite]
+        if X.shape[0] < self.min_samples:
+            with self._lock:
+                self._weights = None
+                self._mlp = None
+                self.n_trained = int(X.shape[0])
+            return int(X.shape[0])
+        y = np.clip(y, -self.max_log_correction, self.max_log_correction)
+        if self.model == "ridge":
+            weights = self._fit_ridge(X, y)
+            with self._lock:
+                self._weights = weights
+                self._mlp = None
+                self.n_trained = int(X.shape[0])
+        else:
+            mlp = MLPRegressor(hidden=(self.hidden,), epochs=self.epochs,
+                               lr=self.lr, seed=self.seed)
+            mlp.fit(X, y)
+            with self._lock:
+                self._mlp = mlp
+                self._weights = None
+                self.n_trained = int(X.shape[0])
+        return int(X.shape[0])
+
+    def _fit_ridge(self, X, y):
+        design = np.hstack([np.ones((X.shape[0], 1)), X])
+        gram = design.T @ design
+        # Do not shrink the bias: a constant residual (the RSPN under- or
+        # over-estimating everything by a factor) must be fully learnable.
+        penalty = np.full(design.shape[1], self.ridge_lambda)
+        penalty[0] = 0.0
+        gram += np.diag(penalty)
+        return np.linalg.solve(gram, design.T @ y)
+
+    def adopt(self, other):
+        """Atomically take over another corrector's fitted state.
+
+        The trainer fits a candidate clone off the serving path and only
+        commits it (via this method) when it did not regress on the
+        held-out slice.
+        """
+        with self._lock:
+            self._weights = other._weights
+            self._mlp = other._mlp
+            self.n_trained = other.n_trained
+            self.featurizer = other.featurizer or self.featurizer
+
+    def clone_config(self):
+        """Unfitted copy with the same featurizer and hyper-parameters."""
+        return ResidualCorrector(
+            featurizer=self.featurizer, model=self.model,
+            ridge_lambda=self.ridge_lambda, min_samples=self.min_samples,
+            max_log_correction=self.max_log_correction, hidden=self.hidden,
+            epochs=self.epochs, lr=self.lr, seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def correct_batch(self, queries, estimates):
+        """``(corrected, applied)`` for a batch of raw estimates.
+
+        One featurization pass and one vectorized prediction; gated
+        queries keep their raw estimate (``applied[i] == False``).
+        ``corrected[i]`` is ``float`` either way.
+        """
+        values = [float(v) for v in estimates]
+        applied = np.zeros(len(values), dtype=bool)
+        with self._lock:
+            weights, mlp = self._weights, self._mlp
+            featurizer = self.featurizer
+            fitted = self._fitted_locked()
+        if not fitted or featurizer is None or not values:
+            return values, applied
+        X, covered = featurizer.matrix(queries)
+        if not covered.any():
+            return values, applied
+        if weights is not None:
+            design = np.hstack([np.ones((X.shape[0], 1)), X])
+            log_correction = design @ weights
+        else:
+            log_correction = np.asarray(mlp.predict(X), dtype=float)
+        log_correction = np.clip(
+            log_correction, -self.max_log_correction, self.max_log_correction
+        )
+        factors = np.exp(log_correction)
+        corrected = list(values)
+        for i in np.flatnonzero(covered):
+            corrected[i] = float(max(values[i] * factors[i], 1.0))
+        return corrected, covered
+
+    def correct(self, query, estimate):
+        """``(corrected, applied)`` for a single estimate."""
+        corrected, applied = self.correct_batch([query], [estimate])
+        return corrected[0], bool(applied[0])
+
+    # ------------------------------------------------------------------
+    # Persistence (the model store's ``corrector`` section)
+    # ------------------------------------------------------------------
+    def to_document(self):
+        document = {
+            "version": 1,
+            "model": self.model,
+            "ridge_lambda": self.ridge_lambda,
+            "min_samples": self.min_samples,
+            "max_log_correction": self.max_log_correction,
+            "hidden": self.hidden,
+            "epochs": self.epochs,
+            "lr": self.lr,
+            "seed": self.seed,
+            "n_trained": self.n_trained,
+            "featurizer": None if self.featurizer is None
+            else self.featurizer.to_document(),
+            "weights": None if self._weights is None
+            else [float(w) for w in self._weights],
+            "mlp": self._mlp_document(),
+        }
+        return document
+
+    def _mlp_document(self):
+        mlp = self._mlp
+        if mlp is None:
+            return None
+        return {
+            "hidden": list(mlp.hidden),
+            "impute": mlp._impute.tolist(),
+            "x_mean": mlp._x_mean.tolist(),
+            "x_scale": mlp._x_scale.tolist(),
+            "y_mean": float(mlp._y_mean),
+            "y_scale": float(mlp._y_scale),
+            "layers": [
+                {"weight": layer.weight.tolist(),
+                 "bias": layer.bias.tolist(),
+                 "relu": bool(layer.relu)}
+                for layer in mlp._net.layers
+            ],
+        }
+
+    @classmethod
+    def from_document(cls, document, database=None):
+        featurizer = None
+        if document.get("featurizer") is not None:
+            featurizer = QueryFeaturizer.from_document(
+                document["featurizer"], database=database
+            )
+        corrector = cls(
+            featurizer=featurizer,
+            model=document.get("model", "ridge"),
+            ridge_lambda=document.get("ridge_lambda", 1.0),
+            min_samples=document.get("min_samples", 24),
+            max_log_correction=document.get(
+                "max_log_correction", math.log(32.0)
+            ),
+            hidden=document.get("hidden", 16),
+            epochs=document.get("epochs", 80),
+            lr=document.get("lr", 1e-2),
+            seed=document.get("seed", 0),
+        )
+        corrector.n_trained = int(document.get("n_trained", 0))
+        if document.get("weights") is not None:
+            corrector._weights = np.asarray(document["weights"], dtype=float)
+        if document.get("mlp") is not None:
+            corrector._mlp = cls._mlp_from_document(document["mlp"])
+        return corrector
+
+    @staticmethod
+    def _mlp_from_document(document):
+        from repro.baselines.nn import MLP
+
+        mlp = MLPRegressor(hidden=tuple(document["hidden"]))
+        mlp._impute = np.asarray(document["impute"], dtype=float)
+        mlp._x_mean = np.asarray(document["x_mean"], dtype=float)
+        mlp._x_scale = np.asarray(document["x_scale"], dtype=float)
+        mlp._y_mean = float(document["y_mean"])
+        mlp._y_scale = float(document["y_scale"])
+        sizes = [mlp._x_mean.shape[0]] + [len(s["bias"]) for s in document["layers"]]
+        mlp._net = MLP(sizes, np.random.default_rng(0))
+        for layer, spec in zip(mlp._net.layers, document["layers"]):
+            layer.weight = np.asarray(spec["weight"], dtype=float)
+            layer.bias = np.asarray(spec["bias"], dtype=float)
+            layer.relu = bool(spec["relu"])
+        return mlp
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "model": self.model,
+                "fitted": self._fitted_locked(),
+                "n_trained": self.n_trained,
+                "min_samples": self.min_samples,
+                "featurizer": None if self.featurizer is None
+                else self.featurizer.signature(),
+            }

@@ -1,0 +1,188 @@
+"""`CorrectedEstimator`: the feedback loop behind the estimator protocol.
+
+A :class:`CorrectedEstimator` wraps any
+:class:`~repro.estimator.CardinalityEstimator` and adds the workload
+feedback loop around it, in one of three modes:
+
+- ``off`` -- pure pass-through; estimates are returned untouched and
+  nothing is logged.  Bit-identical to the unwrapped estimator.
+- ``observe`` -- estimates are returned untouched (still bit-identical,
+  asserted with ``==`` in the tests) but every one is recorded in the
+  :class:`~repro.feedback.log.QueryLog`, and labeled observations feed
+  the trainer.  The corrector learns without influencing anything.
+- ``apply`` -- estimates additionally pass through the fitted
+  :class:`~repro.feedback.corrector.ResidualCorrector`; gated queries
+  (unseen schema elements, thin training) keep the raw estimate.
+
+Batched end-to-end: ``cardinality_batch`` costs exactly one base
+``cardinality_batch`` sweep plus one vectorized correction pass, so the
+decorator never de-batches the compiled inference path underneath.
+"""
+
+from __future__ import annotations
+
+from repro.estimator import CardinalityEstimator
+from repro.feedback.corrector import ResidualCorrector
+from repro.feedback.featurize import QueryFeaturizer
+from repro.feedback.log import Observation, QueryLog
+from repro.feedback.trainer import FeedbackTrainer
+
+MODES = ("off", "observe", "apply")
+
+
+class CorrectedEstimator(CardinalityEstimator):
+    """Feedback-wrapping estimator decorator (see module docstring)."""
+
+    def __init__(self, base=None, corrector=None, log=None, trainer=None,
+                 mode="observe"):
+        self.base = base
+        self.corrector = corrector
+        self.log = log if log is not None else QueryLog()
+        self.trainer = trainer
+        self.set_mode(mode)
+        self.estimates = 0
+        self.applied = 0
+        self.gated_out = 0
+
+    def set_mode(self, mode):
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown corrector mode {mode!r} (expected one of {MODES})"
+            )
+        self.mode = mode
+
+    def bind(self, base, database=None):
+        """Attach the wrapped estimator (and a database for featurizing)."""
+        self.base = base
+        if (self.corrector is not None and self.corrector.featurizer is None
+                and database is not None):
+            self.corrector.featurizer = QueryFeaturizer(database)
+        return self
+
+    def detach(self):
+        """Drop the base reference (store unmap must not be pinned)."""
+        self.base = None
+
+    def adopt_corrector(self, corrector):
+        """Swap in a restored corrector (keeps the trainer pointed at it)."""
+        self.corrector = corrector
+        if self.trainer is not None:
+            self.trainer.corrector = corrector
+
+    @property
+    def generation(self):
+        """The wrapped model's generation counter, when it has one."""
+        generation = getattr(self.base, "generation", None)
+        if generation is None:
+            generation = getattr(
+                getattr(self.base, "ensemble", None), "generation", None
+            )
+        return generation
+
+    # ------------------------------------------------------------------
+    # Estimator protocol
+    # ------------------------------------------------------------------
+    def cardinality(self, query) -> float:
+        if self.mode == "off":
+            return self.base.cardinality(query)
+        return self.cardinality_batch([query])[0]
+
+    def cardinality_batch(self, queries) -> list:
+        if self.mode == "off":
+            return self.base.cardinality_batch(queries)
+        values = [float(v) for v in self.base.cardinality_batch(queries)]
+        self.estimates += len(values)
+        for query, value in zip(queries, values):
+            self.log.record(Observation(
+                sql=query.describe(), estimate=value, query=query,
+            ))
+        if self.mode == "observe":
+            return values
+        corrected, applied_mask = self.corrector.correct_batch(queries, values)
+        n_applied = int(applied_mask.sum())
+        self.applied += n_applied
+        self.gated_out += len(values) - n_applied
+        return corrected
+
+    # ------------------------------------------------------------------
+    # Feedback intake
+    # ------------------------------------------------------------------
+    def observe_execution(self, query, estimate, realized, latency_ns=0,
+                          generation=0):
+        """Record one *labeled* observation (estimate vs. reality).
+
+        Called by ``optimize_and_execute`` after running a plan and by
+        the CLI's ``--truth`` path.  In ``apply`` mode the supplied
+        estimate has already been corrected, so the raw RSPN estimate is
+        recomputed -- training on corrected values would chase the
+        corrector's own output.
+        """
+        if self.mode == "off":
+            return
+        if self.mode == "apply" and self.base is not None:
+            estimate = float(self.base.cardinality(query))
+        self.log.record(Observation(
+            sql=query.describe(),
+            estimate=float(estimate),
+            realized=float(realized),
+            latency_ns=int(latency_ns),
+            generation=int(generation),
+            query=query,
+        ))
+        if self.trainer is not None:
+            self.trainer.notify(generation=generation)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self):
+        """Counters for ``DeepDB`` stats and the serving ``/stats``."""
+        log = self.log.snapshot()
+        trainer = self.trainer.stats() if self.trainer is not None else None
+        return {
+            "mode": self.mode,
+            "estimates": self.estimates,
+            "logged": log["logged"],
+            "labeled": log["labeled"],
+            "applied": self.applied,
+            "gated_out": self.gated_out,
+            "trained_on": trainer["trained_on"] if trainer else 0,
+            "holdout_q_error_before":
+                trainer["holdout_q_error_before"] if trainer else None,
+            "holdout_q_error_after":
+                trainer["holdout_q_error_after"] if trainer else None,
+            "log": log,
+            "corrector": None if self.corrector is None
+            else self.corrector.snapshot(),
+            "trainer": trainer,
+        }
+
+
+def make_feedback(base, spec, database=None, log=None, trainer_every=64,
+                  background=False, spill_path=None):
+    """Build (or bind) the feedback bundle behind ``DeepDB(corrector=...)``.
+
+    ``spec`` is either a mode string from :data:`MODES` -- a fresh
+    :class:`QueryLog`, :class:`ResidualCorrector` (featurized over
+    ``database``) and :class:`FeedbackTrainer` are assembled -- or a
+    prebuilt :class:`CorrectedEstimator`, which is bound to ``base`` and
+    returned as-is so callers can share one log/corrector across models
+    or supply custom hyper-parameters.
+    """
+    if isinstance(spec, CorrectedEstimator):
+        return spec.bind(base, database)
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"corrector must be a mode string {MODES} or a "
+            f"CorrectedEstimator, got {type(spec).__name__}"
+        )
+    featurizer = QueryFeaturizer(database) if database is not None else None
+    corrector = ResidualCorrector(featurizer)
+    log = log if log is not None else QueryLog(spill_path=spill_path)
+    trainer = FeedbackTrainer(
+        corrector, log, every=trainer_every, background=background
+    )
+    estimator = CorrectedEstimator(
+        base, corrector=corrector, log=log, trainer=trainer, mode=spec
+    )
+    return estimator

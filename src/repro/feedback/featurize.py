@@ -1,0 +1,234 @@
+"""Deterministic MSCN-style featurization of parsed queries.
+
+Follows the query encoding of Kipf et al. ("Learned Cardinalities" /
+"Deep Sketches", see PAPERS.md): one-hot table and join-edge sets from
+the schema plus per-column predicate encodings of ``(op,
+normalized-literal)`` triples -- but *set-pooled into one fixed-width
+vector* (min/max pooling per column block) instead of the per-element
+MLPs of the full MCSN, because the residual corrector on top is a
+closed-form ridge (or tiny MLP), not a deep net.
+
+Two properties the corrector relies on, both locked down by tests:
+
+- **deterministic** -- the layout is derived from sorted schema names
+  and persisted verbatim in the corrector's store section, so the same
+  query featurizes to the same vector across processes and restarts;
+- **order-invariant** -- pooling uses min/max/sum, so equivalent
+  predicate orderings (and ``BETWEEN`` vs. its ``>=``/``<=`` pair)
+  produce bit-identical vectors.
+
+Queries the layout cannot express (unknown tables/columns, literals
+outside the trained vocabulary, disjunctions, outer joins) are *not
+covered*: the confidence gate then falls back to the raw RSPN estimate
+rather than extrapolating.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import numpy as np
+
+from repro.engine.query import INNER, Predicate
+
+_RANGE_OPS = ("=", "<>", "<", "<=", ">", ">=")
+# Per-column block: (flag, min, max) per range op, then IN as
+# (flag, total set size, min, max), then the two NULL-test flags.
+_IN_OFFSET = 3 * len(_RANGE_OPS)
+_NULL_OFFSET = _IN_OFFSET + 4
+_COLUMN_BLOCK = _NULL_OFFSET + 2
+_IN_SIZE_SCALE = 32.0
+
+
+class FeaturizationError(ValueError):
+    """The query is outside the featurizer's layout (gate territory)."""
+
+
+class QueryFeaturizer:
+    """Fixed-width, order-invariant query vectors over one schema.
+
+    Built either from a :class:`~repro.engine.table.Database` (layout
+    derived from sorted schema names, bounds from the data) or from a
+    persisted layout document (:meth:`from_document`) -- the latter is
+    how a corrector restored from a model store keeps featurizing
+    exactly as it did when it was trained, even if the data drifted.
+    A database is still required to encode categorical literals.
+    """
+
+    def __init__(self, database=None, layout=None):
+        if layout is None:
+            if database is None:
+                raise ValueError("QueryFeaturizer needs a database or a layout")
+            layout = self._derive_layout(database)
+        self.database = database
+        self.layout = layout
+        self.table_index = {n: i for i, n in enumerate(layout["tables"])}
+        self.join_index = {n: i for i, n in enumerate(layout["joins"])}
+        self.column_index = {}
+        self.column_bounds = {}
+        base = len(self.table_index) + len(self.join_index)
+        for position, spec in enumerate(layout["columns"]):
+            name = spec["name"]
+            self.column_index[name] = base + position * _COLUMN_BLOCK
+            low = float(spec["low"])
+            high = float(spec["high"])
+            self.column_bounds[name] = (low, max(high, low + 1.0))
+        self.width = base + len(layout["columns"]) * _COLUMN_BLOCK
+
+    @staticmethod
+    def _derive_layout(database):
+        schema = database.schema
+        columns = []
+        for name in sorted(database.tables):
+            table = database.tables[name]
+            for attr in sorted(table.schema.non_key_attributes,
+                               key=lambda a: a.name):
+                if attr.name.startswith("F__"):
+                    continue
+                values = table.columns[attr.name]
+                finite = values[~np.isnan(values)]
+                low = float(finite.min()) if finite.size else 0.0
+                high = float(finite.max()) if finite.size else 1.0
+                columns.append(
+                    {"name": f"{name}.{attr.name}", "low": low, "high": high}
+                )
+        return {
+            "tables": sorted(schema.tables),
+            "joins": sorted(fk.name for fk in schema.foreign_keys),
+            "columns": columns,
+        }
+
+    def to_document(self):
+        return {"layout": self.layout}
+
+    @classmethod
+    def from_document(cls, document, database=None):
+        return cls(database=database, layout=document["layout"])
+
+    def signature(self):
+        """Stable fingerprint of the layout (for stats / diagnostics)."""
+        blob = json.dumps(self.layout, sort_keys=True).encode()
+        return f"{zlib.crc32(blob):08x}"
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def covers(self, query):
+        """True when :meth:`vector` can faithfully encode ``query``."""
+        try:
+            self.vector(query)
+        except FeaturizationError:
+            return False
+        return True
+
+    def matrix(self, queries):
+        """``(X, covered)``: stacked vectors plus a coverage mask.
+
+        Uncovered queries contribute an all-zero row with ``covered[i]
+        == False`` -- the caller gates them out rather than dropping
+        them, keeping row indices aligned with the input.
+        """
+        n = len(queries)
+        X = np.zeros((n, self.width))
+        covered = np.zeros(n, dtype=bool)
+        for i, query in enumerate(queries):
+            try:
+                X[i] = self.vector(query)
+            except FeaturizationError:
+                continue
+            covered[i] = True
+        return X, covered
+
+    def vector(self, query):
+        """One fixed-width feature vector for a parsed query."""
+        if self.database is None:
+            raise FeaturizationError("featurizer has no database to encode with")
+        if query.has_disjunctions:
+            raise FeaturizationError("disjunctions are not featurizable")
+        if query.group_by:
+            raise FeaturizationError("group-by queries are not featurizable")
+        if query.join_kind != INNER:
+            raise FeaturizationError("outer joins are not featurizable")
+        out = np.zeros(self.width)
+        for name in query.tables:
+            index = self.table_index.get(name)
+            if index is None:
+                raise FeaturizationError(f"unknown table {name!r}")
+            out[index] = 1.0
+        for fk in self.database.schema.edges_between(query.tables):
+            index = self.join_index.get(fk.name)
+            if index is None:
+                raise FeaturizationError(f"unknown join edge {fk.name!r}")
+            out[len(self.table_index) + index] = 1.0
+        # Accumulate per (column, op) with order-insensitive reductions,
+        # then write each touched block once.
+        ranges = {}  # (column, op) -> [min, max]
+        in_sets = {}  # column -> [total size, min, max]
+        null_flags = set()  # (column, op)
+        for predicate in query.predicates:
+            self._accumulate(predicate, ranges, in_sets, null_flags)
+        for (column, op), (lo, hi) in ranges.items():
+            base = self.column_index[column] + 3 * _RANGE_OPS.index(op)
+            out[base] = 1.0
+            out[base + 1] = lo
+            out[base + 2] = hi
+        for column, (size, lo, hi) in in_sets.items():
+            base = self.column_index[column] + _IN_OFFSET
+            out[base] = 1.0
+            out[base + 1] = min(size, _IN_SIZE_SCALE) / _IN_SIZE_SCALE
+            out[base + 2] = lo
+            out[base + 3] = hi
+        for column, op in null_flags:
+            offset = _NULL_OFFSET + (0 if op == "IS NULL" else 1)
+            out[self.column_index[column] + offset] = 1.0
+        return out
+
+    def _accumulate(self, predicate, ranges, in_sets, null_flags):
+        column = predicate.qualified_column
+        if column not in self.column_index:
+            raise FeaturizationError(f"unknown column {column!r}")
+        if predicate.op == "BETWEEN":
+            low, high = predicate.value
+            for op, bound in ((">=", low), ("<=", high)):
+                self._accumulate(
+                    Predicate(predicate.table, predicate.column, op, bound),
+                    ranges, in_sets, null_flags,
+                )
+            return
+        if predicate.op in ("IS NULL", "IS NOT NULL"):
+            null_flags.add((column, predicate.op))
+            return
+        table = self.database.table(predicate.table)
+        if predicate.op == "IN":
+            encoded = [
+                table.encode_value(predicate.column, value)
+                for value in predicate.value
+            ]
+            if any(e is None for e in encoded) or not encoded:
+                raise FeaturizationError(
+                    f"IN literal outside vocabulary for {column!r}"
+                )
+            values = sorted(self._normalize(column, e) for e in encoded)
+            entry = in_sets.setdefault(
+                column, [0.0, float("inf"), float("-inf")]
+            )
+            entry[0] += len(values)
+            entry[1] = min(entry[1], values[0])
+            entry[2] = max(entry[2], values[-1])
+            return
+        if predicate.op not in _RANGE_OPS:
+            raise FeaturizationError(f"unsupported operator {predicate.op!r}")
+        encoded = table.encode_value(predicate.column, predicate.value)
+        if encoded is None:
+            raise FeaturizationError(f"literal outside vocabulary for {column!r}")
+        value = self._normalize(column, encoded)
+        entry = ranges.setdefault((column, predicate.op), [value, value])
+        entry[0] = min(entry[0], value)
+        entry[1] = max(entry[1], value)
+
+    def _normalize(self, column, encoded):
+        low, high = self.column_bounds[column]
+        # Clip so literals outside the trained value range (data drift)
+        # stay bounded instead of blowing up the linear model.
+        return float(np.clip((float(encoded) - low) / (high - low), -1.0, 2.0))

@@ -1,0 +1,163 @@
+"""Bounded, thread-safe capture of the live query stream.
+
+Every estimate the serving layer or the optimizer produces is an
+*observation*: the query, what the RSPN said, and -- once the executor
+has run the plan -- what reality said.  The :class:`QueryLog` keeps a
+bounded in-memory window of those observations (old entries fall off, a
+``dropped`` counter remembers how many), optionally spilling each record
+as one JSONL line so a restarted server can :meth:`replay` its history
+and retrain the corrector without re-executing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One logged estimate, optionally labeled with the realized count.
+
+    ``realized`` is ``None`` for estimate-only traffic (serving answers
+    whose true cardinality nobody ever computed); labeled observations
+    additionally carry the executor's answer plus the execution latency
+    and the model generation the estimate was computed under.
+    """
+
+    sql: str
+    estimate: float
+    realized: float | None = None
+    latency_ns: int = 0
+    generation: int = 0
+    query: object = field(default=None, compare=False, repr=False)
+
+    @property
+    def labeled(self):
+        return self.realized is not None
+
+    def to_record(self):
+        """JSON-serializable dict (the parsed query is not spilled)."""
+        return {
+            "sql": self.sql,
+            "estimate": self.estimate,
+            "realized": self.realized,
+            "latency_ns": self.latency_ns,
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_record(cls, record, parse=None):
+        sql = record["sql"]
+        query = parse(sql) if parse is not None else None
+        realized = record.get("realized")
+        return cls(
+            sql=sql,
+            estimate=float(record["estimate"]),
+            realized=None if realized is None else float(realized),
+            latency_ns=int(record.get("latency_ns", 0)),
+            generation=int(record.get("generation", 0)),
+            query=query,
+        )
+
+
+class QueryLog:
+    """Bounded deque of :class:`Observation` with optional JSONL spill.
+
+    Thread-safe: the serving layer records from coalescer flushes while
+    a background trainer snapshots -- both take the same lock, and
+    snapshots copy, so readers never see a half-appended window.
+    """
+
+    def __init__(self, maxlen=10_000, spill_path=None):
+        self.maxlen = int(maxlen)
+        self.spill_path = spill_path
+        self._entries = deque(maxlen=self.maxlen)
+        self._lock = threading.Lock()
+        self._logged = 0
+        self._labeled = 0
+        self._spilled = 0
+        self._spill_errors = 0
+
+    def record(self, observation: Observation):
+        """Append one observation (evicting the oldest when full)."""
+        line = None
+        if self.spill_path is not None:
+            line = json.dumps(observation.to_record())
+        with self._lock:
+            self._entries.append(observation)
+            self._logged += 1
+            if observation.labeled:
+                self._labeled += 1
+            if line is not None:
+                try:
+                    with open(self.spill_path, "a") as handle:
+                        handle.write(line + "\n")
+                    self._spilled += 1
+                except OSError:
+                    self._spill_errors += 1  # logging must never fail serving
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def entries(self):
+        """Snapshot of the current window (oldest first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def labeled(self):
+        """Snapshot of the labeled observations in the window."""
+        with self._lock:
+            return [o for o in self._entries if o.labeled]
+
+    @property
+    def dropped(self):
+        """Observations evicted from the bounded window so far."""
+        with self._lock:
+            return self._logged - len(self._entries)
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "logged": self._logged,
+                "labeled": self._labeled,
+                "window": len(self._entries),
+                "dropped": self._logged - len(self._entries),
+                "maxlen": self.maxlen,
+                "spilled": self._spilled,
+                "spill_errors": self._spill_errors,
+            }
+
+    @classmethod
+    def replay(cls, path, parse=None, maxlen=10_000, spill_path=None):
+        """Rebuild a log from a JSONL spill file.
+
+        ``parse`` (sql -> Query) re-attaches parsed queries so replayed
+        labeled observations are usable as corrector training samples;
+        malformed lines are skipped (a crash mid-write truncates the
+        last line, which must not poison the replay).
+        """
+        log = cls(maxlen=maxlen, spill_path=spill_path)
+        try:
+            with open(path) as handle:
+                lines = handle.readlines()
+        except OSError:
+            return log
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                observation = Observation.from_record(record, parse=parse)
+            except (ValueError, KeyError, TypeError):
+                continue
+            with log._lock:
+                log._entries.append(observation)
+                log._logged += 1
+                if observation.labeled:
+                    log._labeled += 1
+        return log

@@ -1,0 +1,176 @@
+"""Retraining policy: when and how the corrector refits from the log.
+
+The trainer watches labeled observations arrive in the
+:class:`~repro.feedback.log.QueryLog` and refits the corrector **every N
+new labels or on a model-generation bump** (updates change the RSPN, so
+previously learned residuals are suspect).  Fitting happens on a
+*candidate clone* evaluated against a deterministic held-out slice of
+the log; the candidate is only committed (atomically, via
+:meth:`ResidualCorrector.adopt`) when its held-out median q-error does
+not regress against the raw RSPN estimates -- otherwise it is rolled
+back and the gate stays exactly where it was.  With ``background=True``
+the fit runs on a daemon thread off the serving loop; the serving path
+only ever pays the cost of a counter increment.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.evaluation.metrics import q_error_summary
+
+
+class FeedbackTrainer:
+    """Drives corrector refits from the query log."""
+
+    def __init__(self, corrector, log, every=64, holdout_fraction=0.25,
+                 background=False, regression_tolerance=0.0):
+        self.corrector = corrector
+        self.log = log
+        self.every = int(every)
+        self.holdout_fraction = float(holdout_fraction)
+        self.background = bool(background)
+        self.regression_tolerance = float(regression_tolerance)
+        self._lock = threading.Lock()
+        self._training = False
+        self._thread = None
+        self._labels_seen = 0
+        self._labels_at_last_train = 0
+        self._generation = None
+        self._trained_generation = None
+        self.trainings = 0
+        self.rollbacks = 0
+        self.skipped_thin = 0
+        self.trained_on = 0
+        self.last_training = None
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def notify(self, generation=None):
+        """One labeled observation arrived; retrain if the policy says so."""
+        with self._lock:
+            self._labels_seen += 1
+            if generation is not None:
+                self._generation = generation
+            due = self._due_locked()
+            if not due or self._training:
+                return
+            self._training = True
+        if self.background:
+            self._thread = threading.Thread(
+                target=self._train_and_clear, daemon=True,
+                name="feedback-trainer",
+            )
+            self._thread.start()
+        else:
+            self._train_and_clear()
+
+    def _due_locked(self):
+        if self._labels_seen - self._labels_at_last_train >= self.every:
+            return True
+        return (
+            self._trained_generation is not None
+            and self._generation is not None
+            and self._generation != self._trained_generation
+            and self._labels_seen > self._labels_at_last_train
+        )
+
+    def join(self, timeout=None):
+        """Wait for an in-flight background fit (tests / clean shutdown)."""
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def _train_and_clear(self):
+        try:
+            self.train_now()
+        finally:
+            with self._lock:
+                self._training = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_now(self):
+        """Fit a candidate on the log and commit it if it holds up.
+
+        Returns the training record (also kept as ``last_training``), or
+        ``None`` when there are not even ``min_samples`` labeled
+        observations to try with.
+        """
+        samples = [o for o in self.log.labeled() if o.query is not None]
+        with self._lock:
+            self._labels_at_last_train = self._labels_seen
+            self._trained_generation = self._generation
+        if len(samples) < self.corrector.min_samples:
+            self.skipped_thin += 1
+            return None
+        stride = max(int(round(1.0 / self.holdout_fraction)), 2) \
+            if self.holdout_fraction > 0 else None
+        if stride is None:
+            train, holdout = samples, []
+        else:
+            # Deterministic interleaved split: every stride-th sample is
+            # held out, so replaying the same log reproduces the same fit.
+            holdout = samples[stride - 1::stride]
+            train = [o for i, o in enumerate(samples) if (i + 1) % stride]
+        candidate = self.corrector.clone_config()
+        used = candidate.fit(
+            [o.query for o in train],
+            [o.estimate for o in train],
+            [o.realized for o in train],
+        )
+        record = {
+            "samples": len(samples),
+            "train": len(train),
+            "holdout": len(holdout),
+            "used": used,
+            "committed": False,
+            "holdout_q_error_before": None,
+            "holdout_q_error_after": None,
+        }
+        if not candidate.fitted:
+            self.skipped_thin += 1
+            self.last_training = record
+            return record
+        committed = True
+        if holdout:
+            truths = [o.realized for o in holdout]
+            raw = [o.estimate for o in holdout]
+            corrected, _applied = candidate.correct_batch(
+                [o.query for o in holdout], raw
+            )
+            before = q_error_summary(truths, raw)["median"]
+            after = q_error_summary(truths, corrected)["median"]
+            record["holdout_q_error_before"] = before
+            record["holdout_q_error_after"] = after
+            committed = after <= before * (1.0 + self.regression_tolerance)
+        if committed:
+            self.corrector.adopt(candidate)
+            self.trainings += 1
+            self.trained_on = used
+        else:
+            self.rollbacks += 1
+        record["committed"] = committed
+        self.last_training = record
+        return record
+
+    def stats(self):
+        with self._lock:
+            pending = self._labels_seen - self._labels_at_last_train
+            labels_seen = self._labels_seen
+        last = self.last_training or {}
+        return {
+            "every": self.every,
+            "background": self.background,
+            "labels_seen": labels_seen,
+            "pending_labels": pending,
+            "trainings": self.trainings,
+            "rollbacks": self.rollbacks,
+            "skipped_thin": self.skipped_thin,
+            "trained_on": self.trained_on,
+            "holdout_q_error_before": last.get("holdout_q_error_before"),
+            "holdout_q_error_after": last.get("holdout_q_error_after"),
+            "last_committed": last.get("committed"),
+        }

@@ -13,6 +13,8 @@ defined for); NULL join keys never match, per SQL.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -112,16 +114,24 @@ class OptimizedExecution:
     estimated_cost: float
     oracle: object
     execution: "PlanExecution"
+    latency_ns: int = 0
 
     @property
     def estimation_gap(self):
-        """Realised C_out / estimated C_out (1.0 = perfectly estimated)."""
+        """Realised C_out / estimated C_out (1.0 = perfectly estimated).
+
+        A zero (or negative) estimate against realised rows is an
+        *infinitely* wrong estimate, not a perfect one -- only the true
+        0/0 case (nothing estimated, nothing materialised) reports 1.0.
+        """
+        realized = self.execution.total_intermediate_rows
         if self.estimated_cost <= 0:
-            return 1.0
-        return self.execution.total_intermediate_rows / self.estimated_cost
+            return math.inf if realized > 0 else 1.0
+        return realized / self.estimated_cost
 
 
-def optimize_and_execute(query, database, estimator, linear=False, batch=True):
+def optimize_and_execute(query, database, estimator, linear=False, batch=True,
+                         feedback=None):
     """Optimise ``query`` under ``estimator`` and run the chosen plan.
 
     The estimator is wrapped in the same batched
@@ -130,16 +140,38 @@ def optimize_and_execute(query, database, estimator, linear=False, batch=True):
     answers every sub-plan estimate of the enumeration (``batch=False``
     restores the serial memoised path), then the plan is executed with
     real hash joins.  Returns an :class:`OptimizedExecution`.
+
+    ``feedback`` (a :class:`~repro.feedback.CorrectedEstimator`) closes
+    the estimation loop: the query's own prefetched estimate, the
+    realised result rows and the execution latency are recorded as one
+    labeled observation the residual corrector can train on.
     """
     from repro.optimizer.cardinality import SubqueryCardinalities
     from repro.optimizer.enumeration import optimal_plan
 
     oracle = SubqueryCardinalities(estimator, query, batch=batch)
     plan, cost = optimal_plan(query, database.schema, oracle, linear=linear)
+    start = time.perf_counter_ns()
     execution = execute_plan(plan, database, query)
-    return OptimizedExecution(
-        plan=plan, estimated_cost=cost, oracle=oracle, execution=execution
+    latency_ns = time.perf_counter_ns() - start
+    result = OptimizedExecution(
+        plan=plan, estimated_cost=cost, oracle=oracle, execution=execution,
+        latency_ns=latency_ns,
     )
+    if feedback is not None:
+        generation = getattr(estimator, "generation", None)
+        if generation is None:  # compiler-backed estimators: ask the ensemble
+            generation = getattr(
+                getattr(estimator, "ensemble", None), "generation", 0
+            )
+        feedback.observe_execution(
+            query.without_group_by(),
+            estimate=oracle(frozenset(query.tables)),
+            realized=execution.result_rows,
+            latency_ns=latency_ns,
+            generation=generation,
+        )
+    return result
 
 
 def execute_plan(plan, database, query):

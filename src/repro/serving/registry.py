@@ -80,7 +80,8 @@ class ModelRegistry:
             return session
 
     def register_store(self, name, path, database, cache_size=256,
-                       shards=None, transport=None, kernel=None) -> dict:
+                       shards=None, transport=None, kernel=None,
+                       corrector=None) -> dict:
         """Register a model by store file without loading it.
 
         Validates the header (magic, CRC, version -- raising
@@ -101,6 +102,7 @@ class ModelRegistry:
                 "shards": shards,
                 "transport": transport,
                 "kernel": kernel,
+                "corrector": corrector,
                 "catalog": catalog,
             }
             return catalog
@@ -163,6 +165,7 @@ class ModelRegistry:
         deepdb = DeepDB.load(
             entry["path"], entry["database"], shards=entry["shards"],
             transport=entry["transport"], kernel=entry["kernel"],
+            corrector=entry.get("corrector"),
         )
         cold_start_ns = time.perf_counter_ns() - start
         session = ModelSession(name, deepdb, cache_size=entry["cache_size"])

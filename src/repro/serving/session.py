@@ -329,7 +329,10 @@ class ModelSession:
         (bytes shipped, publish seconds, live segment count) and the
         ``autotune`` record explaining the serial/sharded crossover.
         ``kernel`` reports the active sweep kernel plus aggregate sweep
-        telemetry (per-sweep ns, arena bytes) across the ensemble."""
+        telemetry (per-sweep ns, arena bytes) across the ensemble.
+        ``feedback`` carries the workload-feedback counters (logged /
+        applied / gated_out, trainer state) when the model runs with a
+        corrector."""
         snap = {
             "name": self.name,
             "generation": self.deepdb.generation,
@@ -344,6 +347,11 @@ class ModelSession:
         evaluator = getattr(self.deepdb, "evaluator", None)
         if evaluator is not None:
             snap["sharding"] = evaluator.stats()
+        feedback_stats = getattr(self.deepdb, "feedback_stats", None)
+        if feedback_stats is not None:
+            feedback = feedback_stats()
+            if feedback is not None:
+                snap["feedback"] = feedback
         return snap
 
     def __repr__(self):

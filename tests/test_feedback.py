@@ -1,0 +1,522 @@
+"""The workload feedback subsystem: log, featurizer, corrector, trainer,
+and the estimator decorator that ties them together.
+
+The contract under test is the one the README states: ``observe`` mode
+is bit-identical (``==``, not allclose) to running without a corrector,
+``apply`` only ever changes estimates for queries the corrector was
+actually trained to cover, and retraining can never regress the
+held-out q-error because uncommitted candidates are rolled back.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from tests.conftest import build_customer_orders
+from repro.deepdb import DeepDB
+from repro.engine.executor import Executor
+from repro.engine.query import Predicate, count_query
+from repro.feedback import (
+    CorrectedEstimator,
+    FeaturizationError,
+    FeedbackTrainer,
+    Observation,
+    QueryFeaturizer,
+    QueryLog,
+    ResidualCorrector,
+    make_feedback,
+)
+from repro.optimizer.execution import optimize_and_execute
+
+
+@pytest.fixture(scope="module")
+def feedback_db():
+    return build_customer_orders(n_customers=600, seed=11)
+
+
+@pytest.fixture(scope="module")
+def feedback_deepdb(feedback_db):
+    return DeepDB.learn(feedback_db)
+
+
+@pytest.fixture(scope="module")
+def truth(feedback_db):
+    return Executor(feedback_db)
+
+
+def _age_query(low):
+    return count_query(
+        ["customer"], predicates=(Predicate("customer", "age", ">=", low),)
+    )
+
+
+def _age_workload(n, seed=5):
+    rng = np.random.default_rng(seed)
+    return [_age_query(float(a)) for a in rng.integers(15, 75, n)]
+
+
+# ----------------------------------------------------------------------
+# QueryLog
+# ----------------------------------------------------------------------
+class TestQueryLog:
+    def test_bounded_window_counts_drops(self):
+        log = QueryLog(maxlen=3)
+        for i in range(5):
+            log.record(Observation(sql=f"q{i}", estimate=float(i)))
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [o.sql for o in log.entries()] == ["q2", "q3", "q4"]
+        snap = log.snapshot()
+        assert snap["logged"] == 5 and snap["window"] == 3
+
+    def test_labeled_filter(self):
+        log = QueryLog()
+        log.record(Observation(sql="a", estimate=1.0))
+        log.record(Observation(sql="b", estimate=2.0, realized=3.0))
+        assert [o.sql for o in log.labeled()] == ["b"]
+        assert log.snapshot()["labeled"] == 1
+
+    def test_spill_and_replay_round_trip(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        log = QueryLog(spill_path=str(path))
+        log.record(Observation(sql="a", estimate=10.0))
+        log.record(Observation(
+            sql="b", estimate=20.0, realized=25.0, latency_ns=7, generation=2,
+        ))
+        assert log.snapshot()["spilled"] == 2
+        replayed = QueryLog.replay(str(path))
+        entries = replayed.entries()
+        assert [o.sql for o in entries] == ["a", "b"]
+        assert entries[1].realized == 25.0
+        assert entries[1].latency_ns == 7
+        assert entries[1].generation == 2
+
+    def test_replay_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "spill.jsonl"
+        good = json.dumps(Observation(sql="ok", estimate=5.0).to_record())
+        path.write_text(good + "\n{truncated\n\nnot json at all\n")
+        replayed = QueryLog.replay(str(path))
+        assert [o.sql for o in replayed.entries()] == ["ok"]
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        log = QueryLog.replay(str(tmp_path / "absent.jsonl"))
+        assert len(log) == 0
+
+    def test_spill_failure_never_raises(self, tmp_path):
+        log = QueryLog(spill_path=str(tmp_path))  # a directory: open() fails
+        log.record(Observation(sql="a", estimate=1.0))
+        assert len(log) == 1
+        assert log.snapshot()["spill_errors"] == 1
+
+    def test_concurrent_records_are_all_counted(self):
+        log = QueryLog(maxlen=10_000)
+        n_threads, per_thread = 8, 200
+
+        def hammer(tag):
+            for i in range(per_thread):
+                log.record(Observation(sql=f"{tag}-{i}", estimate=1.0))
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert log.snapshot()["logged"] == n_threads * per_thread
+        assert len(log) == n_threads * per_thread
+
+
+# ----------------------------------------------------------------------
+# Featurization
+# ----------------------------------------------------------------------
+class TestFeaturizer:
+    def test_deterministic_across_instances(self, feedback_db):
+        query = count_query(
+            ["customer", "orders"],
+            predicates=(
+                Predicate("customer", "age", ">=", 30.0),
+                Predicate("orders", "channel", "=", "ONLINE"),
+            ),
+        )
+        a = QueryFeaturizer(feedback_db)
+        b = QueryFeaturizer(feedback_db)
+        assert a.signature() == b.signature()
+        assert np.array_equal(a.vector(query), b.vector(query))
+
+    def test_predicate_order_invariant(self, feedback_db):
+        predicates = (
+            Predicate("customer", "age", ">=", 20.0),
+            Predicate("customer", "age", "<=", 60.0),
+            Predicate("customer", "region", "=", "EU"),
+        )
+        featurizer = QueryFeaturizer(feedback_db)
+        forward = featurizer.vector(
+            count_query(["customer"], predicates=predicates)
+        )
+        backward = featurizer.vector(
+            count_query(["customer"], predicates=predicates[::-1])
+        )
+        assert np.array_equal(forward, backward)
+
+    def test_between_equals_range_pair(self, feedback_db):
+        featurizer = QueryFeaturizer(feedback_db)
+        between = featurizer.vector(count_query(
+            ["customer"],
+            predicates=(
+                Predicate("customer", "age", "BETWEEN", (20.0, 60.0)),
+            ),
+        ))
+        pair = featurizer.vector(count_query(
+            ["customer"],
+            predicates=(
+                Predicate("customer", "age", ">=", 20.0),
+                Predicate("customer", "age", "<=", 60.0),
+            ),
+        ))
+        assert np.array_equal(between, pair)
+
+    def test_layout_document_round_trip(self, feedback_db):
+        original = QueryFeaturizer(feedback_db)
+        restored = QueryFeaturizer.from_document(
+            original.to_document(), database=feedback_db
+        )
+        assert restored.signature() == original.signature()
+        query = _age_query(33.0)
+        assert np.array_equal(restored.vector(query), original.vector(query))
+
+    def test_uncovered_queries_are_gated_not_dropped(self, feedback_db):
+        featurizer = QueryFeaturizer(feedback_db)
+        covered_query = _age_query(40.0)
+        unseen_literal = count_query(
+            ["customer"],
+            predicates=(Predicate("customer", "region", "=", "MARS"),),
+        )
+        with pytest.raises(FeaturizationError):
+            featurizer.vector(unseen_literal)
+        X, covered = featurizer.matrix([covered_query, unseen_literal])
+        assert covered.tolist() == [True, False]
+        assert not X[1].any()  # uncovered row stays all-zero, aligned
+
+    def test_unknown_table_and_column_not_covered(self, feedback_db):
+        featurizer = QueryFeaturizer(feedback_db)
+        assert not featurizer.covers(count_query(["lineitem"]))
+        assert not featurizer.covers(count_query(
+            ["customer"],
+            predicates=(Predicate("customer", "salary", ">", 1.0),),
+        ))
+
+
+# ----------------------------------------------------------------------
+# ResidualCorrector
+# ----------------------------------------------------------------------
+class TestCorrector:
+    def _biased_samples(self, feedback_db, truth, n=60, factor=4.0, seed=9):
+        """Labeled samples where reality is ``factor``x the estimate."""
+        queries = _age_workload(n, seed=seed)
+        estimates = [max(truth.cardinality(q), 1.0) for q in queries]
+        realized = [e * factor for e in estimates]
+        return queries, estimates, realized
+
+    def test_learns_constant_bias(self, feedback_db, truth):
+        queries, estimates, realized = self._biased_samples(feedback_db, truth)
+        corrector = ResidualCorrector(QueryFeaturizer(feedback_db))
+        used = corrector.fit(queries, estimates, realized)
+        assert used == len(queries)
+        assert corrector.fitted
+        corrected, applied = corrector.correct(_age_query(37.0), 100.0)
+        assert applied
+        assert corrected == pytest.approx(400.0, rel=0.15)
+
+    def test_thin_training_keeps_gate_shut(self, feedback_db, truth):
+        queries, estimates, realized = self._biased_samples(
+            feedback_db, truth, n=10
+        )
+        corrector = ResidualCorrector(QueryFeaturizer(feedback_db))
+        corrector.fit(queries, estimates, realized)
+        assert not corrector.fitted
+        corrected, applied = corrector.correct(_age_query(37.0), 100.0)
+        assert not applied and corrected == 100.0
+
+    def test_uncovered_query_passes_through(self, feedback_db, truth):
+        queries, estimates, realized = self._biased_samples(feedback_db, truth)
+        corrector = ResidualCorrector(QueryFeaturizer(feedback_db))
+        corrector.fit(queries, estimates, realized)
+        unseen = count_query(
+            ["customer"],
+            predicates=(Predicate("customer", "region", "=", "MARS"),),
+        )
+        corrected, applied = corrector.correct(unseen, 123.0)
+        assert not applied and corrected == 123.0
+
+    def test_correction_is_clipped(self, feedback_db, truth):
+        queries, estimates, _ = self._biased_samples(feedback_db, truth)
+        # An absurd planted residual: reality 1e6x the estimate.  The
+        # fit clamps targets, so the learned correction stays bounded.
+        corrector = ResidualCorrector(QueryFeaturizer(feedback_db))
+        corrector.fit(queries, estimates, [e * 1e6 for e in estimates])
+        corrected, applied = corrector.correct(_age_query(37.0), 100.0)
+        assert applied
+        assert corrected <= 100.0 * 32.0 * 1.001
+
+    def test_document_round_trip_reproduces_corrections(
+        self, feedback_db, truth
+    ):
+        queries, estimates, realized = self._biased_samples(feedback_db, truth)
+        corrector = ResidualCorrector(
+            QueryFeaturizer(feedback_db), min_samples=30,
+        )
+        corrector.fit(queries, estimates, realized)
+        restored = ResidualCorrector.from_document(
+            corrector.to_document(), database=feedback_db
+        )
+        assert restored.min_samples == 30
+        probe = _age_query(44.0)
+        assert restored.correct(probe, 250.0) == corrector.correct(probe, 250.0)
+
+    def test_mlp_model_document_round_trip(self, feedback_db, truth):
+        queries, estimates, realized = self._biased_samples(feedback_db, truth)
+        corrector = ResidualCorrector(
+            QueryFeaturizer(feedback_db), model="mlp", epochs=20,
+        )
+        corrector.fit(queries, estimates, realized)
+        assert corrector.fitted
+        restored = ResidualCorrector.from_document(
+            corrector.to_document(), database=feedback_db
+        )
+        probe = _age_query(52.0)
+        assert restored.correct(probe, 300.0) == corrector.correct(probe, 300.0)
+
+
+# ----------------------------------------------------------------------
+# CorrectedEstimator: the bit-identity contract
+# ----------------------------------------------------------------------
+class _CountingEstimator:
+    """Wraps a compiler, counting batch calls (no CardinalityEstimator
+    default loop: a missing batched path would go unnoticed)."""
+
+    def __init__(self, base):
+        self.base = base
+        self.batch_calls = 0
+
+    def cardinality(self, query):
+        return self.base.cardinality(query)
+
+    def cardinality_batch(self, queries):
+        self.batch_calls += 1
+        return self.base.cardinality_batch(queries)
+
+
+class TestCorrectedEstimator:
+    def test_off_and_observe_bit_identical(self, feedback_db, feedback_deepdb):
+        queries = _age_workload(12, seed=21)
+        raw = feedback_deepdb.compiler.cardinality_batch(queries)
+        off = make_feedback(
+            feedback_deepdb.compiler, "off", database=feedback_db
+        ).cardinality_batch(queries)
+        observe = make_feedback(
+            feedback_deepdb.compiler, "observe", database=feedback_db
+        ).cardinality_batch(queries)
+        assert off == raw
+        assert observe == raw  # == on purpose: the contract is bit-identity
+
+    def test_observe_logs_every_estimate(self, feedback_db, feedback_deepdb):
+        estimator = make_feedback(
+            feedback_deepdb.compiler, "observe", database=feedback_db
+        )
+        queries = _age_workload(7, seed=23)
+        estimator.cardinality_batch(queries)
+        estimator.cardinality(queries[0])
+        assert estimator.log.snapshot()["logged"] == 8
+        assert estimator.stats()["labeled"] == 0
+
+    def test_off_mode_logs_nothing(self, feedback_db, feedback_deepdb):
+        estimator = make_feedback(
+            feedback_deepdb.compiler, "off", database=feedback_db
+        )
+        estimator.cardinality_batch(_age_workload(5, seed=25))
+        estimator.observe_execution(_age_query(30.0), 10.0, 20.0)
+        assert estimator.log.snapshot()["logged"] == 0
+
+    def test_batch_costs_one_base_sweep(self, feedback_db, feedback_deepdb):
+        counting = _CountingEstimator(feedback_deepdb.compiler)
+        estimator = make_feedback(counting, "apply", database=feedback_db)
+        estimator.cardinality_batch(_age_workload(10, seed=27))
+        assert counting.batch_calls == 1
+
+    def test_unfitted_apply_gates_everything(self, feedback_db, feedback_deepdb):
+        estimator = make_feedback(
+            feedback_deepdb.compiler, "apply", database=feedback_db
+        )
+        queries = _age_workload(6, seed=29)
+        raw = [float(v) for v in
+               feedback_deepdb.compiler.cardinality_batch(queries)]
+        assert estimator.cardinality_batch(queries) == raw
+        stats = estimator.stats()
+        assert stats["applied"] == 0 and stats["gated_out"] == 6
+
+    def test_apply_trains_on_raw_not_corrected(self, feedback_db, truth,
+                                               feedback_deepdb):
+        estimator = make_feedback(
+            feedback_deepdb.compiler, "apply", database=feedback_db
+        )
+        for query in _age_workload(40, seed=31):
+            # Hand observe_execution an obviously-corrected estimate; the
+            # logged one must be the recomputed raw compiler answer.
+            estimator.observe_execution(
+                query, estimate=1e12, realized=truth.cardinality(query),
+            )
+        raw = float(feedback_deepdb.compiler.cardinality(_age_query(30.0)))
+        logged = [o.estimate for o in estimator.log.labeled()]
+        assert all(e < 1e12 for e in logged)
+        assert raw < 1e12
+
+    def test_bad_mode_rejected(self, feedback_deepdb):
+        with pytest.raises(ValueError):
+            make_feedback(feedback_deepdb.compiler, "sometimes")
+        with pytest.raises(ValueError):
+            make_feedback(feedback_deepdb.compiler, 42)
+
+
+# ----------------------------------------------------------------------
+# Trainer policy
+# ----------------------------------------------------------------------
+class TestTrainer:
+    def _bundle(self, feedback_db, every=8, min_samples=8, **kwargs):
+        corrector = ResidualCorrector(
+            QueryFeaturizer(feedback_db), min_samples=min_samples,
+        )
+        log = QueryLog()
+        trainer = FeedbackTrainer(corrector, log, every=every, **kwargs)
+        return corrector, log, trainer
+
+    def _feed(self, log, trainer, queries, truth, factor=3.0, generation=0):
+        for query in queries:
+            realized = max(truth.cardinality(query), 1.0) * factor
+            log.record(Observation(
+                sql=query.describe(), estimate=realized / factor,
+                realized=realized, generation=generation, query=query,
+            ))
+            trainer.notify(generation=generation)
+
+    def test_trains_every_n_labels(self, feedback_db, truth):
+        # min_samples below the 75% train split of the 8-label window,
+        # so the very first due fit can commit.
+        corrector, log, trainer = self._bundle(
+            feedback_db, every=8, min_samples=6
+        )
+        self._feed(log, trainer, _age_workload(7, seed=41), truth)
+        assert trainer.trainings == 0
+        self._feed(log, trainer, _age_workload(1, seed=42), truth)
+        assert trainer.trainings == 1
+        assert corrector.fitted
+
+    def test_generation_bump_triggers_retrain(self, feedback_db, truth):
+        corrector, log, trainer = self._bundle(feedback_db, every=50)
+        self._feed(log, trainer, _age_workload(12, seed=43), truth)
+        trainer.train_now()  # seed a trained generation
+        assert trainer._trained_generation == 0
+        trainings = trainer.trainings
+        # One label under a NEW generation retrains immediately, long
+        # before the every-N threshold.
+        self._feed(log, trainer, _age_workload(1, seed=44), truth,
+                   generation=1)
+        assert trainer.trainings == trainings + 1
+
+    def test_rollback_on_garbage_labels(self, feedback_db, truth):
+        corrector, log, trainer = self._bundle(feedback_db, every=1000)
+        queries = _age_workload(40, seed=45)
+        rng = np.random.default_rng(7)
+        for query in queries:
+            estimate = max(truth.cardinality(query), 1.0)
+            # Labels that are pure noise: nothing learnable, so the
+            # holdout check must refuse the candidate.
+            log.record(Observation(
+                sql=query.describe(), estimate=estimate,
+                realized=float(rng.uniform(1, 1e6)), query=query,
+            ))
+        record = trainer.train_now()
+        if not record["committed"]:
+            assert trainer.rollbacks == 1
+            assert not corrector.fitted
+        else:  # noise can fit by chance; the guard still measured it
+            assert record["holdout_q_error_after"] <= \
+                record["holdout_q_error_before"]
+
+    def test_commit_improves_holdout(self, feedback_db, truth):
+        corrector, log, trainer = self._bundle(feedback_db, every=1000)
+        self._feed(log, trainer, _age_workload(48, seed=46), truth, factor=5.0)
+        record = trainer.train_now()
+        assert record["committed"]
+        assert record["holdout_q_error_after"] < \
+            record["holdout_q_error_before"]
+        stats = trainer.stats()
+        assert stats["trainings"] == 1
+        assert stats["trained_on"] == record["used"]
+
+    def test_background_training_joins(self, feedback_db, truth):
+        corrector, log, trainer = self._bundle(
+            feedback_db, every=8, min_samples=6, background=True
+        )
+        self._feed(log, trainer, _age_workload(8, seed=47), truth)
+        trainer.join(timeout=30.0)
+        assert trainer.trainings == 1
+        assert corrector.fitted
+
+    def test_skip_thin_counts(self, feedback_db, truth):
+        corrector, log, trainer = self._bundle(
+            feedback_db, every=1000, min_samples=100
+        )
+        self._feed(log, trainer, _age_workload(10, seed=48), truth)
+        assert trainer.train_now() is None
+        assert trainer.stats()["skipped_thin"] == 1
+
+
+# ----------------------------------------------------------------------
+# The execution loop closes the circle
+# ----------------------------------------------------------------------
+class TestExecutionFeedback:
+    def test_optimize_and_execute_records_labeled(self, feedback_db,
+                                                  feedback_deepdb):
+        feedback = make_feedback(
+            feedback_deepdb.compiler, "observe", database=feedback_db
+        )
+        query = count_query(
+            ["customer", "orders"],
+            predicates=(Predicate("customer", "region", "=", "EU"),),
+        )
+        outcome = optimize_and_execute(
+            query, feedback_db, feedback_deepdb.compiler, feedback=feedback,
+        )
+        labeled = feedback.log.labeled()
+        assert len(labeled) == 1
+        assert labeled[0].realized == outcome.execution.result_rows
+        assert labeled[0].latency_ns > 0
+        assert labeled[0].query is not None
+
+    def test_deepdb_apply_improves_on_planted_bias(self, feedback_db, truth):
+        deepdb = DeepDB.learn(feedback_db, corrector="apply")
+        workload = _age_workload(60, seed=49)
+        train, held_out = workload[:40], workload[40:]
+        for query in train:
+            estimate = float(deepdb.compiler.cardinality(query))
+            deepdb.feedback.observe_execution(
+                query, estimate, truth.cardinality(query) * 3.0,
+                generation=deepdb.generation,
+            )
+        deepdb.feedback.trainer.train_now()
+        raw = [float(v) for v in
+               deepdb.compiler.cardinality_batch(held_out)]
+        corrected = deepdb.cardinality_batch(held_out)
+        targets = [truth.cardinality(q) * 3.0 for q in held_out]
+        from repro.evaluation.metrics import q_error_summary
+
+        assert q_error_summary(targets, corrected)["median"] < \
+            q_error_summary(targets, raw)["median"]
+        stats = deepdb.feedback_stats()
+        assert stats["applied"] == len(held_out)
+        assert stats["trained_on"] > 0

@@ -1,0 +1,181 @@
+"""Corrector persistence in the model store.
+
+The trained residual corrector travels inside the ``.rspn`` store as one
+extra checksummed header section.  The contract: a reloaded model with
+``corrector="apply"`` corrects bit-identically to the one that was
+saved; stores written before the feedback subsystem load with no
+warning and simply report no corrector; re-saving never silently drops
+trained state; and a corrupted corrector section fails loudly with a
+checksum error instead of applying garbage corrections.
+"""
+
+from __future__ import annotations
+
+import shutil
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleConfig
+from repro.core.modelstore import (
+    ModelStoreError,
+    open_store,
+    read_catalog,
+)
+from repro.deepdb import DeepDB
+from repro.engine.executor import Executor
+from repro.engine.query import Predicate, count_query
+from tests.conftest import build_customer_orders
+
+PROBE_SQLS = [
+    "SELECT COUNT(*) FROM customer WHERE customer.age >= 44",
+    "SELECT COUNT(*) FROM customer WHERE customer.age < 30",
+    "SELECT COUNT(*) FROM customer WHERE customer.region = 'EU'",
+]
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_customer_orders(n_customers=600, seed=13)
+
+
+@pytest.fixture(scope="module")
+def trained(database):
+    """A DeepDB whose corrector has trained on a planted 3x bias."""
+    deepdb = DeepDB.learn(
+        database, EnsembleConfig(sample_size=4_000), corrector="apply"
+    )
+    truth = Executor(database)
+    rng = np.random.default_rng(17)
+    for age in rng.integers(15, 75, 60):
+        query = count_query(
+            ["customer"],
+            predicates=(Predicate("customer", "age", ">=", float(age)),),
+        )
+        estimate = float(deepdb.compiler.cardinality(query))
+        deepdb.feedback.observe_execution(
+            query, estimate, truth.cardinality(query) * 3.0,
+            generation=deepdb.generation,
+        )
+    deepdb.feedback.trainer.train_now()
+    assert deepdb.feedback.corrector.fitted
+    return deepdb
+
+
+@pytest.fixture(scope="module")
+def trained_store(trained, tmp_path_factory):
+    path = tmp_path_factory.mktemp("feedback-store") / "trained.rspn"
+    trained.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def legacy_store(database, tmp_path_factory):
+    """A store written with no corrector at all (the pre-feedback shape)."""
+    path = tmp_path_factory.mktemp("feedback-store") / "legacy.rspn"
+    DeepDB.learn(database, EnsembleConfig(sample_size=4_000)).save(path)
+    return path
+
+
+class TestRoundTrip:
+    def test_reloaded_corrections_bit_identical(
+        self, trained, trained_store, database
+    ):
+        expected = [float(v) for v in trained.cardinality_batch(PROBE_SQLS)]
+        raw = [float(v) for v in
+               trained.compiler.cardinality_batch(
+                   [trained.parse(s) for s in PROBE_SQLS])]
+        assert expected != raw  # the corrector actually moved something
+        loaded = DeepDB.load(trained_store, database, corrector="apply")
+        try:
+            got = [float(v) for v in loaded.cardinality_batch(PROBE_SQLS)]
+            assert got == expected
+            assert loaded.feedback.corrector.fitted
+        finally:
+            loaded.close()
+
+    def test_corrector_off_ignores_stored_section(
+        self, trained, trained_store, database
+    ):
+        raw = [float(v) for v in
+               trained.compiler.cardinality_batch(
+                   [trained.parse(s) for s in PROBE_SQLS])]
+        loaded = DeepDB.load(trained_store, database)
+        try:
+            assert loaded.feedback is None
+            got = [float(v) for v in loaded.cardinality_batch(PROBE_SQLS)]
+            assert got == raw
+        finally:
+            loaded.close()
+
+    def test_resave_carries_corrector_forward(
+        self, trained_store, database, tmp_path
+    ):
+        """Loading without a corrector and re-saving must not drop the
+        trained section -- conversions are not allowed to lose state."""
+        resaved = tmp_path / "resaved.rspn"
+        loaded = DeepDB.load(trained_store, database)
+        try:
+            loaded.save(resaved)
+        finally:
+            loaded.close()
+        assert read_catalog(resaved)["corrector"]
+        with open_store(resaved) as store:
+            document = store.corrector_document()
+        assert document is not None and document["weights"] is not None
+
+    def test_catalog_flags_corrector(self, trained_store, legacy_store):
+        assert read_catalog(trained_store)["corrector"] is True
+        assert read_catalog(legacy_store)["corrector"] is False
+
+    def test_verify_covers_corrector_section(self, trained_store):
+        with open_store(trained_store) as store:
+            assert store.verify() > 0
+
+
+class TestLegacyStores:
+    def test_legacy_store_loads_warning_free(self, legacy_store, database):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            loaded = DeepDB.load(legacy_store, database, corrector="apply")
+        try:
+            assert loaded.feedback is not None
+            assert not loaded.feedback.corrector.fitted
+            # Estimates flow: the unfitted gate passes everything through.
+            raw = [float(v) for v in
+                   loaded.compiler.cardinality_batch(
+                       [loaded.parse(s) for s in PROBE_SQLS])]
+            assert [float(v) for v in loaded.cardinality_batch(PROBE_SQLS)] \
+                == raw
+        finally:
+            loaded.close()
+
+    def test_legacy_store_has_no_corrector_document(self, legacy_store):
+        with open_store(legacy_store) as store:
+            assert store.corrector_document() is None
+
+
+class TestCorruption:
+    def test_corrupted_corrector_section_raises(
+        self, trained_store, tmp_path
+    ):
+        copy = tmp_path / "corrupt.rspn"
+        shutil.copy(trained_store, copy)
+        with open_store(copy) as store:
+            section = store._document["corrector"]
+            offset = store._payload_base + int(section["offset"])
+        with open(copy, "r+b") as handle:
+            handle.seek(offset + int(section["nbytes"]) // 2)
+            byte = handle.read(1)
+            handle.seek(offset + int(section["nbytes"]) // 2)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with open_store(copy) as store:
+            with pytest.raises(ModelStoreError, match="checksum"):
+                store.corrector_document()
+
+    def test_closed_store_rejects_corrector_reads(self, trained_store):
+        store = open_store(trained_store)
+        store.close()
+        with pytest.raises(ModelStoreError, match="closed"):
+            store.corrector_document()

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,7 +11,12 @@ from hypothesis import strategies as st
 from repro.engine.executor import Executor
 from repro.engine.query import Predicate, count_query
 from repro.optimizer import SubqueryCardinalities, cout_cost, optimal_plan
-from repro.optimizer.execution import ExecutionError, execute_plan
+from repro.optimizer.execution import (
+    ExecutionError,
+    OptimizedExecution,
+    PlanExecution,
+    execute_plan,
+)
 from repro.optimizer.plans import BaseRelation, Join
 
 
@@ -94,3 +101,33 @@ class TestExecutePlan:
         plan, _ = optimal_plan(query, three_table_db.schema, oracle)
         execution = execute_plan(plan, three_table_db, query)
         assert execution.result_rows == executor.cardinality(query)
+
+
+class TestEstimationGap:
+    @staticmethod
+    def _outcome(estimated_cost, intermediates):
+        return OptimizedExecution(
+            plan=None,
+            estimated_cost=estimated_cost,
+            oracle=None,
+            execution=PlanExecution(result_rows=0, intermediates=intermediates),
+        )
+
+    def test_plain_ratio(self):
+        outcome = self._outcome(200.0, [(["a", "b"], 100)])
+        assert outcome.estimation_gap == 0.5
+
+    def test_zero_estimate_with_realised_rows_is_infinite(self):
+        """A zero estimate against real rows is infinitely wrong, not
+        perfect -- the old ``1.0`` fallback hid exactly the estimates
+        the feedback loop most needs to see."""
+        outcome = self._outcome(0.0, [(["a", "b"], 100)])
+        assert outcome.estimation_gap == math.inf
+
+    def test_negative_estimate_with_realised_rows_is_infinite(self):
+        outcome = self._outcome(-1.0, [(["a", "b"], 1)])
+        assert outcome.estimation_gap == math.inf
+
+    def test_true_zero_zero_is_perfect(self):
+        assert self._outcome(0.0, []).estimation_gap == 1.0
+        assert self._outcome(0.0, [(["a", "b"], 0)]).estimation_gap == 1.0
