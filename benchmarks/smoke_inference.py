@@ -28,7 +28,13 @@ It then smokes the consumer layers of the batched estimator protocol:
 - **join ordering**: a 5-6-way IMDb join optimised with the batched
   prefetch must pick the same plan (and the same sub-query estimates)
   as the serial memoised oracle, from exactly one ``cardinality_batch``
-  call.
+  call,
+- **adaptive planning**: the same SQL planned twice must hit the plan
+  cache, an ingest between plans must invalidate it (the replan-under-
+  drift path), and a chain join with its spine estimate planted 128x
+  low must trigger exactly one mid-execution replan whose realised
+  C_out beats the static plan -- with the refreshed cache entry serving
+  the repeat without replanning.
 
 This is deliberately tiny (it must finish well inside CI's 30-second
 budget); the full comparisons with throughput assertions live in
@@ -122,6 +128,8 @@ def main():
     if _smoke_feedback(database, ensemble):
         return 1
     if _smoke_join_ordering():
+        return 1
+    if _smoke_adaptive(database, ensemble):
         return 1
     return 0
 
@@ -573,6 +581,149 @@ def _smoke_join_ordering():
     print(f"OK: batched join ordering matches the serial oracle on "
           f"{len(named)} queries (up to {tables}-way, one batch call each, "
           f"{time.perf_counter() - start:.1f}s)")
+    return 0
+
+
+def _smoke_adaptive(database, ensemble):
+    """Adaptive planning smoke: cache hits, invalidation under ingest,
+    and one forced mid-execution replan.
+
+    Runs last: the ingest leg moves the shared ensemble's generation,
+    which must not perturb the bit-identity checks of earlier legs.
+    Three checks: (1) planning the same SQL twice hits the plan cache
+    and returns the identical cached artefacts; (2) an insert between
+    plans (the replan-under-drift path: ingest mid-workload) moves the
+    generation, so the next plan invalidates and re-plans; (3) on a
+    deterministic chain database whose spine estimate is planted 128x
+    low, execution triggers exactly one mid-execution replan whose
+    realised C_out beats the static plan, and the cache entry refreshed
+    from the patched oracle serves the repeated shape with no replan at
+    a strictly lower realised C_out.
+    """
+    from repro.deepdb import DeepDB
+    from repro.engine.executor import Executor
+    from repro.engine.table import Database, Table
+    from repro.estimator import CardinalityEstimator
+    from repro.optimizer import PlanCache, optimize_and_execute
+    from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+
+    start = time.perf_counter()
+    deepdb = DeepDB(database, ensemble)
+    sql = ("SELECT COUNT(*) FROM flights WHERE flights.distance >= 400 "
+           "AND flights.distance <= 900")
+    cold = deepdb.plan(sql)
+    warm = deepdb.plan(sql)
+    cache = deepdb.plan_cache
+    if cache.hits < 1 or warm[0] is not cold[0] or warm[1] != cold[1]:
+        print(f"FAIL: repeated plan did not hit the plan cache "
+              f"({cache.snapshot()})")
+        return 1
+
+    # Ingest mid-workload: the generation bump must drop every cached
+    # plan before the next one is served.
+    table = database.table("flights")
+    row = {
+        column: table.decode_value(
+            column, None if np.isnan(code) else code
+        )
+        for column, code in table.row(0).items()
+    }
+    deepdb.insert("flights", row)
+    invalidations = cache.invalidations
+    deepdb.plan(sql)
+    if cache.invalidations < invalidations + 1:
+        print(f"FAIL: ingest did not invalidate the plan cache "
+              f"({cache.snapshot()})")
+        return 1
+
+    # A chain a <- b <- c <- d with a wide spine (|ab| = |abc| = 2500)
+    # and a thin tail (|cd| = 100); the spine estimates are planted
+    # 128x low, so the static optimizer descends straight into it.
+    schema = SchemaGraph()
+    names = ("a", "b", "c", "d")
+    for name, parent in zip(names, (None,) + names[:-1]):
+        attributes = [Attribute(f"{name}_id", "key")]
+        if parent is not None:
+            attributes.append(Attribute(f"{parent}_id", "key"))
+        schema.add_table(
+            TableSchema(name, attributes, primary_key=f"{name}_id")
+        )
+    chain = Database(schema)
+    chain.add_table(Table.from_columns(
+        schema.table("a"), {"a_id": np.arange(50, dtype=float)},
+    ))
+    chain.add_table(Table.from_columns(
+        schema.table("b"),
+        {"b_id": np.arange(2_500, dtype=float),
+         "a_id": np.repeat(np.arange(50, dtype=float), 50)},
+    ))
+    chain.add_table(Table.from_columns(
+        schema.table("c"),
+        {"c_id": np.arange(2_500, dtype=float),
+         "b_id": np.arange(2_500, dtype=float)},
+    ))
+    chain.add_table(Table.from_columns(
+        schema.table("d"),
+        {"d_id": np.arange(100, dtype=float),
+         "c_id": np.arange(100, dtype=float)},
+    ))
+    for parent, child in zip(names, names[1:]):
+        schema.add_foreign_key(parent, child, f"{parent}_id")
+
+    class _Planted(CardinalityEstimator):
+        def __init__(self, truth, scaled, factor=128.0):
+            self.truth = truth
+            self.scaled = frozenset(scaled)
+            self.factor = factor
+
+        def cardinality(self, query):
+            value = float(self.truth.cardinality(query))
+            if frozenset(query.tables) in self.scaled:
+                return value / self.factor
+            return value
+
+    truth = Executor(chain)
+    scaled = {frozenset(("a", "b")), frozenset(("a", "b", "c"))}
+    query = count_query(["a", "b", "c", "d"])
+    import math
+
+    static = optimize_and_execute(
+        query, chain, _Planted(truth, scaled), replan_threshold=math.inf
+    )
+    plan_cache = PlanCache()
+    first = optimize_and_execute(
+        query, chain, _Planted(truth, scaled), replan_threshold=16.0,
+        plan_cache=plan_cache,
+    )
+    second = optimize_and_execute(
+        query, chain, _Planted(truth, scaled), replan_threshold=16.0,
+        plan_cache=plan_cache,
+    )
+    static_cout = static.execution.total_intermediate_rows
+    first_cout = first.execution.total_intermediate_rows
+    second_cout = second.execution.total_intermediate_rows
+    if first.replans != 1 or first_cout >= static_cout:
+        print(f"FAIL: planted 128x spine misestimate did not replan into "
+              f"a better plan (replans={first.replans}, adaptive "
+              f"C_out={first_cout}, static C_out={static_cout})")
+        return 1
+    if (plan_cache.hits != 1 or second.replans != 0
+            or second_cout >= first_cout):
+        print(f"FAIL: refreshed cache entry did not serve the repeat "
+              f"replan-free (hits={plan_cache.hits}, "
+              f"replans={second.replans}, C_out={second_cout} vs "
+              f"{first_cout})")
+        return 1
+    if not (second.execution.result_rows == first.execution.result_rows
+            == static.execution.result_rows):
+        print("FAIL: adaptive and static executions disagree on the "
+              "query result")
+        return 1
+    print(f"OK: plan cache hit + ingest invalidation on flights, one "
+          f"replan cut realised C_out {static_cout:.0f} -> "
+          f"{first_cout:.0f} (repeat from refreshed cache: "
+          f"{second_cout:.0f}, 0 replans) "
+          f"({time.perf_counter() - start:.1f}s)")
     return 0
 
 

@@ -111,6 +111,19 @@ def _corrector_mode(args):
     return None if corrector == "off" else corrector
 
 
+def _add_plan_cache_argument(parser):
+    parser.add_argument(
+        "--plan-cache", choices=("on", "off"), default="on",
+        help="memoise join-order planning per normalized query shape "
+             "(invalidated on data updates and corrector trainings); "
+             "off re-enumerates every call",
+    )
+
+
+def _plan_cache_enabled(args):
+    return getattr(args, "plan_cache", "on") == "on"
+
+
 def _load_model(args, database):
     from repro.deepdb import DeepDB
 
@@ -121,6 +134,7 @@ def _load_model(args, database):
         transport=None if transport == "auto" else transport,
         kernel=getattr(args, "kernel", None),
         corrector=_corrector_mode(args),
+        plan_cache=_plan_cache_enabled(args),
     )
 
 
@@ -362,28 +376,21 @@ def _run_plan(args, out, database, deepdb, intermediate_sizes):
     for tables, size in intermediate_sizes(plan, oracle):
         print(f"  {' ⨝ '.join(tables):<50s} {size:>14,.0f}", file=out)
     if args.execute:
-        from repro.optimizer import execute_plan
-
-        execution = execute_plan(plan, database, query)
+        outcome = deepdb.optimize_and_execute(
+            query, linear=args.left_deep,
+            replan_threshold=args.replan_threshold,
+        )
+        execution = outcome.execution
         print("realised intermediates:", file=out)
         for tables, size in execution.intermediates:
             print(f"  {' ⨝ '.join(tables):<50s} {size:>14,.0f}", file=out)
         realised = execution.total_intermediate_rows
-        if cost > 0:
-            gap = realised / cost
-        else:
-            # Same semantics as OptimizedExecution.estimation_gap: a
-            # zero estimate with realised rows is infinitely wrong.
-            gap = float("inf") if realised > 0 else 1.0
         print(f"C_out: {realised:,.0f} (realised, "
-              f"{gap:.2f}x the estimate)", file=out)
+              f"{outcome.estimation_gap:.2f}x the estimate)", file=out)
+        if outcome.replans:
+            print(f"replans: {outcome.replans} (threshold "
+                  f"{args.replan_threshold:g}x)", file=out)
         if deepdb.feedback is not None:
-            deepdb.feedback.observe_execution(
-                query.without_group_by(),
-                estimate=oracle(frozenset(query.tables)),
-                realized=execution.result_rows,
-                generation=deepdb.generation,
-            )
             _print_feedback(deepdb, out)
     return 0
 
@@ -407,6 +414,7 @@ def _cmd_serve(args, out):
             transport=None if args.transport == "auto" else args.transport,
             kernel=args.kernel,
             corrector=_corrector_mode(args),
+            plan_cache=_plan_cache_enabled(args),
         )
         print(f"store-backed model {name!r}: {catalog['blob_bytes']:,} blob "
               "bytes, pages in (mmap) on first query", file=out)
@@ -706,6 +714,11 @@ def build_parser():
     plan.add_argument("--execute", action="store_true",
                       help="run the chosen plan with real hash joins and "
                            "report the realised intermediate sizes")
+    plan.add_argument("--replan-threshold", type=float, default=16.0,
+                      help="re-optimise mid-execution when a join "
+                           "materialises more than this multiple of its "
+                           "estimate (default 16; inf disables)")
+    _add_plan_cache_argument(plan)
     _add_shards_argument(plan)
     _add_corrector_argument(plan)
     plan.set_defaults(handler=_cmd_plan)
@@ -733,6 +746,7 @@ def build_parser():
                             "it, least-recently-used models are evicted and "
                             "transparently page back in on their next query "
                             "(0 = unbounded)")
+    _add_plan_cache_argument(serve)
     _add_shards_argument(serve)
     _add_corrector_argument(serve)
     serve.set_defaults(handler=_cmd_serve)

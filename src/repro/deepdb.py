@@ -56,10 +56,20 @@ class DeepDB:
     the raw estimate for queries it cannot featurize.  A prebuilt
     :class:`~repro.feedback.CorrectedEstimator` may be passed instead to
     share a log/corrector or tune hyper-parameters.
+
+    ``plan_cache`` (default ``True``) memoises join-order planning per
+    normalized query shape (:mod:`repro.optimizer.plancache`):
+    :meth:`plan` and :meth:`optimize_and_execute` skip the estimator
+    prefetch and the DP enumeration on repeated shapes, invalidating
+    whenever :attr:`generation` or the corrector's committed-training
+    count moves.  Pass a prebuilt
+    :class:`~repro.optimizer.PlanCache` to share or tune one, or a
+    falsy value to disable caching.
     """
 
     def __init__(self, database, ensemble, shards=None, evaluator=None,
-                 transport=None, kernel=None, store=None, corrector=None):
+                 transport=None, kernel=None, store=None, corrector=None,
+                 plan_cache=True):
         if kernel is not None:
             from repro.core import kernels
 
@@ -92,14 +102,37 @@ class DeepDB:
         self.evaluator = evaluator
         if evaluator is not None:
             ensemble.set_evaluator(evaluator)
+        # Plan cache (repro.optimizer.plancache): True builds one keyed
+        # on this database's featurized query shapes; a prebuilt
+        # PlanCache may be shared; falsy disables caching entirely.
+        if plan_cache is True:
+            from repro.optimizer.plancache import PlanCache
+
+            self.plan_cache = PlanCache(self._plan_featurizer())
+        else:
+            self.plan_cache = plan_cache or None
+
+    def _plan_featurizer(self):
+        """The featurizer keying the plan cache (shared with feedback)."""
+        if self.feedback is not None:
+            corrector = getattr(self.feedback, "corrector", None)
+            featurizer = getattr(corrector, "featurizer", None)
+            if featurizer is not None:
+                return featurizer
+        from repro.feedback.featurize import QueryFeaturizer
+
+        try:
+            return QueryFeaturizer(self.database)
+        except Exception:
+            return None  # text keys still catch verbatim repeats
 
     @classmethod
     def learn(cls, database, config: EnsembleConfig | None = None, shards=None,
-              transport=None, kernel=None, corrector=None):
+              transport=None, kernel=None, corrector=None, plan_cache=True):
         """Offline learning phase: build the RSPN ensemble for a database."""
         ensemble = learn_ensemble(database, config)
         return cls(database, ensemble, shards=shards, transport=transport,
-                   kernel=kernel, corrector=corrector)
+                   kernel=kernel, corrector=corrector, plan_cache=plan_cache)
 
     def close(self):
         """Detach this model from its evaluator; afterwards its batches
@@ -178,7 +211,7 @@ class DeepDB:
 
     @classmethod
     def load(cls, path, database, shards=None, transport=None, kernel=None,
-             corrector=None):
+             corrector=None, plan_cache=True):
         """Re-open a persisted ensemble against its database.
 
         The file's magic bytes decide the decode path: model-store files
@@ -202,7 +235,7 @@ class DeepDB:
                 raise
             instance = cls(database, ensemble, shards=shards,
                            transport=transport, kernel=kernel, store=store,
-                           corrector=corrector)
+                           corrector=corrector, plan_cache=plan_cache)
             instance._corrector_document = document
             if document is not None and instance.feedback is not None:
                 from repro.feedback import ResidualCorrector
@@ -221,7 +254,8 @@ class DeepDB:
         from repro.core.serialization import load_ensemble
 
         return cls(database, load_ensemble(path, database), shards=shards,
-                   transport=transport, kernel=kernel, corrector=corrector)
+                   transport=transport, kernel=kernel, corrector=corrector,
+                   plan_cache=plan_cache)
 
     # ------------------------------------------------------------------
     # Runtime tasks
@@ -260,31 +294,56 @@ class DeepDB:
         compiled sweep per RSPN).  Returns ``(plan, estimated C_out,
         oracle)`` -- the oracle exposes the per-subset estimates and the
         ``batch_calls`` / ``estimator_calls`` counters.
+
+        With the plan cache enabled (the default), repeated query
+        shapes skip both the prefetch and the enumeration: the cached
+        plan, cost and fully-prefetched oracle are returned as long as
+        the model generation and corrector generation are unchanged.
         """
         from repro.optimizer import SubqueryCardinalities, optimal_plan
 
         if isinstance(query, str):
             query = self.parse(query)
+        epoch = None
+        if self.plan_cache is not None:
+            from repro.optimizer import cache_epoch
+
+            epoch = cache_epoch(self._estimator, self.feedback)
+            entry = self.plan_cache.lookup(query, epoch, linear=linear)
+            if entry is not None:
+                return entry
         oracle = SubqueryCardinalities(self._estimator, query)
         plan, cost = optimal_plan(
             query, self.database.schema, oracle, linear=linear
         )
+        if self.plan_cache is not None:
+            self.plan_cache.store(
+                query, (plan, cost, oracle), epoch, linear=linear
+            )
         return plan, cost, oracle
 
-    def optimize_and_execute(self, query, linear=False):
+    def optimize_and_execute(self, query, linear=False,
+                             replan_threshold=16.0):
         """Optimise ``query`` with batched estimates, then run the plan
         with real hash joins.  Returns an
         :class:`~repro.optimizer.execution.OptimizedExecution`.
 
-        With feedback enabled the realized result is recorded as a
-        labeled observation, so executed plans train the corrector."""
+        The adaptive loop is on by default: repeated query shapes are
+        planned from the plan cache, and a join that materialises more
+        than ``replan_threshold`` times its estimate triggers
+        mid-execution re-optimisation of the remaining join order
+        (``math.inf`` disables it).  With feedback enabled the realized
+        result *and every realized intermediate* are recorded as
+        labeled observations, so executed plans train the corrector on
+        exactly the joins the optimizer got wrong."""
         from repro.optimizer import optimize_and_execute
 
         if isinstance(query, str):
             query = self.parse(query)
         return optimize_and_execute(
             query, self.database, self._estimator, linear=linear,
-            feedback=self.feedback,
+            feedback=self.feedback, replan_threshold=replan_threshold,
+            plan_cache=self.plan_cache,
         )
 
     def approximate(self, query):

@@ -25,6 +25,7 @@ rather than extrapolating.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import zlib
 
@@ -106,10 +107,25 @@ class QueryFeaturizer:
     def from_document(cls, document, database=None):
         return cls(database=database, layout=document["layout"])
 
-    def signature(self):
-        """Stable fingerprint of the layout (for stats / diagnostics)."""
+    def signature(self, query=None):
+        """Stable fingerprint of the layout (for stats / diagnostics).
+
+        With ``query``, the fingerprint additionally digests the
+        query's feature vector -- the *normalized query shape* the plan
+        cache keys on: because :meth:`vector` is deterministic and
+        order-invariant, permuted predicates and alternate spellings of
+        the same shape share one signature, while any change to tables,
+        join edges or normalized literal ranges changes it.  Raises
+        :class:`FeaturizationError` for queries outside the layout.
+        """
         blob = json.dumps(self.layout, sort_keys=True).encode()
-        return f"{zlib.crc32(blob):08x}"
+        layout = f"{zlib.crc32(blob):08x}"
+        if query is None:
+            return layout
+        digest = hashlib.blake2b(
+            self.vector(query).tobytes(), digest_size=16
+        ).hexdigest()
+        return f"{layout}:{digest}"
 
     # ------------------------------------------------------------------
     # Encoding

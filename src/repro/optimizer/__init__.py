@@ -19,30 +19,47 @@ Modules
 - :mod:`repro.optimizer.enumeration` -- bushy and left-deep DP,
 - :mod:`repro.optimizer.quality` -- plan suboptimality scoring,
 - :mod:`repro.optimizer.execution` -- hash-join plan execution and the
-  optimise-then-execute entry point sharing the same oracle.
+  optimise-then-execute entry point sharing the same oracle, with
+  mid-execution re-optimisation when realised intermediates blow past
+  their estimates,
+- :mod:`repro.optimizer.plancache` -- the shape-keyed plan cache
+  riding the model/corrector generations.
 """
 
 from repro.optimizer.cardinality import SubqueryCardinalities
-from repro.optimizer.cost import cout_cost
-from repro.optimizer.enumeration import OptimizationError, optimal_plan
+from repro.optimizer.cost import PerJoinCost, cout_cost
+from repro.optimizer.enumeration import (
+    OptimizationError,
+    optimal_plan,
+    replan_over_units,
+)
 from repro.optimizer.execution import (
+    ExecutionError,
+    MaterializedRelation,
     OptimizedExecution,
     execute_plan,
     optimize_and_execute,
 )
+from repro.optimizer.plancache import PlanCache, cache_epoch
 from repro.optimizer.plans import BaseRelation, Join, plan_joins
 from repro.optimizer.quality import plan_suboptimality
 
 __all__ = [
     "BaseRelation",
+    "ExecutionError",
     "Join",
+    "MaterializedRelation",
     "OptimizationError",
     "OptimizedExecution",
+    "PerJoinCost",
+    "PlanCache",
     "SubqueryCardinalities",
+    "cache_epoch",
     "cout_cost",
     "execute_plan",
     "optimal_plan",
     "optimize_and_execute",
     "plan_joins",
     "plan_suboptimality",
+    "replan_over_units",
 ]

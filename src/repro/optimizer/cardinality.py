@@ -51,6 +51,7 @@ class SubqueryCardinalities:
         self.batch_calls = 0
         self.estimator_calls = 0
         self._cache: dict[frozenset, float] = {}
+        self._raw: dict[frozenset, float] = {}
 
     def subquery(self, tables):
         """The COUNT sub-query over ``tables`` with pushed-down filters."""
@@ -65,10 +66,11 @@ class SubqueryCardinalities:
 
         Enumerates the connected subsets of the query's tables under
         ``schema``'s FK edges (sizes >= 2 -- exactly the subsets the DP
-        and the C_out cost model ask for), materialises their pushed-down
-        sub-queries, and fills the cache from a single
-        ``cardinality_batch`` call.  No-op when batching is disabled,
-        the query has fewer than two tables, or everything is cached.
+        and the C_out cost model ask for; for a single-table query, the
+        one singleton subset, so even that estimate is batched and
+        counted), materialises their pushed-down sub-queries, and fills
+        the cache from a single ``cardinality_batch`` call.  No-op when
+        batching is disabled or everything is cached.
         """
         if not self.batch:
             return
@@ -76,14 +78,15 @@ class SubqueryCardinalities:
 
         tables = sorted(set(self.query.tables))
         if len(tables) < 2:
-            return
-        by_size = connected_subsets(schema, tables)
-        subsets = [
-            subset
-            for size in range(2, len(tables) + 1)
-            for subset in by_size.get(size, ())
-            if subset not in self._cache
-        ]
+            wanted = [frozenset(tables)] if tables else []
+        else:
+            by_size = connected_subsets(schema, tables)
+            wanted = [
+                subset
+                for size in range(2, len(tables) + 1)
+                for subset in by_size.get(size, ())
+            ]
+        subsets = [subset for subset in wanted if subset not in self._cache]
         if not subsets:
             return
         values = _cardinality_batch(
@@ -92,6 +95,7 @@ class SubqueryCardinalities:
         self.batch_calls += 1
         self.estimator_calls += len(subsets)
         for subset, value in zip(subsets, values):
+            self._raw[subset] = float(value)
             self._cache[subset] = max(float(value), 1.0)
 
     def __call__(self, tables) -> float:
@@ -99,10 +103,52 @@ class SubqueryCardinalities:
         key = frozenset(tables)
         cached = self._cache.get(key)
         if cached is None:
-            cached = max(float(self.estimator.cardinality(self.subquery(key))), 1.0)
+            raw = float(self.estimator.cardinality(self.subquery(key)))
+            cached = max(raw, 1.0)
             self.estimator_calls += 1
+            self._raw[key] = raw
             self._cache[key] = cached
         return cached
+
+    def raw_estimate(self, tables) -> float:
+        """The estimator's *unclamped* estimate for ``tables``.
+
+        The >= 1 clamp exists for the optimizer (C_out charges and cost
+        ratios must not hit zero); feedback observations must log what
+        the estimator actually said, so a true-zero estimate trains the
+        corrector's low end on 0.0, not on the clamp.
+        """
+        key = frozenset(tables)
+        if key not in self._raw:
+            self(key)
+        return self._raw[key]
+
+    def patch(self, tables, realized) -> None:
+        """Overwrite one subset's estimate with its realised truth.
+
+        Called by mid-execution re-optimisation after a join
+        materialises: the subset itself becomes exact, and the observed
+        multiplicative error (realised / previous clamped estimate) is
+        propagated to every cached estimate of a strict superset --
+        those estimates were produced by the same model on a join that
+        *contains* the misestimated one, so scaling them by the observed
+        factor is the principled correction that lets the remainder DP
+        actually change its mind (patching the already-sunk subset alone
+        would provably re-derive the old plan under C_out).
+        """
+        key = frozenset(tables)
+        realized = float(realized)
+        previous = self._cache.get(key)
+        self._raw[key] = realized
+        self._cache[key] = max(realized, 1.0)
+        if previous is None or previous <= 0:
+            return
+        factor = self._cache[key] / previous
+        for other in list(self._cache):
+            if key < other:
+                self._cache[other] = max(self._cache[other] * factor, 1.0)
+                if other in self._raw:
+                    self._raw[other] *= factor
 
     @property
     def calls(self):

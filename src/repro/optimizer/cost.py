@@ -26,6 +26,30 @@ def cout_cost(plan, cardinality):
     return float(sum(cardinality(join.tables) for join in plan_joins(plan)))
 
 
+class PerJoinCost:
+    """A cost model that charges every join through ``join_charge``.
+
+    ``join_charge(tables, cardinality)`` maps one join's output table
+    set (a frozenset) and the cardinality oracle to that join's charge;
+    the plan cost is the sum over all joins.  This is the class of cost
+    functions the DP enumerator can optimise *exactly* (the charge of a
+    subset does not depend on how the subset was built), so
+    :func:`~repro.optimizer.enumeration.optimal_plan` accepts custom
+    costs only in this form -- an opaque ``cost(plan, cardinality)``
+    callable cannot be decomposed into per-subset charges and is
+    rejected there.
+    """
+
+    def __init__(self, join_charge):
+        self.join_charge = join_charge
+
+    def __call__(self, plan, cardinality):
+        return float(sum(
+            self.join_charge(join.tables, cardinality)
+            for join in plan_joins(plan)
+        ))
+
+
 def intermediate_sizes(plan, cardinality):
     """The per-join output sizes of a plan, bottom-up (for reports)."""
     return [

@@ -9,13 +9,17 @@ every partition into two connected, FK-edge-adjacent parts.  With
 Query graphs in this system are trees (FK joins along the schema
 forest), so the number of connected subsets stays small and exact DP is
 cheap up to the 6-way joins the paper's workloads use.
+
+The DP core is shared between :func:`optimal_plan` (atoms are table
+names) and :func:`replan_over_units` (atoms are already-materialised
+execution units pinned as leaves during mid-execution re-optimisation).
 """
 
 from __future__ import annotations
 
 import itertools
 
-from repro.optimizer.cost import cout_cost
+from repro.optimizer.cost import PerJoinCost, cout_cost
 from repro.optimizer.plans import BaseRelation, Join
 
 
@@ -46,18 +50,23 @@ def _is_connected(subset, adjacency):
     return seen == subset
 
 
-def connected_subsets(schema, tables):
-    """All connected subsets of ``tables``, grouped by size."""
-    tables = sorted(tables)
-    adjacency = _adjacency(schema, tables)
-    by_size = {1: [frozenset((t,)) for t in tables]}
-    for size in range(2, len(tables) + 1):
+def _connected_by_size(atoms, adjacency):
+    """All connected subsets of ``atoms`` under ``adjacency``, by size."""
+    atoms = sorted(atoms)
+    by_size = {1: [frozenset((a,)) for a in atoms]}
+    for size in range(2, len(atoms) + 1):
         by_size[size] = [
             frozenset(combo)
-            for combo in itertools.combinations(tables, size)
+            for combo in itertools.combinations(atoms, size)
             if _is_connected(combo, adjacency)
         ]
     return by_size
+
+
+def connected_subsets(schema, tables):
+    """All connected subsets of ``tables``, grouped by size."""
+    tables = sorted(tables)
+    return _connected_by_size(tables, _adjacency(schema, tables))
 
 
 def _partitions(subset, adjacency, linear):
@@ -90,45 +99,52 @@ def _edge_between(left, right, adjacency):
     return any(adjacency[table] & right for table in left)
 
 
-def optimal_plan(query, schema, cardinality, linear=False, cost=cout_cost):
-    """Cheapest join plan for ``query`` under a cardinality oracle.
+def _charge_for(cost, cardinality):
+    """The per-subset join charge the DP accumulates under ``cost``.
 
-    Returns ``(plan, estimated_cost)``.  ``cardinality`` maps table
-    subsets to estimated join sizes (see
-    :class:`~repro.optimizer.cardinality.SubqueryCardinalities`);
-    ``cost`` defaults to C_out.  Raises :class:`OptimizationError` when
-    the query's tables are not connected by FK edges.
-
-    Oracles exposing ``prefetch(schema)`` (the batched
-    :class:`~repro.optimizer.cardinality.SubqueryCardinalities`) are
-    prefetched before the DP runs, so every sub-plan estimate of the
-    enumeration is answered from one ``cardinality_batch`` call; plain
-    callables are consumed one subset at a time as before.
+    The DP is only exact for costs that decompose into per-join charges
+    depending on the join's output subset alone: the default C_out
+    (charge = estimated subset rows) and any
+    :class:`~repro.optimizer.cost.PerJoinCost`.  An opaque
+    ``cost(plan, cardinality)`` callable cannot be decomposed, and
+    silently optimising C_out while *reporting* the custom cost would be
+    dishonest -- reject it.
     """
-    tables = sorted(set(query.tables))
-    if len(tables) == 1:
-        return BaseRelation(tables[0]), 0.0
-    adjacency = _adjacency(schema, tables)
-    if not _is_connected(tables, adjacency):
-        raise OptimizationError(f"tables {tables} are not connected by FK edges")
-    prefetch = getattr(cardinality, "prefetch", None)
-    if prefetch is not None:
-        prefetch(schema)
+    if cost is cout_cost:
+        return cardinality
+    if isinstance(cost, PerJoinCost) or hasattr(cost, "join_charge"):
+        return lambda subset: cost.join_charge(subset, cardinality)
+    raise OptimizationError(
+        "optimal_plan can only optimise per-join decomposable costs "
+        "(the default cout_cost or a PerJoinCost); got "
+        f"{cost!r} -- the DP cannot select plans under an opaque "
+        "cost(plan, cardinality) callable"
+    )
 
+
+def _dp_plan(atoms, adjacency, leaf_of, charge_of, linear):
+    """Shared System-R DP over ``atoms`` (any sortable hashables).
+
+    ``leaf_of(atom)`` builds the leaf plan node, ``charge_of(subset)``
+    the join charge of materialising a connected subset.  Returns the
+    best plan and its accumulated DP cost for the full atom set, or
+    raises :class:`OptimizationError` when no plan covers it.
+    """
+    atoms = sorted(atoms)
     best: dict[frozenset, tuple] = {
-        frozenset((t,)): (BaseRelation(t), 0.0) for t in tables
+        frozenset((a,)): (leaf_of(a), 0.0) for a in atoms
     }
-    by_size = connected_subsets(schema, tables)
-    for size in range(2, len(tables) + 1):
+    by_size = _connected_by_size(atoms, adjacency)
+    for size in range(2, len(atoms) + 1):
         for subset in by_size[size]:
-            subset_rows = cardinality(subset)
+            subset_charge = charge_of(subset)
             champion = None
             for left, right in _partitions(subset, adjacency, linear):
                 left_entry = best.get(left)
                 right_entry = best.get(right)
                 if left_entry is None or right_entry is None:
                     continue
-                candidate_cost = left_entry[1] + right_entry[1] + subset_rows
+                candidate_cost = left_entry[1] + right_entry[1] + subset_charge
                 if champion is None or candidate_cost < champion[1]:
                     # Keep left-deep shape readable: big side on the left.
                     if len(left) >= len(right):
@@ -138,8 +154,89 @@ def optimal_plan(query, schema, cardinality, linear=False, cost=cout_cost):
                     champion = (plan, candidate_cost)
             if champion is not None:
                 best[subset] = champion
-    full = frozenset(tables)
+    full = frozenset(atoms)
     if full not in best:
-        raise OptimizationError(f"no plan covers all tables {tables}")
-    plan, _dp_cost = best[full]
+        raise OptimizationError(f"no plan covers {atoms}")
+    return best[full]
+
+
+def optimal_plan(query, schema, cardinality, linear=False, cost=cout_cost):
+    """Cheapest join plan for ``query`` under a cardinality oracle.
+
+    Returns ``(plan, estimated_cost)``.  ``cardinality`` maps table
+    subsets to estimated join sizes (see
+    :class:`~repro.optimizer.cardinality.SubqueryCardinalities`);
+    ``cost`` defaults to C_out.  A custom cost must be a
+    :class:`~repro.optimizer.cost.PerJoinCost` so the DP selects and
+    reports under the *same* objective; opaque callables raise
+    :class:`OptimizationError`.  Also raises when the query's tables
+    are not connected by FK edges.
+
+    Oracles exposing ``prefetch(schema)`` (the batched
+    :class:`~repro.optimizer.cardinality.SubqueryCardinalities`) are
+    prefetched before the DP runs, so every sub-plan estimate of the
+    enumeration -- including the single-table case -- is answered from
+    one ``cardinality_batch`` call; plain callables are consumed one
+    subset at a time as before.
+    """
+    tables = sorted(set(query.tables))
+    charge = _charge_for(cost, cardinality)
+    adjacency = _adjacency(schema, tables)
+    if not _is_connected(tables, adjacency):
+        raise OptimizationError(f"tables {tables} are not connected by FK edges")
+    prefetch = getattr(cardinality, "prefetch", None)
+    if prefetch is not None:
+        prefetch(schema)
+    if len(tables) == 1:
+        return BaseRelation(tables[0]), 0.0
+    plan, _dp_cost = _dp_plan(
+        tables, adjacency, BaseRelation, charge, linear
+    )
     return plan, cost(plan, cardinality)
+
+
+def replan_over_units(units, schema, cardinality, linear=False):
+    """Re-optimise the remainder of a partially executed plan.
+
+    ``units`` are the leaves still in play: already-materialised
+    relations pinned as indivisible units plus the base relations not
+    yet joined.  Each must expose ``.tables`` (the base tables it
+    covers); the units must partition the query's table set.  Two units
+    are adjacent when any FK edge crosses between their table sets, and
+    a subset of units is charged ``cardinality(union of their tables)``
+    -- every such union is a connected subset of the original query, so
+    a prefetched oracle answers without new estimator calls.
+
+    Returns ``(plan, dp_cost)`` where the plan's leaves are the unit
+    objects themselves.
+    """
+    units = list(units)
+    if not units:
+        raise OptimizationError("no units to replan over")
+    if len(units) == 1:
+        return units[0], 0.0
+    owner = {}
+    for index, unit in enumerate(units):
+        for table in unit.tables:
+            if table in owner:
+                raise OptimizationError(
+                    f"units overlap on table {table!r}"
+                )
+            owner[table] = index
+    indices = list(range(len(units)))
+    adjacency = {index: set() for index in indices}
+    for fk in schema.edges_between(sorted(owner)):
+        left, right = owner[fk.parent], owner[fk.child]
+        if left != right:
+            adjacency[left].add(right)
+            adjacency[right].add(left)
+    if not _is_connected(indices, adjacency):
+        raise OptimizationError(
+            "remaining execution units are not connected by FK edges"
+        )
+
+    def charge(subset):
+        tables = frozenset().union(*(units[i].tables for i in subset))
+        return cardinality(tables)
+
+    return _dp_plan(indices, adjacency, units.__getitem__, charge, linear)

@@ -1,0 +1,162 @@
+"""A plan cache keyed on normalized query shape + model generations.
+
+Planning a join order costs one estimator prefetch (a compiled sweep
+per RSPN) plus the DP enumeration; serving workloads repeat the same
+query shapes constantly.  :class:`PlanCache` memoises the chosen plan,
+its estimated cost and the fully-prefetched cardinality oracle behind
+it, keyed on
+
+- the **normalized query shape**: the MSCN featurization of
+  :class:`~repro.feedback.featurize.QueryFeaturizer` (tables, join
+  edges, per-column normalized predicate ranges -- order-invariant, so
+  ``a.x > 1 AND b.y < 2`` and its permutation share a plan), falling
+  back to the whitespace-normalized SQL text for queries the
+  featurizer cannot cover, and
+- the **epoch**: the (ensemble generation, corrector generation) pair
+  -- any data update or committed corrector training changes the
+  estimates behind every cached plan, so the whole cache invalidates.
+
+Entries are LRU-evicted; hit/miss/invalidation/eviction counters
+mirror the serving result cache so operators can watch both through
+``/stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+def cache_epoch(estimator, feedback=None):
+    """The invalidation epoch for plans computed under ``estimator``.
+
+    ``(model generation, corrector generation)``: the model generation
+    comes from the estimator itself (feedback wrappers expose their
+    base model's) or its ensemble; the corrector generation is the
+    feedback trainer's committed-training count, which is exactly when
+    ``apply``-mode estimates -- and therefore plans -- change.
+    """
+    generation = getattr(estimator, "generation", None)
+    if generation is None:
+        generation = getattr(
+            getattr(estimator, "ensemble", None), "generation", 0
+        )
+    trainings = 0
+    if feedback is None:
+        feedback = estimator  # the estimator may itself be the wrapper
+    trainer = getattr(feedback, "trainer", None)
+    if trainer is not None:
+        trainings = getattr(trainer, "trainings", 0)
+    return (generation, trainings)
+
+
+class PlanCache:
+    """LRU cache of ``(plan, estimated_cost, oracle)`` planning entries.
+
+    ``featurizer`` (a :class:`~repro.feedback.featurize.QueryFeaturizer`)
+    provides the shape key; without one -- or for queries it cannot
+    featurize -- the whitespace-normalized query text keys the entry,
+    which still catches verbatim repeats.  The caller passes the
+    current epoch (see :func:`cache_epoch`) to every ``lookup`` /
+    ``store``; an epoch change clears the cache and counts one
+    invalidation, exactly like the serving result cache's
+    generation-riding invalidation.
+    """
+
+    def __init__(self, featurizer=None, maxsize=128):
+        self.featurizer = featurizer
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._epoch = None
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def shape_key(self, query, linear=False):
+        """The normalized shape key for ``query``.
+
+        Featurized when possible: the layout fingerprint plus a digest
+        of the (order-invariant) feature vector, so permuted predicates
+        and alternate spellings of the same normalized shape share one
+        entry.  ``linear`` is part of the key -- left-deep and bushy
+        enumerations cache separately.
+        """
+        shape = None
+        if self.featurizer is not None:
+            from repro.feedback.featurize import FeaturizationError
+
+            try:
+                shape = "mscn:" + self.featurizer.signature(query)
+            except FeaturizationError:
+                shape = None
+        if shape is None:
+            shape = "sql:" + " ".join(query.describe().split())
+        return (shape, bool(linear))
+
+    # ------------------------------------------------------------------
+    # Cache protocol
+    # ------------------------------------------------------------------
+    def lookup(self, query, epoch, linear=False):
+        """The cached entry for ``query`` at ``epoch``, or ``None``."""
+        key = self.shape_key(query, linear)
+        with self._lock:
+            self._sync_locked(epoch)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def store(self, query, entry, epoch, linear=False):
+        """Cache ``entry`` for ``query``'s shape at ``epoch``."""
+        key = self.shape_key(query, linear)
+        with self._lock:
+            self._sync_locked(epoch)
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self):
+        """Drop every entry (counted), e.g. on an explicit flush."""
+        with self._lock:
+            if self._entries:
+                self._entries.clear()
+            self.invalidations += 1
+
+    def _sync_locked(self, epoch):
+        if epoch == self._epoch:
+            return
+        if self._epoch is not None and self._entries:
+            self._entries.clear()
+            self.invalidations += 1
+        self._epoch = epoch
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self):
+        """Counter snapshot for ``/stats`` (mirrors the result cache)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "epoch": list(self._epoch) if self._epoch is not None
+                else None,
+            }

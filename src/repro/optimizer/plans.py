@@ -46,8 +46,13 @@ class Join:
 
 
 def plan_joins(plan):
-    """All :class:`Join` nodes of a plan, bottom-up."""
-    if isinstance(plan, BaseRelation):
+    """All :class:`Join` nodes of a plan, bottom-up.
+
+    Any non-:class:`Join` node is a leaf -- base relations, but also
+    pinned already-materialised relations during mid-execution
+    re-optimisation (:mod:`repro.optimizer.execution`).
+    """
+    if not isinstance(plan, Join):
         return []
     joins = plan_joins(plan.left) + plan_joins(plan.right)
     joins.append(plan)

@@ -81,7 +81,7 @@ class ModelRegistry:
 
     def register_store(self, name, path, database, cache_size=256,
                        shards=None, transport=None, kernel=None,
-                       corrector=None) -> dict:
+                       corrector=None, plan_cache=True) -> dict:
         """Register a model by store file without loading it.
 
         Validates the header (magic, CRC, version -- raising
@@ -103,6 +103,7 @@ class ModelRegistry:
                 "transport": transport,
                 "kernel": kernel,
                 "corrector": corrector,
+                "plan_cache": plan_cache,
                 "catalog": catalog,
             }
             return catalog
@@ -166,6 +167,7 @@ class ModelRegistry:
             entry["path"], entry["database"], shards=entry["shards"],
             transport=entry["transport"], kernel=entry["kernel"],
             corrector=entry.get("corrector"),
+            plan_cache=entry.get("plan_cache", True),
         )
         cold_start_ns = time.perf_counter_ns() - start
         session = ModelSession(name, deepdb, cache_size=entry["cache_size"])

@@ -308,14 +308,22 @@ class ModelSession:
         """Explicitly drop all cached results (normally unnecessary:
         the generation check does this automatically)."""
         self._cache.clear(invalidated=True)
+        plan_cache = getattr(self.deepdb, "plan_cache", None)
+        if plan_cache is not None:
+            plan_cache.invalidate()
 
     def _checked_cache(self):
         """The result cache, emptied first if the model's generation
-        moved since the last look -- the single invalidation hook."""
+        moved since the last look -- the single invalidation hook.
+        The plan cache invalidates alongside it: plans were chosen
+        under the old generation's estimates."""
         generation = self.deepdb.generation
         with self._generation_lock:
             if generation != self._cache_generation:
                 self._cache.clear(invalidated=True)
+                plan_cache = getattr(self.deepdb, "plan_cache", None)
+                if plan_cache is not None:
+                    plan_cache.invalidate()
                 self._cache_generation = generation
         return self._cache
 
@@ -338,6 +346,9 @@ class ModelSession:
             "generation": self.deepdb.generation,
             "cache": self._cache.snapshot(),
         }
+        plan_cache = getattr(self.deepdb, "plan_cache", None)
+        if plan_cache is not None:
+            snap["plan_cache"] = plan_cache.snapshot()
         if self.paging is not None:
             snap["resident"] = True
             snap["paging"] = dict(self.paging)

@@ -1,0 +1,525 @@
+"""The adaptive planning loop: plan cache, mid-execution re-optimization
+and the feedback observations executed plans produce.
+
+Three contracts, asserted with ``==`` where the ISSUE demands
+bit-identity:
+
+- a **cache hit returns the cold plan**: same join tree, same estimated
+  cost, the very same prefetched oracle -- and any generation movement
+  (insert/delete, committed corrector training) invalidates the cache;
+- with the replan threshold disabled (``inf``/``None``) the adaptive
+  executor is **bit-for-bit the static pipeline** (same plan, same
+  intermediates in the same order, same result rows, same cost);
+- a planted 100x misestimate triggers **exactly one** replan whose
+  realised C_out beats the static plan, and every realised intermediate
+  lands in the feedback log with the estimator's *raw* (unclamped,
+  pre-patch) estimate -- a zero estimate is logged as ``0.0``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from tests.conftest import build_customer_orders
+from repro.deepdb import DeepDB
+from repro.engine.executor import Executor
+from repro.engine.query import Predicate, count_query
+from repro.engine.table import Database, Table
+from repro.estimator import CardinalityEstimator
+from repro.feedback import CorrectedEstimator, QueryFeaturizer
+from repro.optimizer import (
+    PlanCache,
+    SubqueryCardinalities,
+    cache_epoch,
+    execute_plan,
+    optimal_plan,
+    optimize_and_execute,
+)
+from repro.schema.schema import Attribute, SchemaGraph, TableSchema
+from repro.serving.session import ModelSession, Request
+
+
+# ----------------------------------------------------------------------
+# Shared fixtures / builders
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def adaptive_db():
+    return build_customer_orders(n_customers=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def adaptive_deepdb(adaptive_db):
+    return DeepDB.learn(adaptive_db, corrector="observe")
+
+
+def _chain_db():
+    """a <- b <- c <- d with sizes picked so one misestimate matters.
+
+    Truth: |a|=100, |ab|=|bc|=|abc|=10,000 (every a has 100 b's, one c
+    per b), |cd|=|bcd|=|abcd|=200 (200 d's on distinct c's).  A plan
+    that descends through ab is 50x worse realised than one that starts
+    from cd.
+    """
+    schema = SchemaGraph()
+    names = ("a", "b", "c", "d")
+    for name, parent in zip(names, (None,) + names[:-1]):
+        attributes = [Attribute(f"{name}_id", "key")]
+        if parent is not None:
+            attributes.append(Attribute(f"{parent}_id", "key"))
+        schema.add_table(
+            TableSchema(name, attributes, primary_key=f"{name}_id")
+        )
+    database = Database(schema)
+    database.add_table(Table.from_columns(
+        schema.table("a"), {"a_id": np.arange(100, dtype=float)},
+    ))
+    database.add_table(Table.from_columns(
+        schema.table("b"),
+        {
+            "b_id": np.arange(10_000, dtype=float),
+            "a_id": np.repeat(np.arange(100, dtype=float), 100),
+        },
+    ))
+    database.add_table(Table.from_columns(
+        schema.table("c"),
+        {
+            "c_id": np.arange(10_000, dtype=float),
+            "b_id": np.arange(10_000, dtype=float),
+        },
+    ))
+    database.add_table(Table.from_columns(
+        schema.table("d"),
+        {
+            "d_id": np.arange(200, dtype=float),
+            "c_id": np.arange(200, dtype=float),
+        },
+    ))
+    for parent, child in zip(names, names[1:]):
+        schema.add_foreign_key(parent, child, f"{parent}_id")
+    return database
+
+
+class _PlantedEstimator(CardinalityEstimator):
+    """Exact truth everywhere except explicitly planted table subsets --
+    the adversarial estimator of the replan tests."""
+
+    def __init__(self, database, plants=()):
+        self.truth = Executor(database)
+        self.plants = {
+            frozenset(key): float(value)
+            for key, value in dict(plants).items()
+        }
+
+    def cardinality(self, query):
+        key = frozenset(query.tables)
+        if key in self.plants:
+            return self.plants[key]
+        return self.truth.cardinality(query)
+
+
+# The adversarial plants: the estimator claims the ab spine is tiny, so
+# the static optimizer descends straight into the 10,000-row joins.
+_CHAIN_PLANTS = {("a", "b"): 100.0, ("a", "b", "c"): 100.0}
+_CHAIN_QUERY = count_query(["a", "b", "c", "d"])
+
+
+# ----------------------------------------------------------------------
+# cache_epoch
+# ----------------------------------------------------------------------
+class _FakeModel:
+    def __init__(self, generation):
+        self.generation = generation
+
+
+class _FakeTrainer:
+    def __init__(self, trainings):
+        self.trainings = trainings
+
+
+class _FakeFeedback:
+    def __init__(self, generation, trainings):
+        self.generation = generation
+        self.trainer = _FakeTrainer(trainings)
+
+
+class TestCacheEpoch:
+    def test_generation_from_estimator(self):
+        assert cache_epoch(_FakeModel(7)) == (7, 0)
+
+    def test_generation_from_ensemble_fallback(self):
+        class _Wrapped:
+            ensemble = _FakeModel(3)
+
+        assert cache_epoch(_Wrapped()) == (3, 0)
+
+    def test_corrector_trainings_are_part_of_the_epoch(self):
+        feedback = _FakeFeedback(generation=5, trainings=2)
+        assert cache_epoch(_FakeModel(5), feedback) == (5, 2)
+        feedback.trainer.trainings += 1
+        assert cache_epoch(_FakeModel(5), feedback) == (5, 3)
+
+    def test_feedback_defaults_to_the_estimator_itself(self):
+        feedback = _FakeFeedback(generation=4, trainings=9)
+        assert cache_epoch(feedback) == (4, 9)
+
+
+# ----------------------------------------------------------------------
+# PlanCache unit behaviour (text keys -- no featurizer)
+# ----------------------------------------------------------------------
+def _q(low):
+    return count_query(
+        ["customer"], predicates=(Predicate("customer", "age", ">=", low),)
+    )
+
+
+class TestPlanCacheUnit:
+    def test_miss_store_hit_returns_the_same_entry(self):
+        cache = PlanCache()
+        query = _q(30.0)
+        assert cache.lookup(query, (0, 0)) is None
+        entry = ("plan", 12.5, "oracle")
+        cache.store(query, entry, (0, 0))
+        assert cache.lookup(query, (0, 0)) is entry
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_epoch_change_invalidates(self):
+        cache = PlanCache()
+        query = _q(30.0)
+        cache.store(query, "entry", (0, 0))
+        # Model generation moved: the cached plan was chosen under
+        # estimates that no longer exist.
+        assert cache.lookup(query, (1, 0)) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+        # Corrector generation movement invalidates just the same.
+        cache.store(query, "entry2", (1, 0))
+        assert cache.lookup(query, (1, 1)) is None
+        assert cache.invalidations == 2
+
+    def test_first_epoch_is_not_an_invalidation(self):
+        cache = PlanCache()
+        assert cache.lookup(_q(30.0), (5, 1)) is None
+        assert cache.invalidations == 0
+
+    def test_explicit_invalidate(self):
+        cache = PlanCache()
+        cache.store(_q(30.0), "entry", (0, 0))
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.lookup(_q(30.0), (0, 0)) is None
+
+    def test_lru_eviction(self):
+        cache = PlanCache(maxsize=2)
+        queries = [_q(10.0), _q(20.0), _q(30.0)]
+        for i, query in enumerate(queries):
+            cache.store(query, f"entry{i}", (0, 0))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.lookup(queries[0], (0, 0)) is None  # oldest evicted
+        assert cache.lookup(queries[1], (0, 0)) == "entry1"
+        assert cache.lookup(queries[2], (0, 0)) == "entry2"
+
+    def test_linear_and_bushy_cache_separately(self):
+        cache = PlanCache()
+        query = _q(30.0)
+        cache.store(query, "bushy", (0, 0), linear=False)
+        cache.store(query, "linear", (0, 0), linear=True)
+        assert cache.lookup(query, (0, 0), linear=False) == "bushy"
+        assert cache.lookup(query, (0, 0), linear=True) == "linear"
+
+    def test_snapshot_counters(self):
+        cache = PlanCache(maxsize=8)
+        cache.store(_q(30.0), "entry", (2, 1))
+        cache.lookup(_q(30.0), (2, 1))
+        snap = cache.snapshot()
+        assert snap["size"] == 1
+        assert snap["maxsize"] == 8
+        assert snap["hits"] == 1
+        assert snap["epoch"] == [2, 1]
+
+
+class TestShapeKeys:
+    def test_sql_fallback_normalizes_whitespace(self):
+        cache = PlanCache()  # no featurizer: text keys
+        key = cache.shape_key(_q(30.0))
+        assert key[0].startswith("sql:")
+        assert cache.shape_key(_q(30.0)) == key
+        assert cache.shape_key(_q(40.0)) != key
+
+    def test_featurized_keys_are_predicate_order_invariant(self, adaptive_db):
+        cache = PlanCache(featurizer=QueryFeaturizer(adaptive_db))
+        age = Predicate("customer", "age", ">=", 30.0)
+        channel = Predicate("orders", "channel", "=", "ONLINE")
+        tables = ["customer", "orders"]
+        one = count_query(tables, predicates=(age, channel))
+        two = count_query(tables, predicates=(channel, age))
+        assert one.describe() != two.describe()  # text keys would differ
+        key_one = cache.shape_key(one)
+        key_two = cache.shape_key(two)
+        assert key_one[0].startswith("mscn:")
+        assert key_one == key_two
+
+    def test_featurized_keys_separate_different_shapes(self, adaptive_db):
+        cache = PlanCache(featurizer=QueryFeaturizer(adaptive_db))
+        tables = ["customer", "orders"]
+        one = count_query(
+            tables, predicates=(Predicate("customer", "age", ">=", 30.0),)
+        )
+        two = count_query(
+            tables, predicates=(Predicate("customer", "age", ">=", 55.0),)
+        )
+        assert cache.shape_key(one) != cache.shape_key(two)
+
+
+# ----------------------------------------------------------------------
+# DeepDB + serving integration
+# ----------------------------------------------------------------------
+_JOIN_SQL = (
+    "SELECT COUNT(*) FROM customer c, orders o WHERE c.c_id = o.c_id "
+    "AND c.age > 40"
+)
+
+
+class TestDeepDBPlanCache:
+    def test_cached_plan_is_the_cold_plan(self, adaptive_deepdb):
+        deepdb = adaptive_deepdb
+        assert deepdb.plan_cache is not None
+        misses = deepdb.plan_cache.misses
+        hits = deepdb.plan_cache.hits
+        cold_plan, cold_cost, cold_oracle = deepdb.plan(_JOIN_SQL)
+        assert deepdb.plan_cache.misses == misses + 1
+        hit_plan, hit_cost, hit_oracle = deepdb.plan(_JOIN_SQL)
+        assert deepdb.plan_cache.hits == hits + 1
+        # Not merely equivalent: the identical planning artefacts.
+        assert hit_plan is cold_plan
+        assert hit_cost == cold_cost
+        assert hit_oracle is cold_oracle
+
+    def test_insert_and_delete_invalidate(self, adaptive_deepdb):
+        deepdb = adaptive_deepdb
+        row = {"c_id": 999_983.0, "region": "EU", "age": 44.0}
+        deepdb.plan(_JOIN_SQL)  # populate under the current epoch
+        invalidations = deepdb.plan_cache.invalidations
+        misses = deepdb.plan_cache.misses
+        deepdb.insert("customer", row)
+        deepdb.plan(_JOIN_SQL)  # epoch moved: cleared, then re-planned
+        assert deepdb.plan_cache.invalidations == invalidations + 1
+        assert deepdb.plan_cache.misses == misses + 1
+        deepdb.delete("customer", row)
+        deepdb.plan(_JOIN_SQL)
+        assert deepdb.plan_cache.invalidations == invalidations + 2
+        assert deepdb.plan_cache.misses == misses + 2
+
+    def test_committed_corrector_training_invalidates(self, adaptive_deepdb):
+        deepdb = adaptive_deepdb
+        deepdb.plan(_JOIN_SQL)
+        invalidations = deepdb.plan_cache.invalidations
+        # A committed training is exactly a bump of trainer.trainings
+        # (FeedbackTrainer.train_now); plans chosen under the previous
+        # corrector must not survive it.
+        deepdb.feedback.trainer.trainings += 1
+        deepdb.plan(_JOIN_SQL)
+        assert deepdb.plan_cache.invalidations == invalidations + 1
+
+    def test_plan_cache_can_be_disabled(self, adaptive_db, adaptive_deepdb):
+        cached = adaptive_deepdb
+        uncached = DeepDB(adaptive_db, cached.ensemble, plan_cache=False)
+        assert uncached.plan_cache is None
+        plan_one, cost_one, _ = uncached.plan(_JOIN_SQL)
+        plan_two, cost_two, _ = uncached.plan(_JOIN_SQL)
+        assert plan_one is not plan_two  # re-planned from scratch
+        assert plan_one.describe() == plan_two.describe()
+        assert cost_one == cost_two
+
+
+class TestServingPlanCache:
+    def test_snapshot_and_generation_invalidation(self, adaptive_db):
+        deepdb = DeepDB.learn(adaptive_db)
+        session = ModelSession("adaptive", deepdb, cache_size=16)
+        request = Request("plan", _JOIN_SQL)
+        session.run_one(request)
+        snap = session.snapshot()
+        assert "plan_cache" in snap
+        assert snap["plan_cache"]["size"] == 1
+        invalidations = deepdb.plan_cache.invalidations
+        session.insert("customer", {"c_id": 999_991.0, "region": "ASIA",
+                                    "age": 28.0})
+        # The generation check that drops the result cache drops the
+        # plan cache alongside it.
+        session.run_one(request)
+        assert deepdb.plan_cache.invalidations == invalidations + 1
+
+    def test_explicit_invalidate_reaches_the_plan_cache(self, adaptive_db):
+        deepdb = DeepDB.learn(adaptive_db)
+        session = ModelSession("adaptive2", deepdb, cache_size=16)
+        session.run_one(Request("plan", _JOIN_SQL))
+        session.invalidate()
+        assert deepdb.plan_cache.invalidations == 1
+        assert len(deepdb.plan_cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Mid-execution re-optimization
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def chain_db():
+    return _chain_db()
+
+
+class TestMidExecutionReplan:
+    def test_static_plan_follows_the_misestimate(self, chain_db):
+        estimator = _PlantedEstimator(chain_db, _CHAIN_PLANTS)
+        outcome = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, estimator, replan_threshold=math.inf
+        )
+        assert outcome.replans == 0
+        # The poisoned estimates steer the DP through the 10,000-row
+        # spine: ab + abc + abcd materialised.
+        assert outcome.execution.total_intermediate_rows == 20_200.0
+
+    def test_planted_misestimate_triggers_exactly_one_replan(self, chain_db):
+        estimator = _PlantedEstimator(chain_db, _CHAIN_PLANTS)
+        outcome = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, estimator, replan_threshold=16.0
+        )
+        assert outcome.replans == 1
+        # ab (already materialised when the blow-up was caught) + cd +
+        # abcd: the re-optimised remainder avoids the second 10,000-row
+        # intermediate entirely.
+        assert outcome.execution.total_intermediate_rows == 10_400.0
+        assert outcome.execution.result_rows == 200
+
+    def test_adaptive_beats_static_on_realized_cout(self, chain_db):
+        static = optimize_and_execute(
+            _CHAIN_QUERY, chain_db,
+            _PlantedEstimator(chain_db, _CHAIN_PLANTS),
+            replan_threshold=math.inf,
+        )
+        adaptive = optimize_and_execute(
+            _CHAIN_QUERY, chain_db,
+            _PlantedEstimator(chain_db, _CHAIN_PLANTS),
+            replan_threshold=16.0,
+        )
+        assert (adaptive.execution.total_intermediate_rows
+                < static.execution.total_intermediate_rows)
+        assert (adaptive.execution.result_rows
+                == static.execution.result_rows)
+
+    def test_replan_patches_the_oracle_with_realized_truth(self, chain_db):
+        estimator = _PlantedEstimator(chain_db, _CHAIN_PLANTS)
+        outcome = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, estimator, replan_threshold=16.0
+        )
+        oracle = outcome.oracle
+        assert oracle(frozenset(("a", "b"))) == 10_000.0
+        # The observed 100x error propagated to the planted superset.
+        assert oracle(frozenset(("a", "b", "c"))) == 10_000.0
+
+    def test_join_gaps_record_raw_estimates(self, chain_db):
+        estimator = _PlantedEstimator(chain_db, _CHAIN_PLANTS)
+        outcome = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, estimator, replan_threshold=16.0
+        )
+        by_tables = {tuple(g["tables"]): g for g in outcome.join_gaps}
+        blown = by_tables[("a", "b")]
+        assert blown["estimate"] == 100.0  # the plant, not the patch
+        assert blown["realized"] == 10_000.0
+        assert blown["gap"] == 100.0
+
+    def test_accurate_estimates_never_replan(self, chain_db):
+        estimator = _PlantedEstimator(chain_db)  # exact truth
+        outcome = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, estimator, replan_threshold=16.0
+        )
+        assert outcome.replans == 0
+        assert all(g["gap"] == 1.0 for g in outcome.join_gaps)
+
+    @pytest.mark.parametrize("threshold", [math.inf, None])
+    def test_disabled_threshold_is_bit_identical_to_static(
+        self, chain_db, threshold
+    ):
+        estimator = _PlantedEstimator(chain_db, _CHAIN_PLANTS)
+        outcome = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, estimator, replan_threshold=threshold
+        )
+        oracle = SubqueryCardinalities(
+            _PlantedEstimator(chain_db, _CHAIN_PLANTS), _CHAIN_QUERY
+        )
+        plan, cost = optimal_plan(_CHAIN_QUERY, chain_db.schema, oracle)
+        static = execute_plan(plan, chain_db, _CHAIN_QUERY)
+        assert outcome.replans == 0
+        assert outcome.plan == plan
+        assert outcome.estimated_cost == cost
+        assert outcome.execution.intermediates == static.intermediates
+        assert outcome.execution.result_rows == static.result_rows
+
+    def test_replan_refreshes_the_plan_cache(self, chain_db):
+        estimator = _PlantedEstimator(chain_db, _CHAIN_PLANTS)
+        cache = PlanCache()
+        first = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, estimator, replan_threshold=16.0,
+            plan_cache=cache,
+        )
+        assert first.replans == 1
+        # The cached entry was recomputed over the patched oracle, so
+        # the repeated shape starts from the corrected plan: a cache
+        # hit, no replan, and a far cheaper execution.
+        second = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, estimator, replan_threshold=16.0,
+            plan_cache=cache,
+        )
+        assert cache.hits == 1
+        assert second.replans == 0
+        assert (second.execution.total_intermediate_rows
+                < first.execution.total_intermediate_rows)
+
+
+# ----------------------------------------------------------------------
+# Feedback observations from executed plans
+# ----------------------------------------------------------------------
+class TestExecutionFeedback:
+    def test_zero_estimate_is_logged_as_zero(self, chain_db):
+        # A planted hard-zero estimate: the optimizer clamps it to 1.0
+        # internally, but the feedback log must record what the
+        # estimator actually said.
+        planted = _PlantedEstimator(chain_db, {("a", "b"): 0.0})
+        feedback = CorrectedEstimator(base=planted, mode="observe")
+        query = count_query(["a", "b"])
+        outcome = optimize_and_execute(
+            query, chain_db, feedback, feedback=feedback,
+            replan_threshold=math.inf,
+        )
+        assert outcome.execution.result_rows == 10_000
+        labeled = feedback.log.labeled()
+        assert len(labeled) == 1
+        assert labeled[0].estimate == 0.0
+        assert labeled[0].realized == 10_000.0
+
+    def test_every_intermediate_becomes_an_observation(self, chain_db):
+        planted = _PlantedEstimator(chain_db, _CHAIN_PLANTS)
+        feedback = CorrectedEstimator(base=planted, mode="observe")
+        outcome = optimize_and_execute(
+            _CHAIN_QUERY, chain_db, feedback, feedback=feedback,
+            replan_threshold=16.0,
+        )
+        assert outcome.replans == 1
+        labeled = {
+            frozenset(o.query.tables): o for o in feedback.log.labeled()
+        }
+        # The blown join trains the corrector on the raw planted value.
+        blown = labeled[frozenset(("a", "b"))]
+        assert blown.estimate == 100.0
+        assert blown.realized == 10_000.0
+        # The re-planned remainder's join is observed too.
+        remainder = labeled[frozenset(("c", "d"))]
+        assert remainder.realized == 200.0
+        # The full query's observation logs the pre-execution estimate,
+        # not the value the replan patched in afterwards.
+        full = labeled[frozenset(("a", "b", "c", "d"))]
+        assert full.estimate == 200.0
+        assert full.realized == 200.0

@@ -610,3 +610,121 @@ class TestBatchedPrefetchEndToEnd:
         assert run.plan.tables == frozenset(("customer", "orders", "orderline"))
         assert run.execution.result_rows >= 0
         assert run.estimated_cost > 0
+
+
+# ----------------------------------------------------------------------
+# Cost honesty: select and report under the same cost function
+# ----------------------------------------------------------------------
+from repro.optimizer import PerJoinCost  # noqa: E402
+
+_CHAIN_VALUES = {
+    frozenset("a"): 3.0, frozenset("b"): 3.0,
+    frozenset("c"): 3.0, frozenset("d"): 3.0,
+    frozenset(("a", "b")): 7.0,
+    frozenset(("b", "c")): 2.0,
+    frozenset(("c", "d")): 7.0,
+    frozenset(("a", "b", "c")): 10.0,
+    frozenset(("b", "c", "d")): 11.0,
+    frozenset(("a", "b", "c", "d")): 1.0,
+}
+
+
+def _chain_oracle(tables):
+    return _CHAIN_VALUES[frozenset(tables)]
+
+
+class TestCostHonesty:
+    """The DP must optimise the cost it reports (regression: it used to
+    hardcode C_out accumulation while reporting ``cost(plan, ...)``)."""
+
+    def test_custom_per_join_cost_changes_the_chosen_plan(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        query = count_query(["a", "b", "c", "d"])
+        # Under C_out the chain {bc, abc} wins (2 + 10 + 1 = 13)...
+        cout_plan, cout = optimal_plan(query, schema, _chain_oracle)
+        assert {frozenset(j.tables) for j in plan_joins(cout_plan)} == {
+            frozenset(("b", "c")),
+            frozenset(("a", "b", "c")),
+            frozenset(("a", "b", "c", "d")),
+        }
+        assert cout == 13.0
+        # ... but under squared charges the bushy {ab, cd} plan does
+        # (49 + 49 + 1 = 99 beats 4 + 100 + 1 = 105): a DP that
+        # accumulated C_out internally would miss it.
+        squared = PerJoinCost(lambda tables, card: card(tables) ** 2)
+        plan, cost = optimal_plan(query, schema, _chain_oracle, cost=squared)
+        assert {frozenset(j.tables) for j in plan_joins(plan)} == {
+            frozenset(("a", "b")),
+            frozenset(("c", "d")),
+            frozenset(("a", "b", "c", "d")),
+        }
+        assert cost == 99.0
+        assert cost == squared(plan, _chain_oracle)
+
+    def test_reported_cost_is_the_selection_cost(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        query = count_query(["a", "b", "c", "d"])
+        squared = PerJoinCost(lambda tables, card: card(tables) ** 2)
+        for linear in (False, True):
+            plan, cost = optimal_plan(
+                query, schema, _chain_oracle, linear=linear, cost=squared
+            )
+            assert cost == squared(plan, _chain_oracle)
+            others = [
+                squared(other, _chain_oracle)
+                for other in _all_plans(
+                    ("a", "b", "c", "d"),
+                    {
+                        "a": {"b"}, "b": {"a", "c"},
+                        "c": {"b", "d"}, "d": {"c"},
+                    },
+                )
+                if not linear or all(
+                    min(len(j.left.tables), len(j.right.tables)) == 1
+                    for j in plan_joins(other)
+                )
+            ]
+            assert cost == min(others)
+
+    def test_opaque_cost_callable_is_rejected(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        query = count_query(["a", "b", "c", "d"])
+        with pytest.raises(OptimizationError, match="PerJoinCost"):
+            optimal_plan(
+                query, schema, _chain_oracle,
+                cost=lambda plan, card: 0.0,
+            )
+
+    def test_default_cout_path_unchanged(self):
+        schema = chain_schema(("a", "b", "c", "d"))
+        query = count_query(["a", "b", "c", "d"])
+        plan, cost = optimal_plan(query, schema, _chain_oracle)
+        assert cost == cout_cost(plan, _chain_oracle)
+
+
+class TestSingleTableBatched:
+    """Single-table queries must ride the batched path too (regression:
+    they returned before the prefetch, so the feedback branch later fell
+    into the serial estimator without counting a batch call)."""
+
+    def test_single_table_prefetches_one_batch(self):
+        schema = chain_schema()
+        estimator = _RecordingEstimator(_TableOracle({"a": 10}))
+        query = count_query(["a"])
+        plan, cost, oracle = _optimize(schema, query, estimator, batch=True)
+        assert plan == BaseRelation("a")
+        assert cost == 0.0
+        assert len(estimator.batches) == 1
+        assert [q.tables for q in estimator.batches[0]] == [("a",)]
+        assert oracle.batch_calls == 1
+        # The estimate the feedback branch reads is already cached:
+        assert oracle(frozenset(("a",))) >= 1.0
+        assert estimator.scalar_calls == 0
+
+    def test_single_table_serial_mode_unchanged(self):
+        schema = chain_schema()
+        estimator = _RecordingEstimator(_TableOracle({"a": 10}))
+        query = count_query(["a"])
+        _plan, _cost, oracle = _optimize(schema, query, estimator, batch=False)
+        assert estimator.batches == []
+        assert oracle.batch_calls == 0

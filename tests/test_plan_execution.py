@@ -131,3 +131,227 @@ class TestEstimationGap:
     def test_true_zero_zero_is_perfect(self):
         assert self._outcome(0.0, []).estimation_gap == 1.0
         assert self._outcome(0.0, [(["a", "b"], 0)]).estimation_gap == 1.0
+
+
+# ----------------------------------------------------------------------
+# Vectorised hash join == the dict-bucket reference loop, bit for bit
+# ----------------------------------------------------------------------
+import numpy as np  # noqa: E402
+
+from repro.engine.table import Database, Table  # noqa: E402
+from repro.optimizer.execution import (  # noqa: E402
+    _hash_join,
+    _hash_join_reference,
+    _scan,
+)
+from repro.schema.schema import Attribute, SchemaGraph, TableSchema  # noqa: E402
+
+
+def _two_table_db(parent_keys, child_keys):
+    """A parent <- child pair with explicit float join-key columns."""
+    schema = SchemaGraph()
+    schema.add_table(
+        TableSchema(
+            "parent",
+            [Attribute("p_id", "key"), Attribute("x", "numeric")],
+            primary_key="p_id",
+        )
+    )
+    schema.add_table(
+        TableSchema(
+            "child",
+            [Attribute("c_id", "key"), Attribute("p_id", "key")],
+            primary_key="c_id",
+        )
+    )
+    database = Database(schema)
+    parent_keys = np.asarray(parent_keys, dtype=float)
+    child_keys = np.asarray(child_keys, dtype=float)
+    database.add_table(
+        Table.from_columns(
+            schema.table("parent"),
+            {
+                "p_id": parent_keys,
+                "x": np.arange(parent_keys.shape[0], dtype=float),
+            },
+        )
+    )
+    database.add_table(
+        Table.from_columns(
+            schema.table("child"),
+            {
+                "c_id": np.arange(child_keys.shape[0], dtype=float),
+                "p_id": child_keys,
+            },
+        )
+    )
+    schema.add_foreign_key("parent", "child", "p_id")
+    return database
+
+
+def _assert_joins_identical(database, query, left, right):
+    fk = database.schema.foreign_keys[0]
+    fast = _hash_join(database, left, right, fk, True)
+    slow = _hash_join_reference(database, left, right, fk, True)
+    assert fast.rows.keys() == slow.rows.keys()
+    for table in slow.rows:
+        assert fast.rows[table].dtype == slow.rows[table].dtype
+        assert np.array_equal(fast.rows[table], slow.rows[table])
+    assert len(fast) == len(slow)
+
+
+class TestVectorisedHashJoin:
+    def _check(self, parent_keys, child_keys):
+        database = _two_table_db(parent_keys, child_keys)
+        query = _query(tables=("parent", "child"))
+        left = _scan(database, query, "parent")
+        right = _scan(database, query, "child")
+        _assert_joins_identical(database, query, left, right)
+
+    def test_duplicate_keys_fan_out_identically(self):
+        self._check(
+            parent_keys=[1.0, 2.0, 1.0, 3.0, 1.0],
+            child_keys=[1.0, 1.0, 2.0, 4.0, 3.0, 1.0],
+        )
+
+    def test_nan_keys_never_match(self):
+        self._check(
+            parent_keys=[np.nan, 1.0, np.nan, 2.0],
+            child_keys=[1.0, np.nan, 2.0, np.nan, 1.0],
+        )
+
+    def test_signed_zero_matches_like_dict_float_keys(self):
+        self._check(
+            parent_keys=[-0.0, 0.0, 1.0],
+            child_keys=[0.0, -0.0, 1.0],
+        )
+
+    def test_empty_sides(self):
+        self._check(parent_keys=[], child_keys=[1.0, 2.0])
+        self._check(parent_keys=[1.0], child_keys=[])
+        self._check(parent_keys=[1.0], child_keys=[2.0])
+
+    @given(
+        parent=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=6).map(float),
+                st.just(float("nan")),
+            ),
+            max_size=24,
+        ),
+        child=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=6).map(float),
+                st.just(float("nan")),
+            ),
+            max_size=24,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_keys_bit_identical(self, parent, child):
+        self._check(parent_keys=parent, child_keys=child)
+
+    def test_multi_join_plan_identical_on_real_data(self, three_table_db):
+        """Every join of an executed plan compares the two paths."""
+        from repro.optimizer.execution import _join_edge
+
+        query = _query(
+            predicates=(Predicate("customer", "region", "=", "EU"),)
+        )
+        relations = {
+            name: _scan(three_table_db, query, name)
+            for name in ("customer", "orders", "orderline")
+        }
+        left = relations["customer"]
+        for name in ("orders", "orderline"):
+            right = relations[name]
+            fk, parent_on_left = _join_edge(
+                three_table_db.schema, left.tables, right.tables
+            )
+            fast = _hash_join(three_table_db, left, right, fk, parent_on_left)
+            slow = _hash_join_reference(
+                three_table_db, left, right, fk, parent_on_left
+            )
+            for table in slow.rows:
+                assert np.array_equal(fast.rows[table], slow.rows[table])
+            left = fast
+        assert len(left) == Executor(three_table_db).cardinality(query)
+
+
+# ----------------------------------------------------------------------
+# Ambiguous FK edges must raise, not silently drop a predicate
+# ----------------------------------------------------------------------
+class TestAmbiguousJoinEdge:
+    def _ambiguous_db(self):
+        schema = SchemaGraph()
+        schema.add_table(
+            TableSchema(
+                "customer",
+                [Attribute("c_id", "key"), Attribute("age", "numeric")],
+                primary_key="c_id",
+            )
+        )
+        schema.add_table(
+            TableSchema(
+                "orders",
+                [
+                    Attribute("o_id", "key"),
+                    Attribute("c_id", "key"),
+                    Attribute("referrer_id", "key"),
+                ],
+                primary_key="o_id",
+            )
+        )
+        database = Database(schema)
+        database.add_table(
+            Table.from_columns(
+                schema.table("customer"),
+                {
+                    "c_id": np.arange(4, dtype=float),
+                    "age": np.full(4, 30.0),
+                },
+            )
+        )
+        database.add_table(
+            Table.from_columns(
+                schema.table("orders"),
+                {
+                    "o_id": np.arange(6, dtype=float),
+                    "c_id": np.array([0, 1, 2, 3, 0, 1], dtype=float),
+                    "referrer_id": np.array([3, 2, 1, 0, 3, 2], dtype=float),
+                },
+            )
+        )
+        # Two FK edges between the same table pair: ordering customer
+        # and referring customer.  A single-edge hash join would apply
+        # only one equality and over-count.
+        schema.add_foreign_key("customer", "orders", "c_id")
+        schema.add_foreign_key("customer", "orders", "referrer_id")
+        return database
+
+    def test_ambiguous_edge_raises(self):
+        database = self._ambiguous_db()
+        plan = Join(BaseRelation("customer"), BaseRelation("orders"))
+        query = _query(tables=("customer", "orders"))
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            execute_plan(plan, database, query)
+
+    def test_error_names_both_edges(self):
+        from repro.optimizer.execution import _join_edge
+
+        database = self._ambiguous_db()
+        with pytest.raises(ExecutionError) as excinfo:
+            _join_edge(database.schema, {"customer"}, {"orders"})
+        message = str(excinfo.value)
+        assert "customer<-orders" in message
+        assert "2 FK edges" in message
+
+    def test_unambiguous_edge_still_resolves(self, three_table_db):
+        from repro.optimizer.execution import _join_edge
+
+        fk, parent_on_left = _join_edge(
+            three_table_db.schema, {"customer"}, {"orders"}
+        )
+        assert fk.parent == "customer"
+        assert fk.child == "orders"
+        assert parent_on_left
