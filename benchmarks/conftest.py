@@ -72,6 +72,7 @@ _MODELSTORE_PATH = os.path.join(
     os.path.dirname(__file__), "BENCH_modelstore.json"
 )
 _FEEDBACK_PATH = os.path.join(os.path.dirname(__file__), "BENCH_feedback.json")
+_INGEST_PATH = os.path.join(os.path.dirname(__file__), "BENCH_ingest.json")
 # path -> the session's named timing records destined for that file.
 _TRAJECTORIES: dict = {}
 
@@ -101,6 +102,8 @@ record_kernels_timing = _recorder(_KERNELS_PATH)
 record_modelstore_timing = _recorder(_MODELSTORE_PATH)
 # BENCH_feedback.json: residual-corrector accuracy and overhead.
 record_feedback_timing = _recorder(_FEEDBACK_PATH)
+# BENCH_ingest.json: streaming-ingest throughput and delta transport.
+record_ingest_timing = _recorder(_INGEST_PATH)
 
 
 def best_of(fn, repeats=3):
@@ -165,6 +168,13 @@ def record_feedback_timing_fixture():
     """Fixture handing benches the :func:`record_feedback_timing`
     recorder (BENCH_feedback.json)."""
     return record_feedback_timing
+
+
+@pytest.fixture(scope="session", name="record_ingest_timing")
+def record_ingest_timing_fixture():
+    """Fixture handing benches the :func:`record_ingest_timing`
+    recorder (BENCH_ingest.json)."""
+    return record_ingest_timing
 
 
 def _benchmark_records(session):

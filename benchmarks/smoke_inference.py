@@ -34,7 +34,13 @@ It then smokes the consumer layers of the batched estimator protocol:
   drift path), and a chain join with its spine estimate planted 128x
   low must trigger exactly one mid-execution replan whose realised
   C_out beats the static plan -- with the refreshed cache entry serving
-  the repeat without replanning.
+  the repeat without replanning,
+- **streaming ingest**: a bounded queue + batch applier streams
+  hundreds of updates into a served copy of the model while a
+  concurrent reader queries it; the stream must coalesce into
+  multi-op flushes, every reader answer must equal a serially-reachable
+  snapshot state (``==``), and the final estimate must be bit-identical
+  to a serially-updated twin.
 
 This is deliberately tiny (it must finish well inside CI's 30-second
 budget); the full comparisons with throughput assertions live in
@@ -130,6 +136,8 @@ def main():
     if _smoke_join_ordering():
         return 1
     if _smoke_adaptive(database, ensemble):
+        return 1
+    if _smoke_ingest(database, ensemble):
         return 1
     return 0
 
@@ -723,6 +731,87 @@ def _smoke_adaptive(database, ensemble):
           f"replan cut realised C_out {static_cout:.0f} -> "
           f"{first_cout:.0f} (repeat from refreshed cache: "
           f"{second_cout:.0f}, 0 replans) "
+          f"({time.perf_counter() - start:.1f}s)")
+    return 0
+
+
+def _smoke_ingest(database, ensemble, n_ops=400):
+    """Streaming-ingest smoke: coalesced flushes, untorn reads.
+
+    Streams ``n_ops`` inserts through the bounded queue + batch applier
+    into a served *copy* of the flights model while one reader thread
+    hammers the same session.  Batch commits are bit-identical to the
+    serial path at every op count, so each reader answer must equal
+    (``==``) one of the serially-reachable snapshot states.
+    """
+    import copy
+    import threading
+
+    from repro.deepdb import DeepDB
+    from repro.ingest import BatchApplier, UpdateOp, UpdateQueue
+    from repro.serving.session import ModelSession, Request
+
+    start = time.perf_counter()
+    live_db, live_ensemble = copy.deepcopy((database, ensemble))
+    deepdb = DeepDB(live_db, live_ensemble)
+    twin_db, twin_ensemble = copy.deepcopy((database, ensemble))
+    twin = DeepDB(twin_db, twin_ensemble)
+
+    probe = "SELECT COUNT(*) FROM flights WHERE flights.distance > 20000"
+    rng = np.random.default_rng(31)
+    ops = [
+        ("insert", "flights",
+         {"distance": float(rng.integers(21_000, 25_000))})
+        for _ in range(n_ops)
+    ]
+    allowed = {float(twin.cardinality_batch([probe])[0])}
+    for op, table, row in ops:
+        twin.insert(table, row)
+        allowed.add(float(twin.cardinality_batch([probe])[0]))
+    final = float(twin.cardinality_batch([probe])[0])
+
+    session = ModelSession("flights", deepdb, cache_size=0)
+    queue = UpdateQueue(maxsize=1_000)
+    applier = BatchApplier(session, queue, max_batch=64, max_wait_s=0.005)
+    observed = []
+    stop = threading.Event()
+
+    def reader():
+        while not stop.is_set():
+            result = session.run_batch([Request("cardinality", probe)])[0]
+            observed.append(float(result))
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    with applier:
+        for op, table, row in ops:
+            queue.put(UpdateOp(op, table, row))
+    stop.set()
+    thread.join(30.0)
+
+    stats = applier.stats()
+    if stats["applied"] != n_ops or stats["rejected"]:
+        print(f"FAIL: applier dropped ops (applied {stats['applied']} of "
+              f"{n_ops}, rejected {stats['rejected']})")
+        return 1
+    if not stats["flushes"] < n_ops:
+        print(f"FAIL: queue never coalesced ({stats['flushes']} flushes "
+              f"for {n_ops} ops)")
+        return 1
+    torn = [value for value in observed if value not in allowed]
+    if torn:
+        print(f"FAIL: reader observed {len(torn)} torn snapshots "
+              f"(first: {torn[0]!r})")
+        return 1
+    streamed = float(deepdb.cardinality_batch([probe])[0])
+    if streamed != final:
+        print(f"FAIL: streamed end state {streamed!r} != serial twin "
+              f"{final!r}")
+        return 1
+    print(f"OK: {n_ops} streamed updates in {stats['flushes']} coalesced "
+          f"flushes (mean {stats['mean_flush']:.0f} ops/flush), "
+          f"{len(observed)} concurrent reads all on consistent snapshots, "
+          f"end state bit-identical to the serial twin "
           f"({time.perf_counter() - start:.1f}s)")
     return 0
 

@@ -226,8 +226,8 @@ class _FusedPlan:
 
     __slots__ = (
         "arena_rows", "stage_rows", "root_slot", "n_leaves",
-        "leaf_slots_by_scope", "leaf_slot_of_row", "ops", "_tape", "_signature",
-        "_scope_slots",
+        "leaf_slots_by_scope", "leaf_slot_of_row", "ops", "op_nodes",
+        "_tape", "_signature", "_scope_slots",
     )
 
     def __init__(self, order, index_of, heights, root_row):
@@ -255,6 +255,12 @@ class _FusedPlan:
         }
 
         self.ops = []
+        # Per-op node back-references in segment order (sum ops only;
+        # None for products): what refresh_weights() walks to re-bake
+        # pos_weights after a batch of count mutations without a full
+        # replan.  Tape-restored plans have no nodes (op_nodes is None
+        # there) and fall back to a full recompile.
+        self.op_nodes = []
         max_height = max(heights) if heights else 0
         n = len(order)
         for height in range(1, max_height + 1):
@@ -303,6 +309,9 @@ class _FusedPlan:
                     slot_of[row] = dst_lo + s
                 self.ops.append(
                     _FusedOp(is_sum, dst_lo, n_seg, pos_slots, pos_weights)
+                )
+                self.op_nodes.append(
+                    [node for _, node in segs] if is_sum else None
                 )
         self.root_slot = slot_of[root_row]
         self.arena_rows = max(alloc.size, 1)
@@ -353,10 +362,37 @@ class _FusedPlan:
             plan.ops.append(
                 _FusedOp(is_sum, int(op_dst[o]), n_seg, pos_slots, pos_weights)
             )
+        plan.op_nodes = None
         plan._tape = tuple(tape)
         plan._signature = None
         plan._scope_slots = scope_slots
         return plan
+
+    def refresh_weights(self):
+        """Re-bake ``pos_weights`` from the live sum nodes.
+
+        The in-place analogue of a replan after sum-count mutations:
+        topology, slots and the liveness allocation are functions of
+        structure alone (which updates never change), so only the baked
+        weight columns -- and the cached tape/signature derived from
+        them -- go stale.  Returns ``False`` for tape-restored plans
+        (no node back-references; the caller must recompile).
+        """
+        if self.op_nodes is None:
+            return False
+        for op, nodes in zip(self.ops, self.op_nodes):
+            if not op.is_sum:
+                continue
+            for p in range(len(op.pos_slots)):
+                k = op.pos_slots[p].shape[0]
+                weights = np.array(
+                    [float(nodes[s].weights[p]) for s in range(k)],
+                    dtype=float,
+                )
+                op.pos_weights[p] = weights[:, None]
+        self._tape = None
+        self._signature = None
+        return True
 
     def tape(self):
         """The plan flattened into the numba tape interpreter's arrays."""
@@ -457,6 +493,10 @@ class CompiledRSPN:
 
         max_height = max(heights) if heights else 0
         self.levels = []
+        # Per-level sum-node lists (same order _Level bakes sum_weights
+        # in), kept so refresh_weights() can re-bake the legacy sweep's
+        # weight arrays without re-lowering.
+        self._level_sums = []
         for height in range(1, max_height + 1):
             sums = [
                 order[i] for i in range(self.n_nodes)
@@ -467,6 +507,7 @@ class CompiledRSPN:
                 if heights[i] == height and isinstance(order[i], ProductNode)
             ]
             self.levels.append(_Level(sums, products, index_of))
+            self._level_sums.append(sums)
 
         self.plan = _FusedPlan(order, index_of, heights, self.root_row)
 
@@ -776,6 +817,30 @@ class CompiledRSPN:
         """Digest of the fused plan; see :meth:`_FusedPlan.signature`."""
         return self.plan.signature()
 
+    def refresh_weights(self):
+        """Re-bake every baked sum-weight array from the live nodes.
+
+        The incremental-invalidation fast path: after a batch of count
+        mutations the structure, slots and leaf wiring of this form are
+        all still exact -- only the frozen mixture weights (fused-plan
+        ``pos_weights`` and the legacy levels' ``sum_weights``) drifted.
+        Patching them in place is O(sum nodes) instead of the O(nodes)
+        re-lowering ``compiled_for`` would do.  Returns ``False`` when
+        this form has no node back-references (tape-restored mapped
+        forms): the caller falls back to a full recompile.
+        """
+        level_sums = getattr(self, "_level_sums", None)
+        if level_sums is None or not self.plan.refresh_weights():
+            return False
+        for level, sums in zip(self.levels, level_sums):
+            if not sums:
+                continue
+            weights: list[float] = []
+            for node in sums:
+                weights.extend(node.weights)
+            level.sum_weights = np.array(weights, dtype=float)
+        return True
+
     def kernel_stats(self) -> dict:
         """Kernel + sweep telemetry for benches and serving ``/stats``."""
         with self._pool_lock:
@@ -993,6 +1058,169 @@ def import_tree_arrays(meta, arrays):
             leaf_data,
         )
     return nodes[int(meta["root_row"])]
+
+
+# Per-root ``id(node) -> post-order row`` maps.  Updates never change
+# structure, so the map stays valid for the life of the tree; keyed
+# weakly by root so it dies with its owner (the root keeps every node
+# alive, so the stored ids cannot be recycled while the entry lives).
+_ROW_INDEX: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def row_index(root) -> dict:
+    """Cached ``id(node) -> post-order row`` map of a tree.
+
+    The batch applier (:mod:`repro.core.updates`) uses it to name the
+    nodes it touched by their canonical rows, which is the vocabulary
+    :func:`export_tree_delta` and the shard transport speak.
+    """
+    index = _ROW_INDEX.get(root)
+    if index is None:
+        index = {
+            id(node): i for i, node in enumerate(_post_order(root))
+        }
+        _ROW_INDEX[root] = index
+    return index
+
+
+def export_tree_delta(root, sum_rows, leaf_rows, from_generation,
+                      to_generation):
+    """Lower the *touched* rows of a tree to a ``(meta, arrays)`` patch.
+
+    The delta is **absolute state, not diffs**: for every touched sum
+    row it carries the full current counts array, for every touched
+    leaf row the full current payload (same per-kind layout as
+    :func:`export_tree_arrays`).  Applying it therefore lands any twin
+    whose *untouched* rows match the base state exactly on
+    ``to_generation`` -- workers lagging at any generation in
+    ``[from_generation, to_generation)`` patch with the same blob.
+    ``meta`` ships the parent's post-refresh ``plan_signature`` so the
+    patched worker can prove its re-baked plan matches.
+    """
+    order = _post_order(root)
+    sum_rows = sorted(int(row) for row in set(sum_rows))
+    leaf_rows = sorted(int(row) for row in set(leaf_rows))
+    sum_offsets = [0]
+    sum_chunks: list[np.ndarray] = []
+    for row in sum_rows:
+        node = order[row]
+        if not isinstance(node, SumNode):
+            raise TypeError(f"delta row {row} is not a sum node")
+        counts = np.asarray(node.counts, dtype=np.float64)
+        sum_chunks.append(counts)
+        sum_offsets.append(sum_offsets[-1] + counts.shape[0])
+    leaf_kinds = np.empty(len(leaf_rows), dtype=np.int8)
+    leaf_ns = np.empty(len(leaf_rows), dtype=np.int64)
+    leaf_offsets = [0]
+    leaf_chunks: list[np.ndarray] = []
+    for slot, row in enumerate(leaf_rows):
+        node = order[row]
+        if isinstance(node, DiscreteLeaf):
+            leaf_kinds[slot] = _KIND_DISCRETE
+            leaf_ns[slot] = int(node.values.shape[0])
+            payload = [
+                np.asarray(node.values, dtype=np.float64),
+                np.asarray(node.counts, dtype=np.float64),
+                np.asarray([node.null_count], dtype=np.float64),
+            ]
+        elif isinstance(node, BinnedLeaf):
+            leaf_kinds[slot] = _KIND_BINNED
+            leaf_ns[slot] = int(node.counts.shape[0])
+            payload = [
+                np.asarray(node.edges, dtype=np.float64),
+                np.asarray(node.counts, dtype=np.float64),
+                np.asarray(node.sums, dtype=np.float64),
+                np.asarray(node.distinct, dtype=np.float64),
+                np.asarray([node.null_count], dtype=np.float64),
+            ]
+        else:
+            raise TypeError(f"delta row {row} is not a histogram leaf")
+        leaf_chunks.extend(payload)
+        leaf_offsets.append(
+            leaf_offsets[-1] + sum(chunk.shape[0] for chunk in payload)
+        )
+    meta = {
+        "kind": "rspn-tree-delta",
+        "from_generation": int(from_generation),
+        "to_generation": int(to_generation),
+        "plan_signature": compiled_for(root).plan_signature(),
+    }
+    arrays = {
+        "sum_rows": np.asarray(sum_rows, dtype=np.int64),
+        "sum_offsets": np.asarray(sum_offsets, dtype=np.int64),
+        "sum_counts": (
+            np.concatenate(sum_chunks)
+            if sum_chunks else np.empty(0, dtype=np.float64)
+        ),
+        "leaf_rows": np.asarray(leaf_rows, dtype=np.int64),
+        "leaf_kinds": leaf_kinds,
+        "leaf_ns": leaf_ns,
+        "leaf_offsets": np.asarray(leaf_offsets, dtype=np.int64),
+        "leaf_data": (
+            np.concatenate(leaf_chunks)
+            if leaf_chunks else np.empty(0, dtype=np.float64)
+        ),
+    }
+    return meta, arrays
+
+
+def apply_tree_delta(root, meta, arrays):
+    """Patch a tree in place from an :func:`export_tree_delta` blob.
+
+    Touched arrays are replaced with private **copies** (never views),
+    so the delta's backing buffer can be released immediately after the
+    call.  Does not touch the generation machinery: the caller decides
+    whether the patched tree's compiled form can be weight-refreshed
+    (:meth:`CompiledRSPN.refresh_weights`) or must recompile.  Returns
+    ``(sum nodes patched, leaves patched)``.
+    """
+    if meta.get("kind") != "rspn-tree-delta":
+        raise ValueError(f"not a tree delta: {meta.get('kind')!r}")
+    order = _post_order(root)
+    sum_rows = arrays["sum_rows"]
+    sum_offsets = arrays["sum_offsets"]
+    sum_counts = arrays["sum_counts"]
+    for i in range(sum_rows.shape[0]):
+        node = order[int(sum_rows[i])]
+        if not isinstance(node, SumNode):
+            raise TypeError(f"delta row {int(sum_rows[i])} is not a sum node")
+        a, b = int(sum_offsets[i]), int(sum_offsets[i + 1])
+        node.counts = sum_counts[a:b].copy()
+        node._weights = None
+    leaf_rows = arrays["leaf_rows"]
+    leaf_kinds = arrays["leaf_kinds"]
+    leaf_ns = arrays["leaf_ns"]
+    leaf_offsets = arrays["leaf_offsets"]
+    leaf_data = arrays["leaf_data"]
+    for i in range(leaf_rows.shape[0]):
+        node = order[int(leaf_rows[i])]
+        kind = int(leaf_kinds[i])
+        n = int(leaf_ns[i])
+        offset = int(leaf_offsets[i])
+        if kind == _KIND_DISCRETE:
+            if not isinstance(node, DiscreteLeaf):
+                raise TypeError(
+                    f"delta row {int(leaf_rows[i])} is not a DiscreteLeaf"
+                )
+            node.values = leaf_data[offset:offset + n].copy()
+            node.counts = leaf_data[offset + n:offset + 2 * n].copy()
+            node.null_count = float(leaf_data[offset + 2 * n])
+        elif kind == _KIND_BINNED:
+            if not isinstance(node, BinnedLeaf):
+                raise TypeError(
+                    f"delta row {int(leaf_rows[i])} is not a BinnedLeaf"
+                )
+            edges_end = offset + n + 1
+            node.edges = leaf_data[offset:edges_end].copy()
+            node.counts = leaf_data[edges_end:edges_end + n].copy()
+            node.sums = leaf_data[edges_end + n:edges_end + 2 * n].copy()
+            node.distinct = (
+                leaf_data[edges_end + 2 * n:edges_end + 3 * n].copy()
+            )
+            node.null_count = float(leaf_data[edges_end + 3 * n])
+        else:
+            raise ValueError(f"unknown leaf kind {kind}")
+    return int(sum_rows.shape[0]), int(leaf_rows.shape[0])
 
 
 def post_order(root):
@@ -1346,3 +1574,29 @@ def invalidate(root):
     check in :func:`compiled_for` stays as the correctness backstop."""
     _GENERATIONS[root] = generation(root) + 1
     _CACHE.pop(root, None)
+
+
+def refresh_weights(root) -> int:
+    """Incremental invalidation: bump the generation but *keep* the
+    compiled form, patching its baked sum weights in place.
+
+    The contract every cache rides (generation moved == answers may
+    have changed) is preserved -- only the recovery cost changes: where
+    :func:`invalidate` schedules an O(nodes) re-lowering,
+    this re-bakes O(sum nodes) weight arrays and leaves the plan,
+    arena allocation and leaf wiring untouched.  Only valid after
+    mutations that change **sum counts and leaf payloads** (the batch
+    applier's footprint); anything structural must use
+    :func:`invalidate`.  Falls back to dropping the cache entry when
+    the form cannot be patched (mapped forms).  Returns the new
+    generation.
+    """
+    current = generation(root) + 1
+    _GENERATIONS[root] = current
+    form = _CACHE.get(root)
+    if form is not None:
+        if form.refresh_weights():
+            form.generation = current
+        else:
+            _CACHE.pop(root, None)
+    return current

@@ -72,6 +72,34 @@ class SPNEnsemble:
         rspn.evaluator = self.evaluator
         return rspn
 
+    def replace(self, index, rspn, seconds=0.0):
+        """Swap member ``index`` for a freshly learned ``rspn``.
+
+        The drift-repair path (:func:`repro.core.maintenance.refresh_ensemble`)
+        builds the replacement off-line and commits it here.  A naive
+        ``ensemble.rspns[index] = fresh`` would make :attr:`generation`
+        *jump backwards* (the fresh tree starts at generation 0 while
+        the old one had absorbed updates), silently un-invalidating
+        every generation-keyed cache -- so the structure counter is
+        advanced past everything the outgoing model contributed, keeping
+        the ensemble counter strictly monotonic.  The old model is
+        retired from the shared evaluator (dropping its published
+        shared-memory segments); the new one is attached in its place.
+        """
+        old = self.rspns[index]
+        self._structure_generation += 1 + int(old.generation)
+        self.rspns[index] = rspn
+        self.training_seconds += seconds
+        if index < len(self.rspn_training_seconds):
+            self.rspn_training_seconds[index] = seconds
+        rspn.evaluator = self.evaluator
+        if self.evaluator is not None:
+            retire = getattr(self.evaluator, "retire_model", None)
+            if retire is not None:
+                retire(old.root)
+        old.evaluator = None
+        return rspn
+
     def set_evaluator(self, evaluator):
         """Attach (or detach, with ``None``) a shared batch executor.
 

@@ -81,9 +81,16 @@ def absorb_inserts(ensemble, database, delta_masks, seed=0):
         if data.shape[0] == 0:
             continue
         keep = rng.random(data.shape[0]) < fraction
-        for row in data[keep]:
-            rspn.insert(dict(zip(columns, row)))
-            inserted += 1
+        ops = [(dict(zip(columns, row)), +1) for row in data[keep]]
+        if not ops:
+            continue
+        # One copy-on-write batch per RSPN: a bulk absorb costs one
+        # generation bump / one compiled-form patch instead of one full
+        # invalidation per tuple, and concurrent readers keep a
+        # consistent snapshot throughout.  Final counts are
+        # bit-identical to the per-tuple rspn.insert loop this replaces.
+        rspn.apply_batch(ops)
+        inserted += len(ops)
     return inserted, time.perf_counter() - start
 
 
@@ -167,9 +174,17 @@ def _product_split_violations(node, data, threshold, seed, min_rows):
                         value = float(matrix[position[a], position[b]])
                         if value >= threshold:
                             violations.append((a, b, value))
-        for child in node.children:
+        for i, child in enumerate(node.children):
+            # Derive a distinct seed per child (as the sum branch above
+            # does): recursing with the parent's seed made sibling
+            # subtrees draw identical RDC subsamples, so reports could
+            # differ between runs that happened to order recursion
+            # differently and correlated columns hiding behind an
+            # unlucky shared draw were checked with zero diversity.
             violations.extend(
-                _product_split_violations(child, data, threshold, seed, min_rows)
+                _product_split_violations(
+                    child, data, threshold, seed + i + 1, min_rows
+                )
             )
         return violations
     return []
@@ -201,6 +216,50 @@ def check_structure_drift(ensemble, database, sample=2_000, threshold=None,
     return reports
 
 
+def rebuild_drifted(ensemble, database, config, sample=2_000, seed=0):
+    """Shadow-learn replacements for drifted RSPNs without mutating.
+
+    Runs :func:`check_structure_drift` and re-learns every flagged RSPN
+    from the current data into *scratch* ensembles -- ``ensemble``
+    itself is only read, so this (expensive) phase can run off any
+    serving lock while readers keep answering from the live models.
+    Returns ``(reports, replacements)`` with ``replacements`` a list of
+    ``(index, fresh_rspn, seconds)`` ready for :func:`commit_refresh`.
+    """
+    from repro.core.ensemble import SPNEnsemble, _learn_join, _learn_single_table
+
+    compute_tuple_factors(database)
+    reports = check_structure_drift(ensemble, database, sample=sample, seed=seed)
+    replacements = []
+    for index, report in enumerate(reports):
+        if not report.has_drift:
+            continue
+        start = time.perf_counter()
+        scratch = SPNEnsemble(database)
+        tables = sorted(report.rspn.tables)
+        if len(tables) == 1:
+            fresh = _learn_single_table(database, scratch, tables[0], config)
+        else:
+            fresh = _learn_join(database, scratch, tables, config)
+        replacements.append((index, fresh, time.perf_counter() - start))
+    return reports, replacements
+
+
+def commit_refresh(ensemble, replacements):
+    """Atomically swap shadow-learned replacements into ``ensemble``.
+
+    The cheap O(replacements) commit phase of :func:`rebuild_drifted`:
+    run it under the serving session's write lock.  Each swap goes
+    through :meth:`~repro.core.ensemble.SPNEnsemble.replace`, which
+    keeps the ensemble generation strictly monotonic and retires the
+    outgoing model from the shared evaluator.  Untouched RSPNs keep
+    their incremental state.  Returns the number of models swapped.
+    """
+    for index, fresh, seconds in replacements:
+        ensemble.replace(index, fresh, seconds=seconds)
+    return len(replacements)
+
+
 def refresh_ensemble(ensemble, database, config, sample=2_000, seed=0):
     """Regenerate RSPNs whose structure has drifted (Section 5.2).
 
@@ -208,23 +267,14 @@ def refresh_ensemble(ensemble, database, config, sample=2_000, seed=0):
     from the current data with the given
     :class:`~repro.core.ensemble.EnsembleConfig`.  Returns
     ``(reports, rebuilt_count, seconds)``; untouched RSPNs keep their
-    incremental state.
+    incremental state.  This is the convenience one-call form of
+    :func:`rebuild_drifted` + :func:`commit_refresh`; the serving
+    layer's drift monitor calls the two phases separately so only the
+    pointer swap runs under its write lock.
     """
-    from repro.core.ensemble import SPNEnsemble, _learn_join, _learn_single_table
-
-    compute_tuple_factors(database)
-    reports = check_structure_drift(ensemble, database, sample=sample, seed=seed)
     start = time.perf_counter()
-    rebuilt = 0
-    for index, report in enumerate(reports):
-        if not report.has_drift:
-            continue
-        scratch = SPNEnsemble(database)
-        tables = sorted(report.rspn.tables)
-        if len(tables) == 1:
-            fresh = _learn_single_table(database, scratch, tables[0], config)
-        else:
-            fresh = _learn_join(database, scratch, tables, config)
-        ensemble.rspns[index] = fresh
-        rebuilt += 1
+    reports, replacements = rebuild_drifted(
+        ensemble, database, config, sample=sample, seed=seed
+    )
+    rebuilt = commit_refresh(ensemble, replacements)
     return reports, rebuilt, time.perf_counter() - start

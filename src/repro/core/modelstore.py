@@ -847,3 +847,7 @@ class MappedRSPN(RSPN):
     def delete(self, row):
         self._thaw()
         return super().delete(row)
+
+    def stage_batch(self, ops):
+        self._thaw()
+        return super().stage_batch(ops)

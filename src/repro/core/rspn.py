@@ -299,6 +299,57 @@ class RSPN:
         self.sample_size = max(0.0, self.sample_size - 1)
         self.full_size = max(0.0, self.full_size - growth)
 
+    # -- batched updates (streaming ingest) ----------------------------
+    def stage_batch(self, ops):
+        """Stage many ``(row, sign)`` tuple updates without mutating.
+
+        ``ops`` is an iterable of ``(row dict, +1/-1)``.  Routing and
+        histogram arithmetic run now, against copy-on-write shadows
+        (:class:`repro.core.updates.TreeBatch`), so concurrent readers
+        keep sweeping one consistent tree.  Returns an opaque pending
+        batch for :meth:`commit_batch`.  Staging and committing must be
+        serialized against other writers (the serving session's ingest
+        lock does this); readers need no coordination.
+        """
+        from repro.core.updates import TreeBatch
+
+        batch = TreeBatch(self.root)
+        signs = []
+        for row, sign in ops:
+            batch.stage(self._row_vector(row), sign)
+            signs.append(sign)
+        return (batch, signs)
+
+    def commit_batch(self, pending):
+        """Publish a staged batch: one generation bump for the whole
+        batch, size bookkeeping replayed per tuple exactly as the
+        serial :meth:`insert`/:meth:`delete` would have.  Returns the
+        :class:`repro.core.updates.BatchDelta` of touched rows
+        (``None`` for an empty batch)."""
+        batch, signs = pending
+        delta = batch.commit()
+        for sign in signs:
+            if sign > 0:
+                self.sample_size += 1
+                self.full_size += (
+                    1.0 / self.sample_fraction
+                    if self.sample_fraction > 0 else 1.0
+                )
+            else:
+                growth = (
+                    1.0 / self.sample_fraction
+                    if self.sample_fraction > 0 else 1.0
+                )
+                self.sample_size = max(0.0, self.sample_size - 1)
+                self.full_size = max(0.0, self.full_size - growth)
+        return delta
+
+    def apply_batch(self, ops):
+        """Stage and immediately commit ``(row, sign)`` updates; the
+        single-caller convenience over
+        :meth:`stage_batch`/:meth:`commit_batch`."""
+        return self.commit_batch(self.stage_batch(ops))
+
     def __repr__(self):
         counts = self.node_counts()
         return (

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import atexit
 import concurrent.futures
+import gc
 import itertools
 import logging
 import os
@@ -236,6 +237,10 @@ class PickleSpecTransport:
             self.publish_seconds += time.perf_counter() - start
         return ("pickle-tree", blob), True
 
+    def record_tree_delta(self, key, from_generation, to_generation,
+                          sum_rows, leaf_rows):
+        """Pickle ships whole object graphs; deltas don't apply."""
+
     def publish_specs(self, specs, bounds):
         """``(handle, per-slice payloads)``; handle is for release."""
         start = time.perf_counter()
@@ -263,6 +268,8 @@ class PickleSpecTransport:
                 "name": self.name,
                 "tree_publishes": self.tree_publishes,
                 "tree_bytes": self.tree_bytes,
+                "tree_delta_publishes": 0,
+                "tree_delta_bytes": 0,
                 "spec_publishes": self.spec_publishes,
                 "spec_bytes": self.spec_bytes,
                 "publish_seconds": self.publish_seconds,
@@ -306,8 +313,19 @@ class SharedMemorySpecTransport:
         self._trees: OrderedDict = OrderedDict()
         # In-flight spec segments, keyed by name (release pops them).
         self._spec_segments: dict[str, object] = {}
+        # model key -> accumulated touched rows since the published base
+        # segment: {"from": base generation, "to": latest recorded
+        # generation, "sum_rows": set, "leaf_rows": set}.  Fed by
+        # record_tree_delta; consumed (and kept growing -- lagging
+        # workers patch from the same base) by tree_payload.
+        self._tree_deltas: dict[int, dict] = {}
+        # model key -> (to generation, SharedMemory) -- the currently
+        # published delta patch, superseded per generation.
+        self._delta_segments: dict[int, tuple] = {}
         self.tree_publishes = 0
         self.tree_bytes = 0
+        self.tree_delta_publishes = 0
+        self.tree_delta_bytes = 0
         self.spec_publishes = 0
         self.spec_bytes = 0
         self.publish_seconds = 0.0
@@ -316,8 +334,56 @@ class SharedMemorySpecTransport:
         self.segments_unlinked = 0
         _LIVE_TRANSPORTS.add(self)
 
+    def record_tree_delta(self, key, from_generation, to_generation,
+                          sum_rows, leaf_rows):
+        """Note that a batch commit moved ``key``'s tree from
+        ``from_generation`` to ``to_generation`` touching only the
+        given post-order rows.
+
+        Accumulated rows must chain gaplessly from the published base
+        segment's generation; a gap (an invalidation that went through
+        the non-batched path, structure swap, ...) voids the delta and
+        the next flush falls back to a full republish.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            state = self._tree_deltas.get(key)
+            entry = self._trees.get(key)
+            if state is not None and state["to"] == from_generation:
+                state["sum_rows"].update(int(r) for r in sum_rows)
+                state["leaf_rows"].update(int(r) for r in leaf_rows)
+                state["to"] = to_generation
+            elif entry is not None and entry[0] == from_generation:
+                self._tree_deltas[key] = {
+                    "from": from_generation,
+                    "to": to_generation,
+                    "sum_rows": {int(r) for r in sum_rows},
+                    "leaf_rows": {int(r) for r in leaf_rows},
+                }
+            else:
+                # Can't prove continuity from the published base.
+                self._tree_deltas.pop(key, None)
+
+    def _drop_delta(self, key):
+        # Caller holds self._lock; returns a segment to destroy.
+        self._tree_deltas.pop(key, None)
+        old = self._delta_segments.pop(key, None)
+        if old is not None:
+            self.segments_unlinked += 1
+            return old[1]
+        return None
+
     def tree_payload(self, root, key, generation, assume_cached):
-        """Publish (or reuse) the tree segment; name travels per task."""
+        """Publish (or reuse) the tree segment; name travels per task.
+
+        When the generation moved but every bump since the published
+        base was recorded through :meth:`record_tree_delta`, a **delta
+        segment** holding only the touched rows is published instead of
+        re-shipping the whole tree -- provided the patch is actually
+        smaller.  The base segment stays up so lagging or cold workers
+        can still bootstrap the full twin and patch it.
+        """
         start = time.perf_counter()
         with self._lock:
             if self._closed:
@@ -326,6 +392,12 @@ class SharedMemorySpecTransport:
             if entry is not None and entry[0] == generation:
                 self._trees.move_to_end(key)
                 return ("shm-tree", entry[1].name), False
+            if entry is not None:
+                payload = self._delta_payload(key, root, entry, generation)
+                if payload is not None:
+                    self._trees.move_to_end(key)
+                    self.publish_seconds += time.perf_counter() - start
+                    return payload
             meta, arrays = compiled_mod.export_tree_arrays(root)
             header, payload_base, total = specpack.blob_layout(meta, arrays)
             segment = _create_segment(total)
@@ -333,17 +405,65 @@ class SharedMemorySpecTransport:
             if entry is not None:  # superseded generation
                 _destroy_segment(entry[1])
                 self.segments_unlinked += 1
+            stale_delta = self._drop_delta(key)
+            if stale_delta is not None:
+                _destroy_segment(stale_delta)
             self._trees[key] = (generation, segment)
             self._trees.move_to_end(key)
             while len(self._trees) > _WORKER_MODEL_CAP:
-                _, evicted = self._trees.popitem(last=False)
+                evicted_key, evicted = self._trees.popitem(last=False)
                 _destroy_segment(evicted[1])
                 self.segments_unlinked += 1
+                evicted_delta = self._drop_delta(evicted_key)
+                if evicted_delta is not None:
+                    _destroy_segment(evicted_delta)
             self.tree_publishes += 1
             self.tree_bytes += total
             self.segments_created += 1
             self.publish_seconds += time.perf_counter() - start
             return ("shm-tree", segment.name), True
+
+    def _delta_payload(self, key, root, entry, generation):
+        """A ``shm-tree-delta`` payload when the recorded delta covers
+        ``base -> generation`` and beats a full republish on bytes;
+        ``None`` otherwise (caller full-publishes).  Caller holds
+        ``self._lock``."""
+        state = self._tree_deltas.get(key)
+        if (
+            state is None
+            or state["from"] != entry[0]
+            or state["to"] != generation
+        ):
+            return None
+        published = self._delta_segments.get(key)
+        if published is not None and published[0] == generation:
+            return (
+                ("shm-tree-delta", entry[1].name, published[1].name,
+                 int(entry[0])),
+                False,
+            )
+        meta, arrays = compiled_mod.export_tree_delta(
+            root, state["sum_rows"], state["leaf_rows"],
+            entry[0], generation,
+        )
+        header, payload_base, total = specpack.blob_layout(meta, arrays)
+        if total >= entry[1].size:
+            # The patch grew past the whole tree: republishing is
+            # cheaper and resets the delta base.
+            return None
+        segment = _create_segment(total)
+        specpack.write_blob(segment.buf, header, payload_base, arrays)
+        if published is not None:
+            _destroy_segment(published[1])
+            self.segments_unlinked += 1
+        self._delta_segments[key] = (generation, segment)
+        self.tree_delta_publishes += 1
+        self.tree_delta_bytes += total
+        self.segments_created += 1
+        return (
+            ("shm-tree-delta", entry[1].name, segment.name, int(entry[0])),
+            True,
+        )
 
     def publish_specs(self, specs, bounds):
         start = time.perf_counter()
@@ -406,8 +526,11 @@ class SharedMemorySpecTransport:
             entry = self._trees.pop(key, None)
             if entry is not None:
                 self.segments_unlinked += 1
+            delta = self._drop_delta(key)
         if entry is not None:
             _destroy_segment(entry[1])
+        if delta is not None:
+            _destroy_segment(delta)
 
     def close(self):
         """Unlink every owned segment; idempotent."""
@@ -415,10 +538,16 @@ class SharedMemorySpecTransport:
             self._closed = True
             trees, self._trees = self._trees, {}
             spec_segments, self._spec_segments = self._spec_segments, {}
-            self.segments_unlinked += len(trees) + len(spec_segments)
+            deltas, self._delta_segments = self._delta_segments, {}
+            self._tree_deltas = {}
+            self.segments_unlinked += (
+                len(trees) + len(spec_segments) + len(deltas)
+            )
         for _, segment in trees.values():
             _destroy_segment(segment)
         for segment in spec_segments.values():
+            _destroy_segment(segment)
+        for _, segment in deltas.values():
             _destroy_segment(segment)
 
     def __del__(self):
@@ -433,11 +562,16 @@ class SharedMemorySpecTransport:
                 "name": self.name,
                 "tree_publishes": self.tree_publishes,
                 "tree_bytes": self.tree_bytes,
+                "tree_delta_publishes": self.tree_delta_publishes,
+                "tree_delta_bytes": self.tree_delta_bytes,
                 "spec_publishes": self.spec_publishes,
                 "spec_bytes": self.spec_bytes,
                 "publish_seconds": self.publish_seconds,
                 "spec_pack_fallbacks": self.spec_pack_fallbacks,
-                "segments_active": len(self._trees) + len(self._spec_segments),
+                "segments_active": (
+                    len(self._trees) + len(self._spec_segments)
+                    + len(self._delta_segments)
+                ),
                 "segments_created": self.segments_created,
                 "segments_unlinked": self.segments_unlinked,
             }
@@ -468,8 +602,11 @@ def make_transport(transport=None):
 # Worker side
 # ----------------------------------------------------------------------
 # model key -> (generation, CompiledRSPN, attached tree segment or
-# None); a small LRU per worker.  The parent-side caches use the same
-# cap so neither side retains models that stopped being queried.
+# None, root node or None); a small LRU per worker.  The root is held
+# strongly so a later ``shm-tree-delta`` payload can patch the cached
+# twin in place instead of re-importing the whole tree.  The
+# parent-side caches use the same cap so neither side retains models
+# that stopped being queried.
 _WORKER_MODELS: OrderedDict = OrderedDict()
 _WORKER_MODEL_CAP = 8
 
@@ -490,6 +627,23 @@ def _attach_segment(name):
     return shared_memory.SharedMemory(name=name)
 
 
+def _close_segment_handle(segment):
+    """Close an attached segment whose views may linger in cyclic
+    garbage (a freshly dropped node graph).  One collection usually
+    frees them; if a view truly survives, give up quietly -- a later
+    ``__del__`` on a still-exported mmap would only raise an ignored
+    BufferError anyway."""
+    try:
+        segment.close()
+        return
+    except BufferError:
+        gc.collect()
+    try:
+        segment.close()
+    except BufferError:  # a stray view survives; freed at exit
+        pass
+
+
 def _close_worker_entry(entry):
     """Drop one cached model, then close its tree segment (the order
     matters: the leaf arrays are views into the segment's mmap, and
@@ -499,10 +653,7 @@ def _close_worker_entry(entry):
     segment = entry[2]
     del entry
     if segment is not None:
-        try:
-            segment.close()
-        except BufferError:  # a stray view survives; freed at exit
-            pass
+        _close_segment_handle(segment)
 
 
 def _clear_worker_models():
@@ -564,38 +715,118 @@ def _decode_specs(payload):
 
 
 def _worker_model(key, generation, tree_payload):
-    """The worker's cached compiled model, (re)built if stale."""
+    """The worker's cached compiled model, (re)built or patched if stale."""
     from repro.core.compiled import CompiledRSPN
 
     entry = _WORKER_MODELS.get(key)
     if entry is None or entry[0] != generation:
-        entry = None  # drop our reference BEFORE closing the old segment
-        root, segment, expected_signature = _decode_tree(
-            key, generation, tree_payload
-        )
-        _close_worker_entry(_WORKER_MODELS.pop(key, None))
-        compiled = CompiledRSPN(root)
-        if (
-            expected_signature is not None
-            and compiled.plan_signature() != expected_signature
-        ):
-            # The recompiled fused plan must be the parent's plan (both
-            # derive from the same preserved post order); a mismatch
-            # means the published arrays were mangled in transit.  Fail
-            # the slice -- the parent falls back to its serial sweep,
-            # never a wrong answer.
-            del compiled, root  # release leaf views before the segment
-            _close_worker_entry((generation, None, segment))
-            raise RuntimeError(
-                "worker sweep plan diverges from the published tree "
-                f"(model {key}, generation {generation})"
+        if tree_payload[0] == "shm-tree-delta":
+            compiled, segment, root = _patched_worker_model(
+                key, generation, tree_payload, entry
             )
-        entry = (generation, compiled, segment)
+        else:
+            entry = None  # drop our reference BEFORE closing the old segment
+            root, segment, expected_signature = _decode_tree(
+                key, generation, tree_payload
+            )
+            _close_worker_entry(_WORKER_MODELS.pop(key, None))
+            compiled = CompiledRSPN(root)
+            if (
+                expected_signature is not None
+                and compiled.plan_signature() != expected_signature
+            ):
+                # The recompiled fused plan must be the parent's plan
+                # (both derive from the same preserved post order); a
+                # mismatch means the published arrays were mangled in
+                # transit.  Fail the slice -- the parent falls back to
+                # its serial sweep, never a wrong answer.
+                del compiled, root  # release leaf views before the segment
+                _close_worker_entry((generation, None, segment, None))
+                raise RuntimeError(
+                    "worker sweep plan diverges from the published tree "
+                    f"(model {key}, generation {generation})"
+                )
+        entry = (generation, compiled, segment, root)
         _WORKER_MODELS[key] = entry
+        # A patched key kept its old dict position; bump it before
+        # evicting so the LRU can never evict what it just rebuilt.
+        _WORKER_MODELS.move_to_end(key)
         while len(_WORKER_MODELS) > _WORKER_MODEL_CAP:
             _close_worker_entry(_WORKER_MODELS.popitem(last=False)[1])
     _WORKER_MODELS.move_to_end(key)
     return entry[1]
+
+
+def _patched_worker_model(key, generation, tree_payload, entry):
+    """Land on ``generation`` from a ``shm-tree-delta`` payload.
+
+    A warm worker (cached entry at or past the delta's base generation,
+    with a held root) patches its twin in place and re-bakes the
+    compiled form's weights -- O(touched rows), no re-import, keeping
+    its existing base-segment attachment.  A cold or too-old worker
+    bootstraps the full twin from the still-published base segment and
+    applies the same patch (the delta carries absolute state, so it
+    lands either start point on the same bits).  Returns
+    ``(compiled, segment, root)``; the delta segment attachment never
+    outlives this call.
+    """
+    from repro.core.compiled import CompiledRSPN
+
+    _, base_name, delta_name, base_generation = tree_payload
+    delta_segment = _attach_segment(delta_name)
+    try:
+        meta, arrays = specpack.read_blob(delta_segment.buf)
+        specpack.validate_tree_delta(meta, arrays)
+        expected_signature = meta.get("plan_signature")
+        warm = (
+            entry is not None
+            and entry[3] is not None
+            and base_generation <= entry[0] < generation
+        )
+        if warm:
+            _, compiled, segment, root = entry
+            entry = None
+            try:
+                compiled_mod.apply_tree_delta(root, meta, arrays)
+                if not compiled.refresh_weights():
+                    compiled = CompiledRSPN(root)
+            except BaseException:
+                # The twin may be half-patched: drop it entirely so the
+                # next task bootstraps clean.
+                del compiled, root
+                _close_worker_entry(_WORKER_MODELS.pop(key, None))
+                raise
+        else:
+            segment = _attach_segment(base_name)
+            try:
+                base_meta, base_arrays = specpack.read_blob(segment.buf)
+                root = compiled_mod.import_tree_arrays(base_meta, base_arrays)
+                compiled_mod.apply_tree_delta(root, meta, arrays)
+            except BaseException:
+                segment.close()
+                raise
+            entry = None
+            _close_worker_entry(_WORKER_MODELS.pop(key, None))
+            compiled = CompiledRSPN(root)
+        if (
+            expected_signature is not None
+            and compiled.plan_signature() != expected_signature
+        ):
+            del compiled, root
+            _close_worker_entry(
+                _WORKER_MODELS.pop(key, (generation, None, segment, None))
+            )
+            raise RuntimeError(
+                "worker sweep plan diverges from the patched tree "
+                f"(model {key}, generation {generation})"
+            )
+        return compiled, segment, root
+    finally:
+        # The delta views (meta/arrays) live in this frame; drop them
+        # so the delta segment really closes here instead of leaking a
+        # handle whose __del__ trips on the exported pointers.
+        meta = arrays = None  # noqa: F841
+        _close_segment_handle(delta_segment)
 
 
 def _worker_evaluate(key, generation, tree_payload, spec_payload, kernel=None):
@@ -712,6 +943,24 @@ class ShardedEvaluator:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def record_tree_delta(self, root, from_generation, to_generation,
+                          sum_rows, leaf_rows):
+        """Tell the transport a batch commit touched only these rows.
+
+        Called by the batched update path after each committed
+        :class:`repro.core.updates.TreeBatch`: the next sharded sweep
+        can then ship a leaf-delta patch instead of republishing the
+        whole tree.  A no-op for models this evaluator never shipped
+        (no key yet) and for transports without a delta path (pickle).
+        """
+        with _MODEL_KEY_LOCK:
+            key = _MODEL_KEYS.get(root)
+        if key is None:
+            return
+        self._transport.record_tree_delta(
+            key, from_generation, to_generation, sum_rows, leaf_rows
+        )
+
     def retire_model(self, root):
         """Release transport resources held for one model's tree.
 

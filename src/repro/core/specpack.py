@@ -203,6 +203,73 @@ def read_blob(buf):
 
 
 # ----------------------------------------------------------------------
+# Tree-delta blobs
+# ----------------------------------------------------------------------
+# The streaming-ingest patch format: instead of republishing the whole
+# tree segment after a batch of updates, the shard transport ships a
+# blob holding only the touched rows' current state
+# (:func:`repro.core.compiled.export_tree_delta`).  The codec is the
+# same header+payload layout as every other segment; this section just
+# names the kind and validates a received patch's internal consistency
+# before a worker applies it to its cached twin.
+
+TREE_DELTA_KIND = "rspn-tree-delta"
+
+_TREE_DELTA_ARRAYS = (
+    "sum_rows", "sum_offsets", "sum_counts",
+    "leaf_rows", "leaf_kinds", "leaf_ns", "leaf_offsets", "leaf_data",
+)
+
+
+def validate_tree_delta(meta, arrays):
+    """Check a decoded tree-delta blob's frame before applying it.
+
+    Raises :class:`SpecPackError` on a wrong kind, missing arrays, or
+    offset tables that disagree with their payloads -- the same
+    refuse-to-misread contract :func:`read_blob` gives for the byte
+    layout, one level up.  Returns ``(n sum rows, n leaf rows)``.
+    """
+    if meta.get("kind") != TREE_DELTA_KIND:
+        raise SpecPackError(
+            f"not a tree delta: kind {meta.get('kind')!r}"
+        )
+    missing = [name for name in _TREE_DELTA_ARRAYS if name not in arrays]
+    if missing:
+        raise SpecPackError(f"tree delta is missing arrays {missing}")
+    n_sums = int(arrays["sum_rows"].shape[0])
+    n_leaves = int(arrays["leaf_rows"].shape[0])
+    sum_offsets = arrays["sum_offsets"]
+    leaf_offsets = arrays["leaf_offsets"]
+    if sum_offsets.shape[0] != n_sums + 1:
+        raise SpecPackError(
+            f"sum_offsets has {sum_offsets.shape[0]} entries for "
+            f"{n_sums} sum rows"
+        )
+    if leaf_offsets.shape[0] != n_leaves + 1:
+        raise SpecPackError(
+            f"leaf_offsets has {leaf_offsets.shape[0]} entries for "
+            f"{n_leaves} leaf rows"
+        )
+    for name in ("leaf_kinds", "leaf_ns"):
+        if arrays[name].shape[0] != n_leaves:
+            raise SpecPackError(
+                f"{name} has {arrays[name].shape[0]} entries for "
+                f"{n_leaves} leaf rows"
+            )
+    if n_sums and int(sum_offsets[-1]) != arrays["sum_counts"].shape[0]:
+        raise SpecPackError(
+            f"sum_offsets claims {int(sum_offsets[-1])} counts but "
+            f"sum_counts holds {arrays['sum_counts'].shape[0]}"
+        )
+    if n_leaves and int(leaf_offsets[-1]) != arrays["leaf_data"].shape[0]:
+        raise SpecPackError(
+            f"leaf_offsets claims {int(leaf_offsets[-1])} floats but "
+            f"leaf_data holds {arrays['leaf_data'].shape[0]}"
+        )
+    return n_sums, n_leaves
+
+
+# ----------------------------------------------------------------------
 # Spec batch <-> columnar arrays
 # ----------------------------------------------------------------------
 def pack_specs(specs):

@@ -6,6 +6,21 @@ product nodes split the tuple by scope and recurse into every child;
 leaves adjust their value distribution.  The tree *structure* never
 changes -- exactly the behaviour (and limitation) the paper describes
 and evaluates in Table 2.
+
+Two appliers share that traversal:
+
+- :func:`update_tuple` -- the original one-tuple path.  Every call
+  invalidates the compiled form, so a stream of N inserts pays N full
+  re-lowerings (and N whole-tree re-ships to shard workers).
+- :class:`TreeBatch` -- the streaming-ingest path.  Tuples are *staged*
+  against copy-on-write shadows of exactly the nodes they touch (the
+  live tree is never mutated while readers sweep it), then *committed*
+  as one O(touched) pointer swap followed by a single
+  :func:`repro.core.compiled.refresh_weights` -- one generation bump
+  per batch, compiled plan patched in place rather than rebuilt.
+  Staging calls the **same** leaf ``update``/count arithmetic as the
+  serial path in the same per-tuple order, so a committed batch is
+  bit-identical (``==``) to applying its tuples one at a time.
 """
 
 from __future__ import annotations
@@ -13,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core import compiled
+from repro.core.leaves import BinnedLeaf, DiscreteLeaf
 from repro.core.nodes import LeafNode, ProductNode, SumNode
 
 
@@ -43,3 +59,150 @@ def _update(node, row, sign):
             _update(child, row, sign)
         return
     raise TypeError(f"unknown node type {type(node)!r}")
+
+
+class BatchDelta:
+    """What one committed :class:`TreeBatch` touched.
+
+    ``sum_rows`` / ``leaf_rows`` are canonical post-order rows (the
+    vocabulary of :func:`repro.core.compiled.export_tree_delta`), so
+    the shard transport can ship a patch covering exactly these nodes.
+    ``generation`` is the root's generation after the commit.
+    """
+
+    __slots__ = ("sum_rows", "leaf_rows", "tuples", "generation")
+
+    def __init__(self, sum_rows, leaf_rows, tuples, generation):
+        self.sum_rows = sum_rows
+        self.leaf_rows = leaf_rows
+        self.tuples = tuples
+        self.generation = generation
+
+
+class TreeBatch:
+    """Copy-on-write staging of many tuple updates against one tree.
+
+    ``stage()`` may be called freely while other threads *read* the
+    tree: every mutation lands in a private shadow (copied sum counts,
+    copied leaf histograms), and routing decisions read those shadows
+    so the staged stream sees its own earlier tuples exactly as the
+    serial path would.  ``commit()`` publishes the shadows onto the
+    live nodes -- plain attribute assignments, no array is mutated in
+    place -- and performs the batch's single generation bump.  The
+    caller (the serving session) runs ``commit()`` under its write
+    lock; a reader that raced an assignment still computes from a
+    consistent tree because every swapped array is fully formed before
+    being attached.
+    """
+
+    def __init__(self, root):
+        self.root = root
+        self.staged = 0
+        # id(node) -> (node, shadow counts) / (node, shadow leaf).
+        self._sums: dict[int, tuple] = {}
+        self._leaves: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Staging
+    # ------------------------------------------------------------------
+    def stage(self, row, sign=1):
+        """Stage one tuple (see :func:`update_tuple` for ``row``)."""
+        row = np.asarray(row, dtype=float)
+        self._stage(self.root, row, float(sign))
+        self.staged += 1
+
+    def _shadow_counts(self, node):
+        entry = self._sums.get(id(node))
+        if entry is None:
+            entry = (node, np.asarray(node.counts, dtype=float).copy())
+            self._sums[id(node)] = entry
+        return entry[1]
+
+    def _shadow_leaf(self, node):
+        entry = self._leaves.get(id(node))
+        if entry is None:
+            if isinstance(node, DiscreteLeaf):
+                shadow = DiscreteLeaf(
+                    node.scope_index, node.attribute,
+                    np.asarray(node.values, dtype=float).copy(),
+                    np.asarray(node.counts, dtype=float).copy(),
+                    node.null_count,
+                )
+            elif isinstance(node, BinnedLeaf):
+                shadow = BinnedLeaf(
+                    node.scope_index, node.attribute,
+                    node.edges,
+                    np.asarray(node.counts, dtype=float).copy(),
+                    np.asarray(node.sums, dtype=float).copy(),
+                    node.distinct,
+                    node.null_count,
+                )
+            else:
+                raise TypeError(
+                    f"cannot batch-update {type(node).__name__}: no "
+                    "copy-on-write shadow for this leaf kind"
+                )
+            entry = (node, shadow)
+            self._leaves[id(node)] = entry
+        return entry[1]
+
+    def _stage(self, node, row, sign):
+        if isinstance(node, LeafNode):
+            self._shadow_leaf(node).update(row[node.scope_index], sign)
+            return
+        if isinstance(node, SumNode):
+            counts = self._shadow_counts(node)
+            if node.kmeans is None:
+                # Serial routing reads the live counts, which by now
+                # include this batch's earlier tuples -- the shadow is
+                # that state.
+                nearest = int(np.argmax(counts))
+            else:
+                nearest = node.kmeans.nearest_center(
+                    row[np.asarray(node.scope)]
+                )
+            counts[nearest] = max(0.0, counts[nearest] + sign)
+            self._stage(node.children[nearest], row, sign)
+            return
+        if isinstance(node, ProductNode):
+            for child in node.children:
+                self._stage(child, row, sign)
+            return
+        raise TypeError(f"unknown node type {type(node)!r}")
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(self):
+        """Publish the shadows and bump the generation once.
+
+        Returns the :class:`BatchDelta` of touched post-order rows
+        (``None`` for an empty batch: no mutation, no bump).  The batch
+        is spent afterwards; stage into a fresh one.
+        """
+        if not self.staged:
+            return None
+        index = compiled.row_index(self.root)
+        sum_rows = []
+        for node, counts in self._sums.values():
+            node.counts = counts
+            node._weights = None
+            sum_rows.append(index[id(node)])
+        leaf_rows = []
+        for node, shadow in self._leaves.values():
+            if isinstance(node, DiscreteLeaf):
+                node.values = shadow.values
+                node.counts = shadow.counts
+            else:
+                node.counts = shadow.counts
+                node.sums = shadow.sums
+            node.null_count = shadow.null_count
+            leaf_rows.append(index[id(node)])
+        generation = compiled.refresh_weights(self.root)
+        delta = BatchDelta(
+            sorted(sum_rows), sorted(leaf_rows), self.staged, generation
+        )
+        self.staged = 0
+        self._sums = {}
+        self._leaves = {}
+        return delta

@@ -413,10 +413,12 @@ class DeepDB:
         """Insert one tuple into every RSPN covering ``table``.
 
         ``row`` maps column names to *raw* values; they are encoded with
-        the table's vocabularies.  Join RSPNs receive the tuple with the
-        join-partner columns NULL-extended, matching how a fresh tuple
-        without partners enters the full outer join.  Bumps
-        :attr:`generation`, invalidating dependent caches.
+        the table's vocabularies.  Unknown column names raise
+        ``KeyError``; schema columns absent from ``row`` are NULL-filled
+        explicitly.  Join RSPNs receive the tuple with the join-partner
+        columns NULL-extended, matching how a fresh tuple without
+        partners enters the full outer join.  Bumps :attr:`generation`,
+        invalidating dependent caches.
         """
         self._apply_update(table, row, insert=True)
 
@@ -426,29 +428,120 @@ class DeepDB:
         self._apply_update(table, row, insert=False)
 
     def _apply_update(self, table, row, insert):
-        encoded = self._encode_row(table, row)
-        for rspn in self.ensemble.touching(table):
-            model_row = {
-                name: encoded.get(name)
-                for name in rspn.column_names
-                if name in encoded
-            }
-            if rspn.is_join_model:
-                model_row[qualify(table, "__present__")] = 1.0
-                for other in rspn.tables - {table}:
-                    model_row[qualify(other, "__present__")] = 0.0
-            if insert:
-                rspn.insert(model_row)
-            else:
-                rspn.delete(model_row)
+        op = "insert" if insert else "delete"
+        result = self.apply_update_batch([(op, table, row)])[0]
+        if isinstance(result, Exception):
+            raise result
+
+    # -- batched updates (streaming ingest) ----------------------------
+    def stage_update_batch(self, ops):
+        """Validate, encode and stage a batch of updates without mutating.
+
+        ``ops`` is a sequence of ``(op, table, row)`` triples with ``op``
+        one of ``"insert"``/``"delete"`` and ``row`` a raw-value dict as
+        in :meth:`insert`.  Each op is validated independently: a bad
+        op (unknown table/column, unknown op name) is recorded as the
+        exception for its slot and contributes nothing, while the good
+        ops around it proceed -- the per-slot contract the serving
+        coalescer relies on.
+
+        All tuples for one RSPN land in a single copy-on-write
+        :class:`~repro.core.updates.TreeBatch`, so concurrent readers
+        keep sweeping one consistent snapshot during staging and the
+        eventual :meth:`commit_update_batch` costs one generation bump
+        per *touched RSPN*, not one per tuple.  Staging/committing must
+        be serialized against other writers; readers need no
+        coordination.
+        """
+        slots = [None] * len(ops)
+        per_rspn = {}
+        for i, (op, table, row) in enumerate(ops):
+            try:
+                if op == "insert":
+                    sign = +1
+                elif op == "delete":
+                    sign = -1
+                else:
+                    raise ValueError(f"unknown update op {op!r}")
+                encoded = self._encode_row(table, row)
+                targets = self.ensemble.touching(table)
+                if not targets:
+                    raise KeyError(f"no RSPN covers table {table!r}")
+            except Exception as exc:
+                slots[i] = exc
+                continue
+            for rspn in targets:
+                model_row = {
+                    name: encoded.get(name)
+                    for name in rspn.column_names
+                    if name in encoded
+                }
+                if rspn.is_join_model:
+                    model_row[qualify(table, "__present__")] = 1.0
+                    for other in rspn.tables - {table}:
+                        model_row[qualify(other, "__present__")] = 0.0
+                entry = per_rspn.setdefault(id(rspn), (rspn, []))
+                entry[1].append((model_row, sign))
+        staged = [
+            (rspn, rspn.stage_batch(rows))
+            for rspn, rows in per_rspn.values()
+        ]
+        return (staged, slots)
+
+    def commit_update_batch(self, pending):
+        """Commit a staged batch: publish every touched RSPN's shadows
+        (one generation bump each, compiled form patched in place) and
+        hand the touched-node delta to the sharded evaluator so workers
+        receive a leaf-delta patch instead of a whole-tree republish.
+
+        Returns per-slot results aligned with the staged ops: the
+        post-commit :attr:`generation` for applied slots, the validation
+        exception for rejected ones.
+        """
+        staged, slots = pending
+        for rspn, batch in staged:
+            before = rspn.generation
+            delta = rspn.commit_batch(batch)
+            if delta is None or self.evaluator is None:
+                continue
+            record = getattr(self.evaluator, "record_tree_delta", None)
+            if record is not None:
+                record(rspn.root, before, delta.generation,
+                       delta.sum_rows, delta.leaf_rows)
+        generation = self.generation
+        return [
+            slot if isinstance(slot, Exception) else generation
+            for slot in slots
+        ]
+
+    def apply_update_batch(self, ops):
+        """Stage and immediately commit a batch of updates (see
+        :meth:`stage_update_batch`); returns the per-slot results of
+        :meth:`commit_update_batch`."""
+        return self.commit_update_batch(self.stage_update_batch(ops))
 
     def _encode_row(self, table_name, row):
+        """Qualify and encode a raw row dict against one table.
+
+        Unknown column names raise ``KeyError`` (historically they were
+        dropped silently, turning a typo'd column into a NULL update);
+        schema columns the caller omitted are NULL-filled explicitly so
+        the absorbed tuple's shape never depends on which keys the
+        caller happened to pass.
+        """
         table = self.database.table(table_name)
+        schema = table.schema
         encoded = {}
         for column, value in row.items():
+            if not schema.has_attribute(column):
+                raise KeyError(
+                    f"table {table_name!r} has no column {column!r}"
+                )
             encoded[qualify(table_name, column)] = (
                 None if value is None else table.encode_value(column, value)
             )
+        for attr in schema.non_key_attributes:
+            encoded.setdefault(qualify(table_name, attr.name), None)
         return encoded
 
     def describe(self):

@@ -1,0 +1,140 @@
+"""Bounded update queue with coalescing batch consumption.
+
+Producers (HTTP handlers, the CLI driver, tests) call :meth:`UpdateQueue.put`;
+when the queue is full the put *blocks* -- backpressure, never unbounded
+memory.  The single consumer (:class:`~repro.ingest.applier.BatchApplier`)
+calls :meth:`UpdateQueue.get_batch`, which waits for the first op and
+then keeps collecting up to ``max_batch`` ops for at most ``max_wait_s``
+-- temporal proximity becomes batch shape, exactly like the serving
+coalescer does for queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class QueueClosed(RuntimeError):
+    """Raised by :meth:`UpdateQueue.put` after :meth:`UpdateQueue.close`."""
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One queued update: ``op`` is ``"insert"`` or ``"delete"``."""
+
+    op: str
+    table: str
+    row: dict = field(hash=False)
+
+    def triple(self):
+        """The ``(op, table, row)`` shape ``ModelSession.apply_batch`` eats."""
+        return (self.op, self.table, self.row)
+
+
+class UpdateQueue:
+    """A bounded FIFO of :class:`UpdateOp` with blocking backpressure."""
+
+    def __init__(self, maxsize=10_000):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._items: deque = deque()
+        self._condition = threading.Condition()
+        self._closed = False
+        self.enqueued = 0
+        self.dequeued = 0
+        self.put_waits = 0  # puts that had to block on a full queue
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def put(self, op, timeout=None) -> bool:
+        """Enqueue ``op``, blocking while the queue is full.
+
+        Returns ``True`` once enqueued, ``False`` on timeout.  Raises
+        :class:`QueueClosed` when the queue has been closed -- producers
+        must stop, the applier is draining towards shutdown.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            waited = False
+            while len(self._items) >= self.maxsize and not self._closed:
+                if not waited:
+                    self.put_waits += 1
+                    waited = True
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._condition.wait(remaining)
+            if self._closed:
+                raise QueueClosed("update queue is closed")
+            self._items.append(op)
+            self.enqueued += 1
+            self.high_water = max(self.high_water, len(self._items))
+            self._condition.notify_all()
+            return True
+
+    def close(self):
+        """Refuse further puts; pending ops remain consumable."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def get_batch(self, max_batch=256, max_wait_s=0.05):
+        """Collect up to ``max_batch`` ops into one list.
+
+        Blocks until at least one op is available (or the queue is
+        closed *and* empty, which returns ``None`` -- the consumer's
+        shutdown signal).  After the first op, keeps collecting for at
+        most ``max_wait_s`` so a trickle of producers still forms real
+        batches without adding latency to a full queue.
+        """
+        with self._condition:
+            while not self._items and not self._closed:
+                self._condition.wait()
+            if not self._items:
+                return None  # closed and drained
+            deadline = time.monotonic() + max_wait_s
+            while len(self._items) < max_batch and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._condition.wait(remaining)
+            batch = []
+            while self._items and len(batch) < max_batch:
+                batch.append(self._items.popleft())
+            self.dequeued += len(batch)
+            self._condition.notify_all()  # wake blocked producers
+            return batch
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self):
+        with self._condition:
+            return len(self._items)
+
+    @property
+    def closed(self):
+        with self._condition:
+            return self._closed
+
+    def stats(self) -> dict:
+        with self._condition:
+            return {
+                "depth": len(self._items),
+                "maxsize": self.maxsize,
+                "high_water": self.high_water,
+                "enqueued": self.enqueued,
+                "dequeued": self.dequeued,
+                "put_waits": self.put_waits,
+                "closed": self._closed,
+            }

@@ -243,6 +243,16 @@ class ModelRegistry:
         with self._lock:
             return self._names()
 
+    def resident_sessions(self) -> list:
+        """The currently paged-in sessions, without touching LRU order.
+
+        The drift monitor walks this on its cadence: paged-out models
+        cannot drift (their trees are on disk, untouched by updates), so
+        they are deliberately *not* paged in just to be checked.
+        """
+        with self._lock:
+            return list(self._sessions.values())
+
     def __len__(self):
         with self._lock:
             return len(set(self._sessions) | set(self._stores))

@@ -21,6 +21,11 @@ Endpoints::
                    "database": optional-model-name}
     POST /update  {"op": "insert"|"delete", "table": ..., "row": {...},
                    "database": optional-model-name}
+                  or batched: {"ops": [{"op", "table", "row"}, ...]} --
+                  the whole request flushes as one staged commit with
+                  per-slot results
+    GET  /stats   also carries "update_coalescers" (write-path batching)
+                  and "drift_monitor" (when --drift-interval is set)
     GET  /stats   per-endpoint latency/throughput, coalescer occupancy,
                   cache and admission counters
     GET  /models  registered model names
@@ -73,6 +78,11 @@ class AsyncDeepDB:
         # coalescer still bound to the old session's run_batch would pin
         # the evicted model alive and serve it forever.
         self._coalescers: dict[str, tuple] = {}
+        # Same, for the write path: concurrent inserts/deletes coalesce
+        # into one session.apply_batch (one staged copy-on-write batch,
+        # one generation bump per touched RSPN) instead of taking the
+        # write lock once per tuple.
+        self._update_coalescers: dict[str, tuple] = {}
         self._inflight = 0
         self.admitted = 0
         self.rejected = 0
@@ -112,25 +122,50 @@ class AsyncDeepDB:
             self._inflight -= 1
 
     # ------------------------------------------------------------------
-    # Updates (write-locked, off the event loop)
+    # Updates (coalesced onto the batch write path)
     # ------------------------------------------------------------------
     async def insert(self, table, row, database=None) -> int:
-        """Insert one tuple; waits for the write lock in a worker thread
-        so in-flight flushes keep draining.  Returns the new generation
-        (the result-cache invalidation token)."""
-        session = self.registry.session(database)
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, session.insert, table, row)
+        """Insert one tuple.  Returns the new generation (the
+        result-cache invalidation token)."""
+        return await self.update("insert", table, row, database)
 
     async def delete(self, table, row, database=None) -> int:
         """Delete one tuple (see :meth:`insert`)."""
+        return await self.update("delete", table, row, database)
+
+    async def update(self, op, table, row, database=None) -> int:
+        """Enqueue one update on the model's *update* coalescer.
+
+        Temporally-close updates flush as one
+        :meth:`~repro.serving.session.ModelSession.apply_batch`: staged
+        against copy-on-write shadows while readers keep answering,
+        committed with one generation bump per touched RSPN, and shipped
+        to shard workers as a leaf-delta patch.  A rejected op (unknown
+        table/column) raises only for its own caller -- the per-slot
+        coalescer contract."""
+        if op not in ("insert", "delete"):
+            raise ValueError(f"unknown update op {op!r}")
         session = self.registry.session(database)
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, session.delete, table, row)
+        return await self._update_coalescer(session).submit((op, table, row))
+
+    async def update_batch(self, ops, database=None) -> list:
+        """Apply a client-supplied batch of ``(op, table, row)`` triples.
+
+        All ops join the same update coalescer (batchmates included),
+        so one HTTP request carrying 100 ops costs one staged commit.
+        Returns per-slot results: the post-commit generation, or the
+        rejecting exception instance."""
+        results = await asyncio.gather(
+            *(self.update(op, table, row, database) for op, table, row in ops),
+            return_exceptions=True,
+        )
+        return list(results)
 
     async def drain(self):
         """Flush every coalescer's pending requests immediately."""
         for _session, coalescer in list(self._coalescers.values()):
+            await coalescer.drain()
+        for _session, coalescer in list(self._update_coalescers.values()):
             await coalescer.drain()
 
     # ------------------------------------------------------------------
@@ -152,6 +187,18 @@ class AsyncDeepDB:
             return coalescer
         return entry[1]
 
+    def _update_coalescer(self, session) -> MicroBatchCoalescer:
+        entry = self._update_coalescers.get(session.name)
+        if entry is None or entry[0] is not session:
+            coalescer = MicroBatchCoalescer(
+                session.apply_batch,
+                max_batch_size=self.max_batch_size,
+                max_wait_ms=self.max_wait_ms,
+            )
+            self._update_coalescers[session.name] = (session, coalescer)
+            return coalescer
+        return entry[1]
+
     def stats(self) -> dict:
         """Admission, coalescing, paging and per-model cache counters."""
         return {
@@ -166,6 +213,10 @@ class AsyncDeepDB:
             "coalescers": {
                 name: entry[1].stats.snapshot()
                 for name, entry in dict(self._coalescers).items()
+            },
+            "update_coalescers": {
+                name: entry[1].stats.snapshot()
+                for name, entry in dict(self._update_coalescers).items()
             },
             "registry": self.registry.stats(),
             "models": self.registry.snapshot(),
@@ -276,6 +327,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _post_update(self):
         body = self._read_json()
+        if "ops" in body:
+            return self._post_update_batch(body)
         op = body.get("op", "insert")
         if op not in ("insert", "delete"):
             return 400, {"error": f"unknown op {op!r}"}
@@ -285,6 +338,48 @@ class _Handler(BaseHTTPRequestHandler):
         method = getattr(self.serving.async_db, op)
         generation = self.serving.call(method(table, row, body.get("database")))
         return 200, {"ok": True, "generation": generation}
+
+    def _post_update_batch(self, body):
+        """Batched form: ``{"ops": [{"op","table","row"}, ...]}``.
+
+        The whole request joins one update-coalescer flush (one staged
+        commit, one generation bump per touched RSPN).  Per-slot errors
+        come back in-band so one bad op never fails its batchmates."""
+        ops = body.get("ops")
+        if not isinstance(ops, list) or not ops:
+            return 400, {"error": "'ops' must be a non-empty list"}
+        triples = []
+        for i, entry in enumerate(ops):
+            if not isinstance(entry, dict):
+                return 400, {"error": f"ops[{i}] must be an object"}
+            op = entry.get("op", "insert")
+            if op not in ("insert", "delete"):
+                return 400, {"error": f"ops[{i}]: unknown op {op!r}"}
+            table, row = entry.get("table"), entry.get("row")
+            if not table or not isinstance(row, dict):
+                return 400, {
+                    "error": f"ops[{i}]: need 'table' and a 'row' object"
+                }
+            triples.append((op, table, row))
+        results = self.serving.call(
+            self.serving.async_db.update_batch(triples, body.get("database"))
+        )
+        slots = []
+        generation = None
+        applied = 0
+        for result in results:
+            if isinstance(result, BaseException):
+                slots.append({"ok": False, "error": str(result)})
+            else:
+                applied += 1
+                generation = result
+                slots.append({"ok": True, "generation": result})
+        return 200, {
+            "ok": applied == len(slots),
+            "applied": applied,
+            "generation": generation,
+            "results": slots,
+        }
 
     # ------------------------------------------------------------------
     def _timed(self, path, handler):
@@ -340,13 +435,25 @@ class ServingServer:
 
     def __init__(self, registry, host="127.0.0.1", port=8080,
                  max_batch_size=32, max_wait_ms=2.0, max_inflight=1024,
-                 request_timeout_s=60.0):
+                 request_timeout_s=60.0, drift_interval_s=None,
+                 drift_config=None, drift_sample=2_000):
         self.registry = registry
         self.async_db = AsyncDeepDB(
             registry, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
             max_inflight=max_inflight,
         )
         self.request_timeout_s = request_timeout_s
+        # Background drift repair (Section 5.2): check resident models
+        # every drift_interval_s seconds, shadow-rebuild drifted RSPNs
+        # off-lock and swap them in under the session write lock.
+        self.drift_monitor = None
+        if drift_interval_s is not None and drift_interval_s > 0:
+            from repro.ingest.monitor import DriftMonitor
+
+            self.drift_monitor = DriftMonitor(
+                registry, config=drift_config,
+                interval_s=drift_interval_s, sample=drift_sample,
+            ).start()
         self._loop = asyncio.new_event_loop()
         self._loop_thread = threading.Thread(
             target=self._run_loop, name="repro-serving-loop", daemon=True
@@ -395,6 +502,9 @@ class ServingServer:
         """Stop the HTTP server and the coalescing loop; idempotent."""
         if self._loop.is_closed():
             return
+        if self.drift_monitor is not None:
+            self.drift_monitor.stop()
+            self.drift_monitor = None
         self._http.shutdown()
         self._http.server_close()
         if self._http_thread is not None:
@@ -436,11 +546,14 @@ class ServingServer:
                 path: stats.snapshot(uptime)
                 for path, stats in self._endpoints.items()
             }
-        return {
+        snap = {
             "uptime_s": uptime,
             "endpoints": endpoints,
             "serving": self.async_db.stats(),
         }
+        if self.drift_monitor is not None:
+            snap["drift_monitor"] = self.drift_monitor.stats()
+        return snap
 
 
 def start_server(registry, host="127.0.0.1", port=0, **kwargs) -> ServingServer:

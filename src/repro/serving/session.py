@@ -178,6 +178,11 @@ class ModelSession:
         self.name = name
         self.deepdb = deepdb
         self._rwlock = ReadWriteLock()
+        # Serializes *writers* (batch staging + commit).  Staging runs
+        # under this lock only -- concurrent readers keep sweeping the
+        # live tree -- and the exclusive write lock is taken just for
+        # the O(touched-nodes) pointer-swap commit.
+        self._ingest_lock = threading.Lock()
         self._cache = ResultCache(cache_size)
         self._generation_lock = threading.Lock()
         self._cache_generation = deepdb.generation
@@ -293,16 +298,46 @@ class ModelSession:
     # Maintenance
     # ------------------------------------------------------------------
     def insert(self, table, row):
-        """Apply one insert under the exclusive write lock."""
-        with self._rwlock.write():
-            self.deepdb.insert(table, row)
-        return self.deepdb.generation
+        """Apply one insert (a one-op :meth:`apply_batch`)."""
+        result = self.apply_batch([("insert", table, row)])[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
 
     def delete(self, table, row):
-        """Apply one delete under the exclusive write lock."""
-        with self._rwlock.write():
-            self.deepdb.delete(table, row)
-        return self.deepdb.generation
+        """Apply one delete (a one-op :meth:`apply_batch`)."""
+        result = self.apply_batch([("delete", table, row)])[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def apply_batch(self, ops):
+        """Apply a batch of ``(op, table, row)`` updates.
+
+        The streaming-ingest write path: the expensive part -- encoding,
+        routing and histogram arithmetic -- is *staged* against
+        copy-on-write shadows under the ingest lock only, so readers
+        keep answering from one consistent snapshot throughout.  The
+        exclusive write lock is held just for the commit: O(touched
+        nodes) pointer swaps plus one generation bump per touched RSPN
+        (never one per tuple).  Returns per-slot results: the
+        post-commit generation for applied ops, the validation
+        ``Exception`` for rejected ones (the coalescer's contract).
+        """
+        with self._ingest_lock:
+            pending = self.deepdb.stage_update_batch(ops)
+            with self._rwlock.write():
+                return self.deepdb.commit_update_batch(pending)
+
+    @contextmanager
+    def write_lock(self):
+        """Exclusive access for out-of-band maintenance (drift repair
+        swaps, bulk absorbs).  Takes the ingest lock first so a staged
+        batch can never commit against a tree that was swapped under
+        it."""
+        with self._ingest_lock:
+            with self._rwlock.write():
+                yield
 
     def invalidate(self):
         """Explicitly drop all cached results (normally unnecessary:
